@@ -1,0 +1,120 @@
+// Command gerenukbench regenerates the paper's evaluation tables and
+// figures (section 4) at a configurable scale.
+//
+// Usage:
+//
+//	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...]
+//
+// Experiment ids: fig4 fig5 table1 table2 fig6a fig6b fig7a fig7b table3
+// fig8a fig8b fig9 fig10a fig10b static. Default runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "workload scale multiplier")
+	workers := flag.Int("workers", 4, "executor pool size")
+	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions")
+	iters := flag.Int("iters", 3, "iterations for iterative apps")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	show := func(r *bench.Result, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+
+	if sel("fig4") {
+		r, err := bench.Figure4()
+		show(r, err)
+	}
+	if sel("fig5") {
+		r, err := bench.Figure5(cfg)
+		show(r, err)
+	}
+	if sel("table1") {
+		show(bench.Table1(cfg), nil)
+	}
+	if sel("table2") {
+		show(bench.Table2(cfg), nil)
+	}
+
+	var sparkSuite *bench.SparkSuite
+	var hadoopSuite *bench.HadoopSuite
+	needSpark := sel("fig6a") || sel("fig7a") || sel("table3")
+	needHadoop := sel("fig6b") || sel("fig7b") || sel("table3")
+	if needSpark {
+		s, err := bench.RunSparkSuite(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: spark suite: %v\n", err)
+			os.Exit(1)
+		}
+		sparkSuite = s
+	}
+	if needHadoop {
+		s, err := bench.RunHadoopSuite(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: hadoop suite: %v\n", err)
+			os.Exit(1)
+		}
+		hadoopSuite = s
+	}
+	if sel("fig6a") {
+		show(bench.Figure6a(sparkSuite), nil)
+	}
+	if sel("fig6b") {
+		show(bench.Figure6b(hadoopSuite), nil)
+	}
+	if sel("fig7a") {
+		show(bench.Figure7a(sparkSuite), nil)
+	}
+	if sel("fig7b") {
+		show(bench.Figure7b(hadoopSuite), nil)
+	}
+	if sel("table3") {
+		show(bench.Table3(sparkSuite, hadoopSuite), nil)
+	}
+	if sel("fig8a") {
+		r, err := bench.Figure8a(cfg)
+		show(r, err)
+	}
+	if sel("fig8b") {
+		r, err := bench.Figure8b(cfg)
+		show(r, err)
+	}
+	if sel("fig9") {
+		r, err := bench.Figure9(cfg)
+		show(r, err)
+	}
+	if sel("fig10a") {
+		r, err := bench.Figure10a(cfg)
+		show(r, err)
+	}
+	if sel("fig10b") {
+		r, err := bench.Figure10b(cfg)
+		show(r, err)
+	}
+	if sel("static") {
+		r, err := bench.StaticStats()
+		show(r, err)
+	}
+}

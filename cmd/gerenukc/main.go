@@ -1,0 +1,204 @@
+// Command gerenukc is the Gerenuk compiler front end: it runs the static
+// pipeline (data structure analyzer, SER code analyzer, violation
+// detection, Algorithm 1 transformation) over a named application and
+// prints the compilation report — the inline layouts, the statements
+// selected for transformation, the violation points, and optionally the
+// transformed IR.
+//
+// Usage:
+//
+//	gerenukc -app soa [-dump] [-driver soaCombineStage]
+//	gerenukc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/apps/sparkapps"
+	"repro/internal/engine"
+	"repro/internal/ir"
+)
+
+// appSpec wires an application name to its program and stage drivers.
+type appSpec struct {
+	name    string
+	build   func() *ir.Program
+	drivers []string
+}
+
+func apps() []appSpec {
+	specs := []appSpec{
+		{
+			name: "pagerank",
+			build: func() *ir.Program {
+				p := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsRank, sparkapps.ClsContrib)
+				sparkapps.PageRank{Iters: 1}.Register(p)
+				return p
+			},
+			drivers: []string{"prInitStage", "prJoinStage", "prCombineStage", "prUpdateStage"},
+		},
+		{
+			name: "kmeans",
+			build: func() *ir.Program {
+				p := sparkapps.NewProgram(sparkapps.ClsDenseVector, sparkapps.ClsClusterStat)
+				sparkapps.KMeans{K: 2, Dim: 4, Iters: 1}.Register(p)
+				return p
+			},
+			drivers: []string{"kmCombineStage"},
+		},
+		{
+			name: "logreg",
+			build: func() *ir.Program {
+				p := sparkapps.NewProgram(sparkapps.ClsLabeled, sparkapps.ClsGrad)
+				sparkapps.LogReg{Dim: 4, Iters: 1}.Register(p)
+				return p
+			},
+			drivers: []string{"lrCombineStage"},
+		},
+		{
+			name: "wordcount",
+			build: func() *ir.Program {
+				p := sparkapps.NewProgram(sparkapps.ClsDoc, sparkapps.ClsWordCount)
+				sparkapps.WordCount{}.Register(p)
+				return p
+			},
+			drivers: []string{"wcSplitStage", "wcCombineStage"},
+		},
+		{
+			name: "soa",
+			build: func() *ir.Program {
+				p := sparkapps.NewProgram(sparkapps.ClsPost, sparkapps.ClsAccount)
+				sparkapps.StackOverflowAnalytics{InitialCap: 8}.Register(p)
+				return p
+			},
+			drivers: []string{"soaMapStage", "soaCombineStage"},
+		},
+	}
+	for _, h := range hadoopapps.AllApps {
+		h := h
+		specs = append(specs, appSpec{
+			name: strings.ToLower(h),
+			build: func() *ir.Program {
+				p, _ := hadoopapps.NewProgram(h)
+				return p
+			},
+			drivers: func() []string {
+				_, conf := hadoopapps.NewProgram(h)
+				out := []string{conf.MapDriver, conf.ReduceDriver}
+				if conf.CombineDriver != "" && conf.CombineDriver != conf.ReduceDriver {
+					out = append(out, conf.CombineDriver)
+				}
+				return out
+			}(),
+		})
+	}
+	return specs
+}
+
+func main() {
+	appName := flag.String("app", "", "application to compile (see -list)")
+	driver := flag.String("driver", "", "restrict to one stage driver")
+	dump := flag.Bool("dump", false, "print the transformed IR")
+	list := flag.Bool("list", false, "list known applications")
+	flag.Parse()
+
+	specs := apps()
+	if *list || *appName == "" {
+		fmt.Println("applications:")
+		for _, s := range specs {
+			fmt.Printf("  %-10s drivers: %s\n", s.name, strings.Join(s.drivers, ", "))
+		}
+		if *appName == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var spec *appSpec
+	for i := range specs {
+		if specs[i].name == *appName {
+			spec = &specs[i]
+		}
+	}
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "gerenukc: unknown app %q (try -list)\n", *appName)
+		os.Exit(2)
+	}
+
+	prog := spec.build()
+	comp := engine.Compile(prog)
+
+	fmt.Printf("== %s ==\n", spec.name)
+	fmt.Printf("top-level data types (user annotation): %s\n", strings.Join(prog.TopTypes, ", "))
+	fmt.Println("\n-- data structure analyzer --")
+	accepted := comp.Layouts.Accepted
+	fmt.Printf("accepted hierarchies: %s\n", strings.Join(accepted, ", "))
+	var names []string
+	for n := range comp.Layouts.Layouts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l := comp.Layouts.Layout(n)
+		size := "variable (tail array)"
+		if l.Size != nil {
+			size = l.Size.String()
+		}
+		fmt.Printf("  %-22s size = %s\n", n, size)
+		for _, f := range l.Class.Fields {
+			fmt.Printf("    .%-12s offset = %s\n", f.Name, l.FieldOff[f.Name])
+		}
+	}
+
+	for _, d := range spec.drivers {
+		if *driver != "" && d != *driver {
+			continue
+		}
+		if err := comp.CompileDriver(d); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukc: %s: %v\n", d, err)
+			os.Exit(1)
+		}
+		ser := comp.SERs[d]
+		fmt.Printf("\n-- SER %s --\n", d)
+		if !ser.Transformable {
+			fmt.Printf("NOT TRANSFORMABLE: %s\n", ser.Reason)
+			continue
+		}
+		sum := ser.Summary()
+		st := comp.XStats[d]
+		fmt.Printf("functions analyzed: %d, abstract objects: %d, data variables: %d\n",
+			sum.Funcs, sum.Sites, sum.DataVars)
+		fmt.Printf("statements transformed: %d, calls inlined: %d, classes touched: %d\n",
+			st.RewrittenStmts, st.InlinedCalls, st.Classes)
+		fmt.Printf("violation points (aborts inserted): %d\n", len(ser.Violations))
+		for _, v := range ser.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if *dump {
+			fmt.Println("\ntransformed IR:")
+			dumpBody(comp.Natives[d].Body, 1)
+		}
+	}
+}
+
+func dumpBody(body []ir.Stmt, depth int) {
+	indent := strings.Repeat("  ", depth)
+	for _, s := range body {
+		fmt.Printf("%s%s\n", indent, s)
+		switch t := s.(type) {
+		case *ir.If:
+			dumpBody(t.Then, depth+1)
+			if len(t.Else) > 0 {
+				fmt.Printf("%selse:\n", indent)
+				dumpBody(t.Else, depth+1)
+			}
+		case *ir.While:
+			dumpBody(t.Body, depth+1)
+		}
+	}
+}

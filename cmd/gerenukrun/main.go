@@ -1,0 +1,48 @@
+// Command gerenukrun executes one application end to end in both modes
+// and prints the side-by-side cost breakdown — the quickest way to see
+// the transformation's effect.
+//
+// Usage:
+//
+//	gerenukrun -app PR|KM|LR|CS|GB|IUF|UAH|SPF|UED|CED|IMC|TFC [-scale N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+func main() {
+	app := flag.String("app", "PR", "application name")
+	scale := flag.Int("scale", 2, "workload scale")
+	workers := flag.Int("workers", 4, "executor pool size")
+	iters := flag.Int("iters", 3, "iterations for iterative apps")
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: 4, Iters: *iters}
+	t := &metrics.Table{
+		Title:  fmt.Sprintf("%s at scale %d", *app, *scale),
+		Header: []string{"mode", "total", "compute", "gc", "ser", "deser", "peak mem", "aborts"},
+	}
+	var rows []metrics.Breakdown
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		stats, err := bench.RunApp(*app, cfg, mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+		rows = append(rows, stats)
+		t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
+			metrics.D(stats.GC), metrics.D(stats.Ser), metrics.D(stats.Deser),
+			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts))
+	}
+	fmt.Println(t.Render())
+	fmt.Printf("speedup: %.2fx   memory: %.2fx\n",
+		metrics.Ratio(float64(rows[0].Total), float64(rows[1].Total)),
+		metrics.Ratio(float64(rows[1].PeakBytes()), float64(rows[0].PeakBytes())))
+}

@@ -1,0 +1,109 @@
+// Quickstart: define a data type, write a tiny dataflow program in the
+// IR, and run it on both execution paths — the baseline simulated
+// managed heap and the Gerenuk-transformed native path — verifying that
+// they produce identical results while the native path skips
+// deserialization entirely.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/engine"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+func main() {
+	// 1. Define the schema: a Reading record and an aggregate.
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Reading", Fields: []model.FieldDef{
+		{Name: "sensor", Type: model.Prim(model.KindLong)},
+		{Name: "celsius", Type: model.Prim(model.KindDouble)},
+	}})
+	prog := ir.NewProgram(reg)
+	// The Gerenuk user annotation (paper section 3.1): which types are
+	// top-level data records.
+	prog.TopTypes = []string{"Reading"}
+
+	// 2. Write the UDF in the IR: convert each reading to Fahrenheit.
+	b := ir.NewFuncBuilder(prog, "toFahrenheit", model.Type{})
+	rec := b.Param("rec", model.Object("Reading"))
+	sensor := b.Load(rec, "sensor")
+	c := b.Load(rec, "celsius")
+	nine5 := b.FConst(1.8)
+	off := b.FConst(32)
+	f := b.Bin(ir.OpAdd, b.Bin(ir.OpMul, c, nine5), off)
+	out := b.New("Reading")
+	b.Store(out, "sensor", sensor)
+	b.Store(out, "celsius", f)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+	spark.BuildMapDriver(prog, "convertStage", "toFahrenheit", "Reading")
+
+	// sumCombine folds readings per sensor.
+	cb := ir.NewFuncBuilder(prog, "sumCombine", model.Object("Reading"))
+	a := cb.Param("a", model.Object("Reading"))
+	bb := cb.Param("b", model.Object("Reading"))
+	k := cb.Load(a, "sensor")
+	s := cb.Bin(ir.OpAdd, cb.Load(a, "celsius"), cb.Load(bb, "celsius"))
+	acc := cb.New("Reading")
+	cb.Store(acc, "sensor", k)
+	cb.Store(acc, "celsius", s)
+	cb.Ret(acc)
+	cb.Done()
+	spark.BuildReduceDriver(prog, "sumStage", "sumCombine", "Reading")
+
+	// 3. Compile: DSA layouts + SER analysis + Algorithm 1 run on demand.
+	comp := engine.Compile(prog)
+
+	// 4. Generate input wire records (what a disk split would hold).
+	var input []byte
+	var err error
+	for i := 0; i < 12; i++ {
+		input, err = comp.Codec.Encode("Reading", serde.Obj{
+			"sensor": int64(i % 3), "celsius": float64(10 + i),
+		}, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 5. Run in both modes and compare.
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		ctx := spark.NewContext(comp, mode)
+		ctx.Partitions = 2
+		rdd := ctx.Parallelize("Reading", [][]byte{input})
+		converted, err := rdd.MapPartitions("convertStage", "Reading")
+		if err != nil {
+			log.Fatal(err)
+		}
+		summed, err := converted.ReduceByKey("sumStage", "sensor")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", mode)
+		buf := summed.CollectBytes()
+		for offB := 0; offB < len(buf); {
+			v, next, err := comp.Codec.Decode("Reading", buf, offB)
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := v.(serde.Obj)
+			fmt.Printf("  sensor %d: sum %.1f°F\n", o["sensor"].(int64), o["celsius"].(float64))
+			offB = next
+		}
+		fmt.Printf("  stats: %s\n", ctx.Stats)
+	}
+	fmt.Println("\nThe gerenuk run reports near-zero deserialization time (only")
+	fmt.Println("closure shipping remains): the transformed stages operated")
+	fmt.Println("directly on the inlined bytes.")
+}

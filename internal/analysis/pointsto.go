@@ -1,0 +1,355 @@
+// Package analysis implements the static analyses of the Gerenuk
+// compiler: an allocation-site points-to analysis (the substrate the
+// paper takes from Soot/Spark), the SER code analyzer — the taint-like
+// source-to-sink data-flow analysis of section 3.2 — and the violation
+// conditions of section 3.4.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// SiteKind classifies abstract objects.
+type SiteKind uint8
+
+// Site kinds.
+const (
+	// SiteAlloc is a `new C()` / `new T[n]` / string-literal site.
+	SiteAlloc SiteKind = iota
+	// SiteDeser is the abstract object created by a deserialization
+	// point — the root of an input record.
+	SiteDeser
+	// SiteDeserSub is an abstract sub-object of a deserialized record,
+	// materialized lazily per (parent site, field): the static model of
+	// the inlined structure's interior.
+	SiteDeserSub
+)
+
+func (k SiteKind) String() string {
+	switch k {
+	case SiteAlloc:
+		return "alloc"
+	case SiteDeser:
+		return "deser"
+	case SiteDeserSub:
+		return "deser-sub"
+	default:
+		return "?"
+	}
+}
+
+// Site is an abstract object.
+type Site struct {
+	ID   int
+	Kind SiteKind
+	// Type is the static type of the object (class or array).
+	Type model.Type
+	// Stmt is the creating statement for alloc/deser sites.
+	Stmt ir.Stmt
+	// Fn is the function containing Stmt.
+	Fn string
+	// Parent and Field identify sub-sites.
+	Parent *Site
+	Field  string
+}
+
+func (s *Site) String() string {
+	if s.Kind == SiteDeserSub {
+		return fmt.Sprintf("%s.%s<%s>", s.Parent, s.Field, s.Type)
+	}
+	return fmt.Sprintf("%s#%d<%s>@%s", s.Kind, s.ID, s.Type, s.Fn)
+}
+
+// eleField is the placeholder field name for array elements (the paper's
+// o.ELE).
+const eleField = "ELE"
+
+type fieldKey struct {
+	site  int
+	field string
+}
+
+// PointsTo is the result of the points-to analysis over the functions
+// reachable from an entry point.
+type PointsTo struct {
+	Sites []*Site
+	// VarPts maps each variable to the set of site IDs it may point to.
+	VarPts map[*ir.Var]map[int]bool
+	// FieldPts maps (site, field) to the sites stored there.
+	FieldPts map[fieldKey]map[int]bool
+	// Funcs is the call-graph closure from the entry, in discovery order.
+	Funcs []string
+
+	prog     *ir.Program
+	subSites map[fieldKey]*Site
+}
+
+// Reachable returns the functions in the analyzed closure.
+func (p *PointsTo) Reachable() []string { return p.Funcs }
+
+// Pts returns the points-to set of v (possibly nil).
+func (p *PointsTo) Pts(v *ir.Var) map[int]bool { return p.VarPts[v] }
+
+// Solve runs a flow-insensitive, context-insensitive inclusion-based
+// (Andersen-style) points-to analysis over the closure of functions
+// reachable from entry.
+func Solve(prog *ir.Program, entry string) (*PointsTo, error) {
+	p := &PointsTo{
+		VarPts:   make(map[*ir.Var]map[int]bool),
+		FieldPts: make(map[fieldKey]map[int]bool),
+		subSites: make(map[fieldKey]*Site),
+		prog:     prog,
+	}
+	// Discover the call-graph closure.
+	seen := map[string]bool{}
+	queue := []string{entry}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		fn, ok := prog.Funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown function %q", name)
+		}
+		p.Funcs = append(p.Funcs, name)
+		ir.Walk(fn.Body, func(s ir.Stmt) {
+			if c, isCall := s.(*ir.Call); isCall && !seen[c.Fn] {
+				queue = append(queue, c.Fn)
+			}
+		})
+	}
+
+	// Create sites for all creating statements.
+	for _, name := range p.Funcs {
+		fn := prog.Funcs[name]
+		ir.Walk(fn.Body, func(s ir.Stmt) {
+			switch t := s.(type) {
+			case *ir.New:
+				p.newSite(SiteAlloc, model.Object(t.Class), s, name)
+			case *ir.NewArray:
+				p.newSite(SiteAlloc, model.ArrayOf(t.Elem), s, name)
+			case *ir.ConstString:
+				p.newSite(SiteAlloc, model.Object(model.StringClassName), s, name)
+			case *ir.Deserialize:
+				p.newSite(SiteDeser, t.Dst.Type, s, name)
+			}
+		})
+	}
+
+	// Fixpoint over inclusion constraints.
+	for changed := true; changed; {
+		changed = false
+		for _, name := range p.Funcs {
+			fn := prog.Funcs[name]
+			ir.Walk(fn.Body, func(s ir.Stmt) {
+				if p.apply(s, name) {
+					changed = true
+				}
+			})
+		}
+	}
+	return p, nil
+}
+
+func (p *PointsTo) newSite(kind SiteKind, t model.Type, s ir.Stmt, fn string) *Site {
+	site := &Site{ID: len(p.Sites), Kind: kind, Type: t, Stmt: s, Fn: fn}
+	p.Sites = append(p.Sites, site)
+	if s != nil {
+		if d := ir.Defs(s); d != nil {
+			p.addTo(d, site.ID)
+		}
+	}
+	return site
+}
+
+// subSite lazily materializes the abstract sub-object of a deserialized
+// record behind (site, field) with the given static type.
+func (p *PointsTo) subSite(parent *Site, field string, t model.Type) *Site {
+	k := fieldKey{parent.ID, field}
+	if s, ok := p.subSites[k]; ok {
+		return s
+	}
+	s := &Site{ID: len(p.Sites), Kind: SiteDeserSub, Type: t, Fn: parent.Fn, Parent: parent, Field: field}
+	p.Sites = append(p.Sites, s)
+	p.subSites[k] = s
+	return s
+}
+
+func (p *PointsTo) addTo(v *ir.Var, id int) bool {
+	set := p.VarPts[v]
+	if set == nil {
+		set = make(map[int]bool)
+		p.VarPts[v] = set
+	}
+	if set[id] {
+		return false
+	}
+	set[id] = true
+	return true
+}
+
+func (p *PointsTo) copyVar(dst, src *ir.Var) bool {
+	changed := false
+	for id := range p.VarPts[src] {
+		if p.addTo(dst, id) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (p *PointsTo) addField(site int, field string, srcs map[int]bool) bool {
+	k := fieldKey{site, field}
+	set := p.FieldPts[k]
+	if set == nil {
+		set = make(map[int]bool)
+		p.FieldPts[k] = set
+	}
+	changed := false
+	for id := range srcs {
+		if !set[id] {
+			set[id] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// fieldType returns the declared type of field f on a site of class type.
+func (p *PointsTo) fieldType(s *Site, field string) (model.Type, bool) {
+	if field == eleField {
+		if s.Type.Array && s.Type.Elem != nil {
+			return *s.Type.Elem, true
+		}
+		return model.Type{}, false
+	}
+	if s.Type.Array || !s.Type.IsRef() {
+		return model.Type{}, false
+	}
+	cls, ok := p.prog.Reg.Lookup(s.Type.Class)
+	if !ok {
+		return model.Type{}, false
+	}
+	f, ok := cls.Field(field)
+	if !ok {
+		return model.Type{}, false
+	}
+	return f.Type, true
+}
+
+func (p *PointsTo) apply(s ir.Stmt, fn string) bool {
+	changed := false
+	switch t := s.(type) {
+	case *ir.Assign:
+		if t.Dst.Type.IsRef() {
+			changed = p.copyVar(t.Dst, t.Src)
+		}
+	case *ir.FieldLoad:
+		if !t.Dst.Type.IsRef() {
+			return false
+		}
+		for id := range p.VarPts[t.Obj] {
+			site := p.Sites[id]
+			if site.Kind != SiteAlloc {
+				// Deserialized interior: materialize the sub-object.
+				if ft, ok := p.fieldType(site, t.Field); ok && ft.IsRef() {
+					sub := p.subSite(site, t.Field, ft)
+					if p.addTo(t.Dst, sub.ID) {
+						changed = true
+					}
+				}
+			}
+			for src := range p.FieldPts[fieldKey{id, t.Field}] {
+				if p.addTo(t.Dst, src) {
+					changed = true
+				}
+			}
+		}
+	case *ir.FieldStore:
+		if !t.Src.Type.IsRef() {
+			return false
+		}
+		for id := range p.VarPts[t.Obj] {
+			if p.addField(id, t.Field, p.VarPts[t.Src]) {
+				changed = true
+			}
+		}
+	case *ir.ArrayLoad:
+		if !t.Dst.Type.IsRef() {
+			return false
+		}
+		for id := range p.VarPts[t.Arr] {
+			site := p.Sites[id]
+			if site.Kind != SiteAlloc {
+				if ft, ok := p.fieldType(site, eleField); ok && ft.IsRef() {
+					sub := p.subSite(site, eleField, ft)
+					if p.addTo(t.Dst, sub.ID) {
+						changed = true
+					}
+				}
+			}
+			for src := range p.FieldPts[fieldKey{id, eleField}] {
+				if p.addTo(t.Dst, src) {
+					changed = true
+				}
+			}
+		}
+	case *ir.ArrayStore:
+		if !t.Src.Type.IsRef() {
+			return false
+		}
+		for id := range p.VarPts[t.Arr] {
+			if p.addField(id, eleField, p.VarPts[t.Src]) {
+				changed = true
+			}
+		}
+	case *ir.Call:
+		callee, ok := p.prog.Funcs[t.Fn]
+		if !ok {
+			return false
+		}
+		for i, a := range t.Args {
+			if i < len(callee.Params) && callee.Params[i].Type.IsRef() {
+				if p.copyVar(callee.Params[i], a) {
+					changed = true
+				}
+			}
+		}
+		if t.Dst != nil && t.Dst.Type.IsRef() {
+			ir.Walk(callee.Body, func(cs ir.Stmt) {
+				if r, isRet := cs.(*ir.Return); isRet && r.Val != nil {
+					if p.copyVar(t.Dst, r.Val) {
+						changed = true
+					}
+				}
+			})
+		}
+	case *ir.NativeCall:
+		// clone returns an object aliased (structurally) with the
+		// receiver's sites; other whitelisted natives return prims or
+		// fresh strings. Model clone as aliasing the receiver.
+		if t.Dst != nil && t.Dst.Type.IsRef() && t.Name == "clone" {
+			changed = p.copyVar(t.Dst, t.Recv)
+		}
+	}
+	return changed
+}
+
+// SitesOfKind returns the IDs of sites with the given kind, sorted.
+func (p *PointsTo) SitesOfKind(k SiteKind) []int {
+	var out []int
+	for _, s := range p.Sites {
+		if s.Kind == k {
+			out = append(out, s.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

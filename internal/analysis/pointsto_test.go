@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+func ptProgram() *ir.Program {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Box", Fields: []model.FieldDef{
+		{Name: "inner", Type: model.Object("Box")},
+		{Name: "v", Type: model.Prim(model.KindLong)},
+	}})
+	return ir.NewProgram(reg)
+}
+
+func pts(t *testing.T, p *PointsTo, v *ir.Var) map[int]bool {
+	t.Helper()
+	return p.Pts(v)
+}
+
+func TestPointsToAssignPropagation(t *testing.T) {
+	prog := ptProgram()
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	a := b.New("Box")
+	c := b.Temp(model.Object("Box"))
+	b.Assign(c, a)
+	d := b.Temp(model.Object("Box"))
+	b.Assign(d, c)
+	b.Ret(nil)
+	b.Done()
+
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pd := pts(t, p, a), pts(t, p, d)
+	if len(pa) != 1 || len(pd) != 1 {
+		t.Fatalf("pts sizes: %d %d", len(pa), len(pd))
+	}
+	for id := range pa {
+		if !pd[id] {
+			t.Errorf("assignment chain lost the site")
+		}
+	}
+}
+
+func TestPointsToFieldFlow(t *testing.T) {
+	prog := ptProgram()
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	outer := b.New("Box")
+	inner := b.New("Box")
+	b.Store(outer, "inner", inner)
+	got := b.Load(outer, "inner")
+	b.Ret(nil)
+	b.Done()
+
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, pg := pts(t, p, inner), pts(t, p, got)
+	for id := range pi {
+		if !pg[id] {
+			t.Errorf("field load did not recover the stored site")
+		}
+	}
+	// The loaded set must not include the outer allocation.
+	po := pts(t, p, outer)
+	for id := range po {
+		if pg[id] {
+			t.Errorf("field load polluted with the holder's own site")
+		}
+	}
+}
+
+func TestPointsToDeserializedSubSites(t *testing.T) {
+	prog := ptProgram()
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	rec := b.ReadRecord("in", model.Object("Box"))
+	in1 := b.Load(rec, "inner")
+	in2 := b.Load(in1, "inner")
+	b.Ret(nil)
+	b.Done()
+
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts(t, p, in1)) == 0 || len(pts(t, p, in2)) == 0 {
+		t.Fatalf("deserialized interiors not modeled")
+	}
+	for id := range pts(t, p, in1) {
+		if p.Sites[id].Kind != SiteDeserSub {
+			t.Errorf("inner of a deserialized record should be a sub-site, got %v", p.Sites[id].Kind)
+		}
+	}
+}
+
+func TestPointsToCallBinding(t *testing.T) {
+	prog := ptProgram()
+	hb := ir.NewFuncBuilder(prog, "id", model.Object("Box"))
+	hp := hb.Param("x", model.Object("Box"))
+	hb.Ret(hp)
+	hb.Done()
+
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	a := b.New("Box")
+	r := b.Call("id", model.Object("Box"), a)
+	b.Ret(nil)
+	b.Done()
+
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pr := pts(t, p, a), pts(t, p, r)
+	if len(pr) == 0 {
+		t.Fatalf("return value has empty points-to set")
+	}
+	for id := range pa {
+		if !pr[id] {
+			t.Errorf("identity call lost the site")
+		}
+	}
+	if got := len(p.Reachable()); got != 2 {
+		t.Errorf("closure = %d funcs, want 2", got)
+	}
+}
+
+func TestPointsToArrayElements(t *testing.T) {
+	prog := ptProgram()
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	one := b.IConst(1)
+	arr := b.NewArr(model.Object("Box"), one)
+	bx := b.New("Box")
+	zero := b.IConst(0)
+	b.SetElem(arr, zero, bx)
+	got := b.Elem(arr, zero)
+	b.Ret(nil)
+	b.Done()
+
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, pg := pts(t, p, bx), pts(t, p, got)
+	for id := range pb {
+		if !pg[id] {
+			t.Errorf("array element flow lost")
+		}
+	}
+}
+
+func TestSolveUnknownEntry(t *testing.T) {
+	prog := ptProgram()
+	if _, err := Solve(prog, "ghost"); err == nil {
+		t.Fatalf("unknown entry accepted")
+	}
+}
+
+func TestSiteStringAndKinds(t *testing.T) {
+	prog := ptProgram()
+	b := ir.NewFuncBuilder(prog, "main", model.Type{})
+	b.New("Box")
+	b.ReadRecord("in", model.Object("Box"))
+	b.Ret(nil)
+	b.Done()
+	p, err := Solve(prog, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SitesOfKind(SiteAlloc)) != 1 || len(p.SitesOfKind(SiteDeser)) != 1 {
+		t.Errorf("site kinds wrong")
+	}
+	for _, s := range p.Sites {
+		if s.String() == "" {
+			t.Errorf("empty site string")
+		}
+	}
+}

@@ -1,0 +1,478 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsa"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// ViolationKind enumerates the conditions of paper section 3.4 under
+// which memory accesses cannot be performed on inlined data.
+type ViolationKind uint8
+
+// Violation kinds.
+const (
+	// ViolEscape is condition #1, Load-And-Escape: a reference read from
+	// a data structure is stored into a heap (control) object.
+	ViolEscape ViolationKind = iota
+	// ViolDisrupt is condition #2, Disrupt-the-Native-Space: a heap
+	// reference is written into an object of an inlined data structure.
+	ViolDisrupt
+	// ViolNativeMethod is condition #3, Invoke-Native-Method on a data
+	// object (whitelisted methods excepted).
+	ViolNativeMethod
+	// ViolMetainfo is condition #4, Use-Object-Metainfo: using a data
+	// object's header metadata, e.g. as a lock.
+	ViolMetainfo
+	// ViolMutateInput extends the immutability guarantee to primitive
+	// writes: a store into a deserialized (input-derived) record would
+	// modify the input buffer, breaking abort-and-re-execute.
+	ViolMutateInput
+	// ViolAmbiguous marks a statement whose receiver may be either a
+	// data or a control object; the conservative answer is to abort.
+	ViolAmbiguous
+)
+
+var violNames = [...]string{
+	"load-and-escape", "disrupt-the-native-space", "invoke-native-method",
+	"use-object-metainfo", "mutate-input", "ambiguous-receiver",
+}
+
+func (k ViolationKind) String() string { return violNames[k] }
+
+// Violation is one statically detected violation point; the transformer
+// inserts an abort instruction immediately before the statement.
+type Violation struct {
+	Kind ViolationKind
+	Stmt ir.Stmt
+	Fn   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %q: %s", v.Kind, v.Fn, v.Stmt)
+}
+
+// nativeWhitelist is the set of native methods Gerenuk reimplements over
+// inlined bytes (paper section 3.4, condition #3).
+var nativeWhitelist = map[string]bool{
+	"clone":     true,
+	"hashCode":  true,
+	"toString":  true,
+	"arrayCopy": true,
+	"length":    true, // string length, used pervasively by text workloads
+	"charAt":    true,
+	"equals":    true,
+	// splitToWordCounts is the fused Tungsten string-split operator
+	// (Figure 8(b)'s "string optimizations"), provided over inlined
+	// bytes like the other customized natives.
+	"splitToWordCounts": true,
+}
+
+// IsWhitelistedNative reports whether the named native method has a
+// Gerenuk-provided implementation over inlined bytes.
+func IsWhitelistedNative(name string) bool { return nativeWhitelist[name] }
+
+// SER is the result of the SER code analyzer (section 3.2) plus the
+// violation computation (section 3.4) for one speculative execution
+// region rooted at an entry function.
+type SER struct {
+	Entry string
+	P     *PointsTo
+
+	// DataSites are the abstract objects belonging to inlined data
+	// structures: deserialized records and their interiors, plus
+	// allocation sites of hierarchy classes whose values flow to a
+	// serialization sink.
+	DataSites map[int]bool
+	// DataVars are variables that may hold data-structure references —
+	// after transformation these become long addresses.
+	DataVars map[*ir.Var]bool
+	// InputVars may hold references derived from *deserialized* records
+	// (as opposed to records under construction); writes through them
+	// are ViolMutateInput.
+	InputVars map[*ir.Var]bool
+	// TransformStmts is the set of statements on data flows from source
+	// to sink — the statements Algorithm 1 rewrites.
+	TransformStmts map[ir.Stmt]bool
+	// Violations lists every statically detected violation point.
+	Violations []Violation
+	// Transformable is false when the SER cannot be transformed at all
+	// (e.g. a deserialized top type was rejected by the DSA); the engine
+	// then keeps the heap path for the whole task.
+	Transformable bool
+	Reason        string
+	// ClassesTouched is the set of classes participating in transformed
+	// statements (the paper's "55 classes in Spark" statistic).
+	ClassesTouched map[string]bool
+}
+
+// violationSet returns violations keyed by statement for the transformer.
+func (s *SER) ViolationAt(st ir.Stmt) (Violation, bool) {
+	for _, v := range s.Violations {
+		if v.Stmt == st {
+			return v, true
+		}
+	}
+	return Violation{}, false
+}
+
+// AnalyzeSER runs the full Gerenuk static pipeline for the region rooted
+// at entry: points-to, source/sink taint, data-site classification,
+// violation detection, and statement selection.
+func AnalyzeSER(prog *ir.Program, layouts *dsa.Result, entry string) (*SER, error) {
+	p, err := Solve(prog, entry)
+	if err != nil {
+		return nil, err
+	}
+	s := &SER{
+		Entry:          entry,
+		P:              p,
+		DataSites:      make(map[int]bool),
+		DataVars:       make(map[*ir.Var]bool),
+		InputVars:      make(map[*ir.Var]bool),
+		TransformStmts: make(map[ir.Stmt]bool),
+		Transformable:  true,
+		ClassesTouched: make(map[string]bool),
+	}
+
+	// Every deserialized top type must have an accepted inline layout.
+	for _, site := range p.Sites {
+		if site.Kind != SiteDeser {
+			continue
+		}
+		cls := site.Type.Class
+		if site.Type.Array || cls == "" || !layouts.IsAccepted(cls) {
+			s.Transformable = false
+			s.Reason = fmt.Sprintf("deserialized type %s has no inline layout", site.Type)
+			return s, nil
+		}
+	}
+
+	// reaches-sink: sites flowing (directly or via containment) into a
+	// Serialize/Emit. This is the sink-directed pruning of section 3.2.
+	reaches := make(map[int]bool)
+	for _, name := range p.Funcs {
+		ir.Walk(prog.Funcs[name].Body, func(st ir.Stmt) {
+			var src *ir.Var
+			switch t := st.(type) {
+			case *ir.Serialize:
+				src = t.Src
+			case *ir.Emit:
+				src = t.Src
+			default:
+				return
+			}
+			for id := range p.VarPts[src] {
+				reaches[id] = true
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fk, srcs := range p.FieldPts {
+			if !reaches[fk.site] {
+				continue
+			}
+			for id := range srcs {
+				if !reaches[id] {
+					reaches[id] = true
+					changed = true
+				}
+			}
+		}
+		// A sub-site's parent reaching the sink implies the sub-site
+		// reaches it too (it is inlined within the parent).
+		for _, site := range p.Sites {
+			if site.Kind == SiteDeserSub && reaches[site.Parent.ID] && !reaches[site.ID] {
+				reaches[site.ID] = true
+				changed = true
+			}
+		}
+	}
+
+	// Classify data sites.
+	inHierarchy := func(t model.Type) bool {
+		switch {
+		case t.Array && t.Elem.Kind != model.KindRef:
+			return true // primitive arrays are record parts
+		case t.Array:
+			return layouts.InHierarchy(t.Elem.Class)
+		case t.IsRef():
+			return layouts.InHierarchy(t.Class)
+		default:
+			return false
+		}
+	}
+	inputSites := make(map[int]bool)
+	for _, site := range p.Sites {
+		switch site.Kind {
+		case SiteDeser, SiteDeserSub:
+			s.DataSites[site.ID] = true
+			inputSites[site.ID] = true
+		case SiteAlloc:
+			if inHierarchy(site.Type) && reaches[site.ID] {
+				s.DataSites[site.ID] = true
+			}
+		}
+	}
+
+	// Data/input variables.
+	for v, pts := range p.VarPts {
+		for id := range pts {
+			if s.DataSites[id] {
+				s.DataVars[v] = true
+			}
+			if inputSites[id] {
+				s.InputVars[v] = true
+			}
+		}
+	}
+
+	// Violation detection + statement selection.
+	for _, name := range p.Funcs {
+		fn := prog.Funcs[name]
+		ir.Walk(fn.Body, func(st ir.Stmt) {
+			s.classify(prog, p, name, st)
+		})
+	}
+	sort.Slice(s.Violations, func(i, j int) bool {
+		if s.Violations[i].Fn != s.Violations[j].Fn {
+			return s.Violations[i].Fn < s.Violations[j].Fn
+		}
+		return s.Violations[i].Kind < s.Violations[j].Kind
+	})
+	return s, nil
+}
+
+// pureData reports whether v's points-to set is entirely data sites
+// (non-empty). Mixed sets are the conservative-abort case.
+func (s *SER) pureData(v *ir.Var) (pure, any bool) {
+	pts := s.P.VarPts[v]
+	if len(pts) == 0 {
+		return false, false
+	}
+	pure = true
+	for id := range pts {
+		if s.DataSites[id] {
+			any = true
+		} else {
+			pure = false
+		}
+	}
+	return pure && any, any
+}
+
+// allocatedIn reports whether every site of v is an alloc site defined in
+// function fn — the "record under construction" test that distinguishes
+// benign construction stores from mutation.
+func (s *SER) allocatedIn(v *ir.Var, fn string) bool {
+	pts := s.P.VarPts[v]
+	if len(pts) == 0 {
+		return false
+	}
+	for id := range pts {
+		site := s.P.Sites[id]
+		if site.Kind != SiteAlloc || site.Fn != fn {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *SER) addViolation(k ViolationKind, st ir.Stmt, fn string) {
+	s.Violations = append(s.Violations, Violation{Kind: k, Stmt: st, Fn: fn})
+}
+
+func (s *SER) markTransform(st ir.Stmt, classes ...string) {
+	s.TransformStmts[st] = true
+	for _, c := range classes {
+		if c != "" {
+			s.ClassesTouched[c] = true
+		}
+	}
+}
+
+func (s *SER) classify(prog *ir.Program, p *PointsTo, fn string, st ir.Stmt) {
+	isData := func(v *ir.Var) bool { return v != nil && s.DataVars[v] }
+	isInput := func(v *ir.Var) bool { return v != nil && s.InputVars[v] }
+
+	switch t := st.(type) {
+	case *ir.Deserialize:
+		s.markTransform(st, t.Dst.Type.Class)
+	case *ir.Serialize:
+		if isData(t.Src) {
+			s.markTransform(st, t.Src.Type.Class)
+		}
+	case *ir.Emit:
+		if isData(t.Src) {
+			s.markTransform(st, t.Src.Type.Class)
+		}
+	case *ir.Assign:
+		if isData(t.Src) || isData(t.Dst) {
+			s.markTransform(st)
+		}
+	case *ir.FieldLoad:
+		if !isData(t.Obj) {
+			return
+		}
+		if pure, _ := s.pureData(t.Obj); !pure {
+			s.addViolation(ViolAmbiguous, st, fn)
+			return
+		}
+		s.markTransform(st, t.Class)
+	case *ir.FieldStore:
+		objData, srcData := isData(t.Obj), t.Src.Type.IsRef() && isData(t.Src)
+		switch {
+		case !objData && !t.Src.Type.IsRef():
+			return
+		case !objData && srcData:
+			// A data reference escapes into a control object: #1.
+			s.addViolation(ViolEscape, st, fn)
+		case !objData:
+			return
+		case isInput(t.Obj):
+			// Any store into an input-derived record mutates the input
+			// buffer.
+			s.addViolation(ViolMutateInput, st, fn)
+		default:
+			if pure, _ := s.pureData(t.Obj); !pure {
+				s.addViolation(ViolAmbiguous, st, fn)
+				return
+			}
+			if !t.Src.Type.IsRef() {
+				// Primitive store into a record under construction.
+				s.markTransform(st, t.Class)
+				return
+			}
+			if !srcData || !s.allocatedIn(t.Obj, fn) {
+				// Heap reference into native space, or a reference
+				// overwrite of an already-built record (the Vector
+				// resize case of section 4.4): #2.
+				s.addViolation(ViolDisrupt, st, fn)
+				return
+			}
+			// Construction-order reference store: a no-op over inlined
+			// bytes (the sub-record is already in place); transformed
+			// to a runtime adjacency check.
+			s.markTransform(st, t.Class)
+		}
+	case *ir.ArrayLoad:
+		if !isData(t.Arr) {
+			return
+		}
+		if pure, _ := s.pureData(t.Arr); !pure {
+			s.addViolation(ViolAmbiguous, st, fn)
+			return
+		}
+		s.markTransform(st)
+	case *ir.ArrayStore:
+		arrData, srcData := isData(t.Arr), t.Src.Type.IsRef() && isData(t.Src)
+		switch {
+		case !arrData && !t.Src.Type.IsRef():
+			return
+		case !arrData && srcData:
+			// Writing a data record into a collection backbone is the
+			// tracked flow of section 3.2 when the record is top-level;
+			// writing a lower-level object out is an escape.
+			if cls := t.Src.Type.Class; cls != "" && isTopLevel(prog, cls) {
+				s.markTransform(st, cls)
+			} else {
+				s.addViolation(ViolEscape, st, fn)
+			}
+		case !arrData:
+			return
+		case isInput(t.Arr):
+			s.addViolation(ViolMutateInput, st, fn)
+		default:
+			if pure, _ := s.pureData(t.Arr); !pure {
+				s.addViolation(ViolAmbiguous, st, fn)
+				return
+			}
+			if !t.Src.Type.IsRef() {
+				s.markTransform(st)
+				return
+			}
+			if !srcData || !s.allocatedIn(t.Arr, fn) {
+				s.addViolation(ViolDisrupt, st, fn)
+				return
+			}
+			s.markTransform(st)
+		}
+	case *ir.ArrayLen:
+		if isData(t.Arr) {
+			s.markTransform(st)
+		}
+	case *ir.New:
+		if d := ir.Defs(st); d != nil && isData(d) {
+			s.markTransform(st, t.Class)
+		}
+	case *ir.NewArray:
+		if d := ir.Defs(st); d != nil && isData(d) {
+			s.markTransform(st)
+		}
+	case *ir.ConstString:
+		if isData(t.Dst) {
+			s.markTransform(st, model.StringClassName)
+		}
+	case *ir.NativeCall:
+		if !isData(t.Recv) {
+			return
+		}
+		if !nativeWhitelist[t.Name] {
+			s.addViolation(ViolNativeMethod, st, fn)
+			return
+		}
+		s.markTransform(st)
+	case *ir.MonitorEnter:
+		if isData(t.Obj) {
+			s.addViolation(ViolMetainfo, st, fn)
+		}
+	case *ir.Call:
+		for _, a := range t.Args {
+			if isData(a) {
+				s.markTransform(st)
+				return
+			}
+		}
+		if t.Dst != nil && isData(t.Dst) {
+			s.markTransform(st)
+		}
+	}
+}
+
+func isTopLevel(prog *ir.Program, cls string) bool {
+	for _, t := range prog.TopTypes {
+		if t == cls {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes an analysis for reporting (the paper's section 4.1
+// static statistics).
+type Stats struct {
+	Funcs          int
+	Sites          int
+	DataSites      int
+	DataVars       int
+	TransformStmts int
+	Violations     int
+	Classes        int
+}
+
+// Summary computes report statistics.
+func (s *SER) Summary() Stats {
+	return Stats{
+		Funcs:          len(s.P.Funcs),
+		Sites:          len(s.P.Sites),
+		DataSites:      len(s.DataSites),
+		DataVars:       len(s.DataVars),
+		TransformStmts: len(s.TransformStmts),
+		Violations:     len(s.Violations),
+		Classes:        len(s.ClassesTouched),
+	}
+}

@@ -1,0 +1,273 @@
+package sparkapps
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+// ConnectedComponents (CC) propagates minimum labels along edges until
+// the configured number of iterations; used with PR and TC for Figure 5.
+type ConnectedComponents struct {
+	Iters int
+}
+
+// Register defines the CC UDFs and drivers.
+func (c ConnectedComponents) Register(prog *ir.Program) {
+	// ccInit(links): label(v) = v.
+	b := ir.NewFuncBuilder(prog, "ccInit", model.Type{})
+	l := b.Param("l", model.Object(ClsLinks))
+	src := b.Load(l, "src")
+	out := b.New(ClsLabel)
+	b.Store(out, "v", src)
+	b.Store(out, "l", src)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+
+	// ccJoin(links, label): push the label to self and all neighbors.
+	jb := ir.NewFuncBuilder(prog, "ccJoin", model.Type{})
+	jl := jb.Param("l", model.Object(ClsLinks))
+	jlab := jb.Param("lab", model.Object(ClsLabel))
+	jsrc := jb.Load(jl, "src")
+	dsts := jb.Load(jl, "dsts")
+	lab := jb.Load(jlab, "l")
+	self := jb.New(ClsLabel)
+	jb.Store(self, "v", jsrc)
+	jb.Store(self, "l", lab)
+	jb.EmitRecord(self)
+	n := jb.Len(dsts)
+	jb.For(n, func(i *ir.Var) {
+		d := jb.Elem(dsts, i)
+		o := jb.New(ClsLabel)
+		jb.Store(o, "v", d)
+		jb.Store(o, "l", lab)
+		jb.EmitRecord(o)
+	})
+	jb.Ret(nil)
+	jb.Done()
+
+	// ccCombine(a, b) = Label{a.v, min(a.l, b.l)}.
+	cb := ir.NewFuncBuilder(prog, "ccCombine", model.Object(ClsLabel))
+	ca := cb.Param("a", model.Object(ClsLabel))
+	cbv := cb.Param("b", model.Object(ClsLabel))
+	v := cb.Load(ca, "v")
+	m := cb.Bin(ir.OpMin, cb.Load(ca, "l"), cb.Load(cbv, "l"))
+	acc := cb.New(ClsLabel)
+	cb.Store(acc, "v", v)
+	cb.Store(acc, "l", m)
+	cb.Ret(acc)
+	cb.Done()
+
+	spark.BuildMapDriver(prog, "ccInitStage", "ccInit", ClsLinks)
+	spark.BuildJoinDriver(prog, "ccJoinStage", "ccJoin", ClsLinks, ClsLabel)
+	spark.BuildReduceDriver(prog, "ccCombineStage", "ccCombine", ClsLabel)
+}
+
+// Run executes label propagation and returns the final labels RDD.
+func (c ConnectedComponents) Run(ctx *spark.Context, links *spark.RDD) (*spark.RDD, error) {
+	labels, err := links.MapPartitions("ccInitStage", ClsLabel)
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < c.Iters; it++ {
+		pushed, err := links.JoinPairs(labels, "ccJoinStage", "src", "v", ClsLabel)
+		if err != nil {
+			return nil, fmt.Errorf("cc iter %d: %w", it, err)
+		}
+		labels, err = pushed.ReduceByKey("ccCombineStage", "v")
+		if err != nil {
+			return nil, fmt.Errorf("cc iter %d: %w", it, err)
+		}
+	}
+	return labels, nil
+}
+
+// DecodeLabels converts a labels RDD to a map.
+func DecodeLabels(c *serde.Codec, labels *spark.RDD) (map[int64]int64, error) {
+	out := map[int64]int64{}
+	buf := labels.CollectBytes()
+	for off := 0; off < len(buf); {
+		v, next, err := c.Decode(ClsLabel, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		o := v.(serde.Obj)
+		out[o["v"].(int64)] = o["l"].(int64)
+		off = next
+	}
+	return out, nil
+}
+
+// TriangleCounting (TC) counts closed wedges: each vertex emits its
+// neighbor pairs (wedges, capped per vertex to bound the quadratic
+// blow-up) keyed by the packed endpoint pair, each edge emits an edge
+// marker under the same key, and a reduce counts wedges whose endpoint
+// pair is an edge.
+type TriangleCounting struct {
+	// Vertices is the key-packing modulus (must exceed the vertex count).
+	Vertices int64
+	// MaxWedges caps emitted neighbor pairs per vertex.
+	MaxWedges int64
+}
+
+// Register defines the TC UDFs and drivers.
+func (t TriangleCounting) Register(prog *ir.Program) {
+	vmod := t.Vertices
+	if vmod <= 0 {
+		vmod = 1 << 20
+	}
+	maxW := t.MaxWedges
+	if maxW <= 0 {
+		maxW = 64
+	}
+
+	// tcWedges(links): for neighbor pairs (a,b), emit TriRec{pack(a,b),1,0}.
+	b := ir.NewFuncBuilder(prog, "tcWedges", model.Type{})
+	l := b.Param("l", model.Object(ClsLinks))
+	dsts := b.Load(l, "dsts")
+	n := b.Len(dsts)
+	vm := b.IConst(vmod)
+	one := b.IConst(1)
+	zero := b.IConst(0)
+	emitted := b.Local("emitted", tLong)
+	b.Assign(emitted, zero)
+	cap := b.IConst(maxW)
+	b.For(n, func(i *ir.Var) {
+		a := b.Elem(dsts, i)
+		j := b.Local("j", tLong)
+		j1 := b.Bin(ir.OpAdd, i, one)
+		b.Assign(j, j1)
+		b.While(ir.CmpLT, j, n, func() {
+			bb := b.Elem(dsts, j)
+			b.If(ir.CmpLT, emitted, cap, func() {
+				lo := b.Bin(ir.OpMin, a, bb)
+				hi := b.Bin(ir.OpMax, a, bb)
+				packed := b.Bin(ir.OpAdd, b.Bin(ir.OpMul, lo, vm), hi)
+				o := b.New(ClsTriRec)
+				b.Store(o, "k", packed)
+				b.Store(o, "w", one)
+				b.Store(o, "e", zero)
+				b.EmitRecord(o)
+				b.BinTo(emitted, ir.OpAdd, emitted, one)
+			}, nil)
+			b.BinTo(j, ir.OpAdd, j, one)
+		})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	// tcEdges(links): each edge (src,d) emits TriRec{pack(min,max),0,1}.
+	eb := ir.NewFuncBuilder(prog, "tcEdges", model.Type{})
+	el := eb.Param("l", model.Object(ClsLinks))
+	esrc := eb.Load(el, "src")
+	edsts := eb.Load(el, "dsts")
+	en := eb.Len(edsts)
+	evm := eb.IConst(vmod)
+	eone := eb.IConst(1)
+	ezero := eb.IConst(0)
+	eb.For(en, func(i *ir.Var) {
+		d := eb.Elem(edsts, i)
+		lo := eb.Bin(ir.OpMin, esrc, d)
+		hi := eb.Bin(ir.OpMax, esrc, d)
+		packed := eb.Bin(ir.OpAdd, eb.Bin(ir.OpMul, lo, evm), hi)
+		o := eb.New(ClsTriRec)
+		eb.Store(o, "k", packed)
+		eb.Store(o, "w", ezero)
+		eb.Store(o, "e", eone)
+		eb.EmitRecord(o)
+	})
+	eb.Ret(nil)
+	eb.Done()
+
+	// tcCombine sums wedge and edge markers per key.
+	cb := ir.NewFuncBuilder(prog, "tcCombine", model.Object(ClsTriRec))
+	ca := cb.Param("a", model.Object(ClsTriRec))
+	cbv := cb.Param("b", model.Object(ClsTriRec))
+	k := cb.Load(ca, "k")
+	w := cb.Bin(ir.OpAdd, cb.Load(ca, "w"), cb.Load(cbv, "w"))
+	e := cb.Bin(ir.OpAdd, cb.Load(ca, "e"), cb.Load(cbv, "e"))
+	acc := cb.New(ClsTriRec)
+	cb.Store(acc, "k", k)
+	cb.Store(acc, "w", w)
+	cb.Store(acc, "e", e)
+	cb.Ret(acc)
+	cb.Done()
+
+	// tcCount(rec): triangles through this pair = wedges * (edge? 1 : 0).
+	tb := ir.NewFuncBuilder(prog, "tcCount", model.Type{})
+	tr := tb.Param("r", model.Object(ClsTriRec))
+	tw := tb.Load(tr, "w")
+	te := tb.Load(tr, "e")
+	tone := tb.IConst(1)
+	closed := tb.Bin(ir.OpMin, te, tone)
+	cnt := tb.Bin(ir.OpMul, tw, closed)
+	tzero := tb.IConst(0)
+	o := tb.New(ClsCountRec)
+	tb.Store(o, "k", tzero)
+	tb.Store(o, "n", cnt)
+	tb.EmitRecord(o)
+	tb.Ret(nil)
+	tb.Done()
+
+	// countCombineTC sums counts.
+	kb := ir.NewFuncBuilder(prog, "tcCountCombine", model.Object(ClsCountRec))
+	ka := kb.Param("a", model.Object(ClsCountRec))
+	kbv := kb.Param("b", model.Object(ClsCountRec))
+	kk := kb.Load(ka, "k")
+	ks := kb.Bin(ir.OpAdd, kb.Load(ka, "n"), kb.Load(kbv, "n"))
+	kacc := kb.New(ClsCountRec)
+	kb.Store(kacc, "k", kk)
+	kb.Store(kacc, "n", ks)
+	kb.Ret(kacc)
+	kb.Done()
+
+	spark.BuildMapDriver(prog, "tcWedgeStage", "tcWedges", ClsLinks)
+	spark.BuildMapDriver(prog, "tcEdgeStage", "tcEdges", ClsLinks)
+	spark.BuildReduceDriver(prog, "tcCombineStage", "tcCombine", ClsTriRec)
+	spark.BuildMapDriver(prog, "tcCountStage", "tcCount", ClsTriRec)
+	spark.BuildReduceDriver(prog, "tcSumStage", "tcCountCombine", ClsCountRec)
+}
+
+// Run counts triangles; the result is a single CountRec.
+func (t TriangleCounting) Run(ctx *spark.Context, links *spark.RDD) (int64, error) {
+	wedges, err := links.MapPartitions("tcWedgeStage", ClsTriRec)
+	if err != nil {
+		return 0, err
+	}
+	edges, err := links.MapPartitions("tcEdgeStage", ClsTriRec)
+	if err != nil {
+		return 0, err
+	}
+	all, err := wedges.Union(edges)
+	if err != nil {
+		return 0, err
+	}
+	merged, err := all.ReduceByKey("tcCombineStage", "k")
+	if err != nil {
+		return 0, err
+	}
+	counts, err := merged.MapPartitions("tcCountStage", ClsCountRec)
+	if err != nil {
+		return 0, err
+	}
+	total, err := counts.ReduceByKey("tcSumStage", "k")
+	if err != nil {
+		return 0, err
+	}
+	buf := total.CollectBytes()
+	var sum int64
+	c := ctx.C.Codec
+	for off := 0; off < len(buf); {
+		v, next, err := c.Decode(ClsCountRec, buf, off)
+		if err != nil {
+			return 0, err
+		}
+		sum += v.(serde.Obj)["n"].(int64)
+		off = next
+	}
+	return sum, nil
+}

@@ -1,0 +1,516 @@
+package sparkapps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+// KMeans is the paper's KM benchmark: iterative Lloyd's algorithm over
+// DenseVector points. Each iteration ships the current centers inside
+// the assignment UDF (the closure), exactly as Spark broadcasts them.
+type KMeans struct {
+	K, Dim, Iters int
+}
+
+// Register defines the iteration-independent pieces (the stat combiner).
+func (k KMeans) Register(prog *ir.Program) {
+	cb := ir.NewFuncBuilder(prog, "kmCombine", model.Object(ClsClusterStat))
+	a := cb.Param("a", model.Object(ClsClusterStat))
+	bb := cb.Param("b", model.Object(ClsClusterStat))
+	cl := cb.Load(a, "cluster")
+	cnt := cb.Bin(ir.OpAdd, cb.Load(a, "count"), cb.Load(bb, "count"))
+	sa := cb.Load(a, "sums")
+	sb := cb.Load(bb, "sums")
+	out := cb.New(ClsClusterStat)
+	cb.Store(out, "cluster", cl)
+	cb.Store(out, "count", cnt)
+	n := cb.Len(sa)
+	arr := cb.NewArr(tDbl, n)
+	cb.For(n, func(i *ir.Var) {
+		x := cb.Elem(sa, i)
+		y := cb.Elem(sb, i)
+		s := cb.Bin(ir.OpAdd, x, y)
+		cb.SetElem(arr, i, s)
+	})
+	cb.Store(out, "sums", arr)
+	cb.Ret(out)
+	cb.Done()
+	spark.BuildReduceDriver(prog, "kmCombineStage", "kmCombine", ClsClusterStat)
+}
+
+// buildAssign generates the iteration's assignment UDF with the centers
+// embedded as constants, returning the stage driver name.
+func (k KMeans) buildAssign(prog *ir.Program, iter int, centers [][]float64) string {
+	udf := fmt.Sprintf("kmAssign_%d", iter)
+	b := ir.NewFuncBuilder(prog, udf, model.Type{})
+	p := b.Param("p", model.Object(ClsDenseVector))
+	vals := b.Load(p, "values")
+	best := b.Local("best", tLong)
+	bestD := b.Local("bestD", tDbl)
+	zero := b.IConst(0)
+	b.Assign(best, zero)
+	inf := b.FConst(math.MaxFloat64)
+	b.Assign(bestD, inf)
+	for j, c := range centers {
+		d := b.Local(fmt.Sprintf("d%d", j), tDbl)
+		b.Emit(&ir.ConstFloat{Dst: d, Val: 0})
+		for t := 0; t < k.Dim; t++ {
+			idx := b.IConst(int64(t))
+			x := b.Elem(vals, idx)
+			ct := b.FConst(c[t])
+			diff := b.Bin(ir.OpSub, x, ct)
+			sq := b.Bin(ir.OpMul, diff, diff)
+			b.BinTo(d, ir.OpAdd, d, sq)
+		}
+		jc := b.IConst(int64(j))
+		b.If(ir.CmpLT, d, bestD, func() {
+			b.Assign(bestD, d)
+			b.Assign(best, jc)
+		}, nil)
+	}
+	one := b.IConst(1)
+	out := b.New(ClsClusterStat)
+	b.Store(out, "cluster", best)
+	b.Store(out, "count", one)
+	sums := copyDoubles(b, vals)
+	b.Store(out, "sums", sums)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+	stage := fmt.Sprintf("kmAssignStage_%d", iter)
+	spark.BuildMapDriver(prog, stage, udf, ClsDenseVector)
+	return stage
+}
+
+// Run executes KMeans, returning the final centers.
+func (k KMeans) Run(ctx *spark.Context, points *spark.RDD, initial [][]float64) ([][]float64, error) {
+	centers := initial
+	for it := 0; it < k.Iters; it++ {
+		stage := k.buildAssign(ctx.C.Prog, it, centers)
+		stats, err := points.MapPartitions(stage, ClsClusterStat)
+		if err != nil {
+			return nil, fmt.Errorf("kmeans iter %d: %w", it, err)
+		}
+		reduced, err := stats.ReduceByKey("kmCombineStage", "cluster")
+		if err != nil {
+			return nil, fmt.Errorf("kmeans iter %d: %w", it, err)
+		}
+		// Driver side: recompute centers.
+		next := make([][]float64, len(centers))
+		for j := range next {
+			next[j] = append([]float64(nil), centers[j]...)
+		}
+		buf := reduced.CollectBytes()
+		for off := 0; off < len(buf); {
+			v, noff, err := ctx.C.Codec.Decode(ClsClusterStat, buf, off)
+			if err != nil {
+				return nil, err
+			}
+			o := v.(serde.Obj)
+			j := o["cluster"].(int64)
+			cnt := float64(o["count"].(int64))
+			sums := o["sums"].([]float64)
+			if int(j) < len(next) && cnt > 0 {
+				c := make([]float64, len(sums))
+				for t := range sums {
+					c[t] = sums[t] / cnt
+				}
+				next[j] = c
+			}
+			off = noff
+		}
+		centers = next
+	}
+	return centers, nil
+}
+
+// LogReg is the paper's LR benchmark: batch-gradient logistic regression
+// over LabeledPoint records (the Figure 3/4 data type).
+type LogReg struct {
+	Dim, Iters int
+	Rate       float64
+}
+
+// Register defines the gradient combiner.
+func (l LogReg) Register(prog *ir.Program) {
+	cb := ir.NewFuncBuilder(prog, "lrCombine", model.Object(ClsGrad))
+	a := cb.Param("a", model.Object(ClsGrad))
+	bb := cb.Param("b", model.Object(ClsGrad))
+	k := cb.Load(a, "k")
+	n := cb.Bin(ir.OpAdd, cb.Load(a, "n"), cb.Load(bb, "n"))
+	ga := cb.Load(a, "g")
+	gb := cb.Load(bb, "g")
+	out := cb.New(ClsGrad)
+	cb.Store(out, "k", k)
+	cb.Store(out, "n", n)
+	d := cb.Len(ga)
+	arr := cb.NewArr(tDbl, d)
+	cb.For(d, func(i *ir.Var) {
+		x := cb.Elem(ga, i)
+		y := cb.Elem(gb, i)
+		s := cb.Bin(ir.OpAdd, x, y)
+		cb.SetElem(arr, i, s)
+	})
+	cb.Store(out, "g", arr)
+	cb.Ret(out)
+	cb.Done()
+	spark.BuildReduceDriver(prog, "lrCombineStage", "lrCombine", ClsGrad)
+}
+
+// buildGradient generates the iteration's gradient UDF with the weights
+// embedded as constants.
+func (l LogReg) buildGradient(prog *ir.Program, iter int, w []float64) string {
+	udf := fmt.Sprintf("lrGrad_%d", iter)
+	b := ir.NewFuncBuilder(prog, udf, model.Type{})
+	p := b.Param("p", model.Object(ClsLabeled))
+	label := b.Load(p, "label")
+	vec := b.Load(p, "features")
+	vals := b.Load(vec, "values")
+	margin := b.Local("margin", tDbl)
+	b.Emit(&ir.ConstFloat{Dst: margin, Val: 0})
+	for t := 0; t < l.Dim; t++ {
+		idx := b.IConst(int64(t))
+		x := b.Elem(vals, idx)
+		wt := b.FConst(w[t])
+		prod := b.Bin(ir.OpMul, x, wt)
+		b.BinTo(margin, ir.OpAdd, margin, prod)
+	}
+	// p = 1 / (1 + exp(-margin)); coeff = p - label.
+	negM := b.Un(ir.OpNeg, margin)
+	em := b.Un(ir.OpExp, negM)
+	oneF := b.FConst(1)
+	denom := b.Bin(ir.OpAdd, oneF, em)
+	prob := b.Bin(ir.OpDiv, oneF, denom)
+	coeff := b.Bin(ir.OpSub, prob, label)
+
+	zero := b.IConst(0)
+	one := b.IConst(1)
+	out := b.New(ClsGrad)
+	b.Store(out, "k", zero)
+	b.Store(out, "n", one)
+	n := b.Len(vals)
+	arr := b.NewArr(tDbl, n)
+	b.For(n, func(i *ir.Var) {
+		x := b.Elem(vals, i)
+		g := b.Bin(ir.OpMul, coeff, x)
+		b.SetElem(arr, i, g)
+	})
+	b.Store(out, "g", arr)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+	stage := fmt.Sprintf("lrGradStage_%d", iter)
+	spark.BuildMapDriver(prog, stage, udf, ClsLabeled)
+	return stage
+}
+
+// Run trains and returns the weights.
+func (l LogReg) Run(ctx *spark.Context, points *spark.RDD) ([]float64, error) {
+	w := make([]float64, l.Dim)
+	for it := 0; it < l.Iters; it++ {
+		stage := l.buildGradient(ctx.C.Prog, it, w)
+		grads, err := points.MapPartitions(stage, ClsGrad)
+		if err != nil {
+			return nil, fmt.Errorf("logreg iter %d: %w", it, err)
+		}
+		reduced, err := grads.ReduceByKey("lrCombineStage", "k")
+		if err != nil {
+			return nil, fmt.Errorf("logreg iter %d: %w", it, err)
+		}
+		buf := reduced.CollectBytes()
+		for off := 0; off < len(buf); {
+			v, noff, err := ctx.C.Codec.Decode(ClsGrad, buf, off)
+			if err != nil {
+				return nil, err
+			}
+			o := v.(serde.Obj)
+			n := float64(o["n"].(int64))
+			g := o["g"].([]float64)
+			for t := range g {
+				if t < len(w) && n > 0 {
+					w[t] -= l.Rate * g[t] / n
+				}
+			}
+			off = noff
+		}
+	}
+	return w, nil
+}
+
+// ChiSqSelector is the paper's CS benchmark: per-feature chi-square
+// statistics over SparseVector points (contingency counts computed in
+// the dataflow; the final statistic on the driver).
+type ChiSqSelector struct {
+	Dim int
+}
+
+// Register defines the CS UDFs and drivers.
+func (c ChiSqSelector) Register(prog *ir.Program) {
+	// csMap(point): for each non-zero feature, emit an observation keyed
+	// by (feature, label, value bucket).
+	b := ir.NewFuncBuilder(prog, "csMap", model.Type{})
+	p := b.Param("p", model.Object(ClsSparsePoint))
+	label := b.Load(p, "label")
+	vec := b.Load(p, "features")
+	indices := b.Load(vec, "indices")
+	values := b.Load(vec, "values")
+	lab := b.Un(ir.OpD2I, label)
+	one := b.IConst(1)
+	oneF := b.FConst(1)
+	two := b.IConst(2)
+	four := b.IConst(4)
+	n := b.Len(indices)
+	b.For(n, func(i *ir.Var) {
+		idx := b.Elem(indices, i)
+		v := b.Elem(values, i)
+		bucket := b.Local("bucket", tLong)
+		zc := b.IConst(0)
+		b.Assign(bucket, zc)
+		b.If(ir.CmpGT, v, oneF, func() {
+			b.Assign(bucket, one)
+		}, nil)
+		k1 := b.Bin(ir.OpMul, idx, four)
+		k2 := b.Bin(ir.OpMul, lab, two)
+		k3 := b.Bin(ir.OpAdd, k1, k2)
+		key := b.Bin(ir.OpAdd, k3, bucket)
+		o := b.New(ClsFeatObs)
+		b.Store(o, "k", key)
+		b.Store(o, "n", one)
+		b.EmitRecord(o)
+	})
+	b.Ret(nil)
+	b.Done()
+
+	cb := ir.NewFuncBuilder(prog, "csCombine", model.Object(ClsFeatObs))
+	a := cb.Param("a", model.Object(ClsFeatObs))
+	bb := cb.Param("b", model.Object(ClsFeatObs))
+	k := cb.Load(a, "k")
+	s := cb.Bin(ir.OpAdd, cb.Load(a, "n"), cb.Load(bb, "n"))
+	out := cb.New(ClsFeatObs)
+	cb.Store(out, "k", k)
+	cb.Store(out, "n", s)
+	cb.Ret(out)
+	cb.Done()
+
+	spark.BuildMapDriver(prog, "csMapStage", "csMap", ClsSparsePoint)
+	spark.BuildReduceDriver(prog, "csCombineStage", "csCombine", ClsFeatObs)
+}
+
+// Run computes the chi-square statistic per feature.
+func (c ChiSqSelector) Run(ctx *spark.Context, points *spark.RDD) (map[int64]float64, error) {
+	obs, err := points.MapPartitions("csMapStage", ClsFeatObs)
+	if err != nil {
+		return nil, err
+	}
+	reduced, err := obs.ReduceByKey("csCombineStage", "k")
+	if err != nil {
+		return nil, err
+	}
+	// cells[feature][label*2+bucket]
+	cells := map[int64][4]float64{}
+	buf := reduced.CollectBytes()
+	for off := 0; off < len(buf); {
+		v, noff, err := ctx.C.Codec.Decode(ClsFeatObs, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		o := v.(serde.Obj)
+		key := o["k"].(int64)
+		f := key / 4
+		cell := key % 4
+		arr := cells[f]
+		arr[cell] += float64(o["n"].(int64))
+		cells[f] = arr
+		off = noff
+	}
+	stats := map[int64]float64{}
+	for f, cl := range cells {
+		total := cl[0] + cl[1] + cl[2] + cl[3]
+		if total == 0 {
+			continue
+		}
+		chi := 0.0
+		for lab := 0; lab < 2; lab++ {
+			for bkt := 0; bkt < 2; bkt++ {
+				obs := cl[lab*2+bkt]
+				rowSum := cl[lab*2] + cl[lab*2+1]
+				colSum := cl[bkt] + cl[2+bkt]
+				exp := rowSum * colSum / total
+				if exp > 0 {
+					chi += (obs - exp) * (obs - exp) / exp
+				}
+			}
+		}
+		stats[f] = chi
+	}
+	return stats, nil
+}
+
+// Stump is one decision stump of the boosted model.
+type Stump struct {
+	Feature   int
+	Threshold float64
+	LeftVal   float64
+	RightVal  float64
+}
+
+// GBoost is the paper's GB benchmark: gradient-boosted decision stumps
+// on squared loss over DenseVector-featured LabeledPoints.
+type GBoost struct {
+	Dim, Rounds, Buckets int
+	Shrinkage            float64
+	// Range scales feature values into buckets: bucket = clamp(v/Range*B).
+	Range float64
+}
+
+// Register defines the split-stat combiner.
+func (g GBoost) Register(prog *ir.Program) {
+	cb := ir.NewFuncBuilder(prog, "gbCombine", model.Object(ClsSplitStat))
+	a := cb.Param("a", model.Object(ClsSplitStat))
+	bb := cb.Param("b", model.Object(ClsSplitStat))
+	k := cb.Load(a, "k")
+	n := cb.Bin(ir.OpAdd, cb.Load(a, "n"), cb.Load(bb, "n"))
+	s := cb.Bin(ir.OpAdd, cb.Load(a, "sum"), cb.Load(bb, "sum"))
+	out := cb.New(ClsSplitStat)
+	cb.Store(out, "k", k)
+	cb.Store(out, "n", n)
+	cb.Store(out, "sum", s)
+	cb.Ret(out)
+	cb.Done()
+	spark.BuildReduceDriver(prog, "gbCombineStage", "gbCombine", ClsSplitStat)
+}
+
+// buildResiduals generates the round's UDF: compute the model prediction
+// (stumps embedded as constants), then emit residual stats per
+// (feature, bucket).
+func (g GBoost) buildResiduals(prog *ir.Program, round int, model_ []Stump) string {
+	udf := fmt.Sprintf("gbResid_%d", round)
+	b := ir.NewFuncBuilder(prog, udf, model.Type{})
+	p := b.Param("p", model.Object(ClsLabeled))
+	label := b.Load(p, "label")
+	vec := b.Load(p, "features")
+	vals := b.Load(vec, "values")
+	pred := b.Local("pred", tDbl)
+	b.Emit(&ir.ConstFloat{Dst: pred, Val: 0})
+	for _, st := range model_ {
+		idx := b.IConst(int64(st.Feature))
+		x := b.Elem(vals, idx)
+		thr := b.FConst(st.Threshold)
+		lv := b.FConst(st.LeftVal * g.Shrinkage)
+		rv := b.FConst(st.RightVal * g.Shrinkage)
+		b.If(ir.CmpLE, x, thr, func() {
+			b.BinTo(pred, ir.OpAdd, pred, lv)
+		}, func() {
+			b.BinTo(pred, ir.OpAdd, pred, rv)
+		})
+	}
+	resid := b.Bin(ir.OpSub, label, pred)
+	// Emit one SplitStat per feature with the bucketized value.
+	scale := b.FConst(float64(g.Buckets) / g.Range)
+	zero := b.IConst(0)
+	bMax := b.IConst(int64(g.Buckets - 1))
+	bCount := b.IConst(int64(g.Buckets))
+	one := b.IConst(1)
+	for f := 0; f < g.Dim; f++ {
+		idx := b.IConst(int64(f))
+		x := b.Elem(vals, idx)
+		scaled := b.Bin(ir.OpMul, x, scale)
+		bucket := b.Un(ir.OpD2I, scaled)
+		b1 := b.Bin(ir.OpMax, bucket, zero)
+		b2 := b.Bin(ir.OpMin, b1, bMax)
+		fk := b.IConst(int64(f))
+		k1 := b.Bin(ir.OpMul, fk, bCount)
+		key := b.Bin(ir.OpAdd, k1, b2)
+		o := b.New(ClsSplitStat)
+		b.Store(o, "k", key)
+		b.Store(o, "n", one)
+		b.Store(o, "sum", resid)
+		b.EmitRecord(o)
+		_ = idx
+	}
+	b.Ret(nil)
+	b.Done()
+	stage := fmt.Sprintf("gbResidStage_%d", round)
+	spark.BuildMapDriver(prog, stage, udf, ClsLabeled)
+	return stage
+}
+
+// Run boosts for the configured rounds, returning the model.
+func (g GBoost) Run(ctx *spark.Context, points *spark.RDD) ([]Stump, error) {
+	var mdl []Stump
+	for round := 0; round < g.Rounds; round++ {
+		stage := g.buildResiduals(ctx.C.Prog, round, mdl)
+		stats, err := points.MapPartitions(stage, ClsSplitStat)
+		if err != nil {
+			return nil, fmt.Errorf("gboost round %d: %w", round, err)
+		}
+		reduced, err := stats.ReduceByKey("gbCombineStage", "k")
+		if err != nil {
+			return nil, fmt.Errorf("gboost round %d: %w", round, err)
+		}
+		// Pick the split with the largest |mean-left - mean-right| gap.
+		type cell struct {
+			n   float64
+			sum float64
+		}
+		byFeat := make([][]cell, g.Dim)
+		for f := range byFeat {
+			byFeat[f] = make([]cell, g.Buckets)
+		}
+		buf := reduced.CollectBytes()
+		for off := 0; off < len(buf); {
+			v, noff, err := ctx.C.Codec.Decode(ClsSplitStat, buf, off)
+			if err != nil {
+				return nil, err
+			}
+			o := v.(serde.Obj)
+			key := o["k"].(int64)
+			f := int(key) / g.Buckets
+			bk := int(key) % g.Buckets
+			if f < g.Dim {
+				byFeat[f][bk].n += float64(o["n"].(int64))
+				byFeat[f][bk].sum += o["sum"].(float64)
+			}
+			off = noff
+		}
+		best := Stump{Feature: -1}
+		bestGain := -1.0
+		for f := 0; f < g.Dim; f++ {
+			for cut := 0; cut < g.Buckets-1; cut++ {
+				var ln, ls, rn, rs float64
+				for bk := 0; bk <= cut; bk++ {
+					ln += byFeat[f][bk].n
+					ls += byFeat[f][bk].sum
+				}
+				for bk := cut + 1; bk < g.Buckets; bk++ {
+					rn += byFeat[f][bk].n
+					rs += byFeat[f][bk].sum
+				}
+				if ln == 0 || rn == 0 {
+					continue
+				}
+				lm, rm := ls/ln, rs/rn
+				gain := (lm - rm) * (lm - rm) * ln * rn / (ln + rn)
+				if gain > bestGain {
+					bestGain = gain
+					best = Stump{
+						Feature:   f,
+						Threshold: float64(cut+1) * g.Range / float64(g.Buckets),
+						LeftVal:   lm,
+						RightVal:  rm,
+					}
+				}
+			}
+		}
+		if best.Feature < 0 {
+			break
+		}
+		mdl = append(mdl, best)
+	}
+	return mdl, nil
+}

@@ -1,0 +1,133 @@
+package sparkapps
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+// PageRank is the paper's PR benchmark (GraphX PageRank over the
+// LiveJournal graph): iterative rank propagation over adjacency lists.
+type PageRank struct {
+	Iters int
+}
+
+// Register defines the PR UDFs and stage drivers in the program. The
+// program must carry ClsLinks/ClsRank/ClsContrib among its top types.
+func (p PageRank) Register(prog *ir.Program) {
+	// prInit(links): every vertex starts with rank 1.
+	b := ir.NewFuncBuilder(prog, "prInit", model.Type{})
+	l := b.Param("l", model.Object(ClsLinks))
+	src := b.Load(l, "src")
+	one := b.FConst(1)
+	out := b.New(ClsRank)
+	b.Store(out, "v", src)
+	b.Store(out, "r", one)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+
+	// prJoin(links, rank): spread rank/deg to out-neighbors; a zero
+	// self-contribution keeps rank-less vertices alive.
+	jb := ir.NewFuncBuilder(prog, "prJoin", model.Type{})
+	jl := jb.Param("l", model.Object(ClsLinks))
+	jr := jb.Param("r", model.Object(ClsRank))
+	jsrc := jb.Load(jl, "src")
+	dsts := jb.Load(jl, "dsts")
+	rank := jb.Load(jr, "r")
+	n := jb.Len(dsts)
+	zero := jb.IConst(0)
+	self := jb.New(ClsContrib)
+	zf := jb.FConst(0)
+	jb.Store(self, "v", jsrc)
+	jb.Store(self, "c", zf)
+	jb.EmitRecord(self)
+	jb.If(ir.CmpGT, n, zero, func() {
+		nf := jb.Un(ir.OpI2D, n)
+		share := jb.Bin(ir.OpDiv, rank, nf)
+		jb.For(n, func(i *ir.Var) {
+			d := jb.Elem(dsts, i)
+			c := jb.New(ClsContrib)
+			jb.Store(c, "v", d)
+			jb.Store(c, "c", share)
+			jb.EmitRecord(c)
+		})
+	}, nil)
+	jb.Ret(nil)
+	jb.Done()
+
+	// prCombine(a, b) = Contrib{a.v, a.c + b.c}.
+	cb := ir.NewFuncBuilder(prog, "prCombine", model.Object(ClsContrib))
+	ca := cb.Param("a", model.Object(ClsContrib))
+	cc := cb.Param("b", model.Object(ClsContrib))
+	v := cb.Load(ca, "v")
+	s := cb.Bin(ir.OpAdd, cb.Load(ca, "c"), cb.Load(cc, "c"))
+	acc := cb.New(ClsContrib)
+	cb.Store(acc, "v", v)
+	cb.Store(acc, "c", s)
+	cb.Ret(acc)
+	cb.Done()
+
+	// prUpdate(contrib): rank = 0.15 + 0.85 * sum.
+	ub := ir.NewFuncBuilder(prog, "prUpdate", model.Type{})
+	uc := ub.Param("c", model.Object(ClsContrib))
+	uv := ub.Load(uc, "v")
+	usum := ub.Load(uc, "c")
+	d085 := ub.FConst(0.85)
+	d015 := ub.FConst(0.15)
+	scaled := ub.Bin(ir.OpMul, usum, d085)
+	nr := ub.Bin(ir.OpAdd, scaled, d015)
+	uo := ub.New(ClsRank)
+	ub.Store(uo, "v", uv)
+	ub.Store(uo, "r", nr)
+	ub.EmitRecord(uo)
+	ub.Ret(nil)
+	ub.Done()
+
+	spark.BuildMapDriver(prog, "prInitStage", "prInit", ClsLinks)
+	spark.BuildJoinDriver(prog, "prJoinStage", "prJoin", ClsLinks, ClsRank)
+	spark.BuildReduceDriver(prog, "prCombineStage", "prCombine", ClsContrib)
+	spark.BuildMapDriver(prog, "prUpdateStage", "prUpdate", ClsContrib)
+}
+
+// Run executes PageRank and returns the final ranks RDD.
+func (p PageRank) Run(ctx *spark.Context, links *spark.RDD) (*spark.RDD, error) {
+	ranks, err := links.MapPartitions("prInitStage", ClsRank)
+	if err != nil {
+		return nil, err
+	}
+	for it := 0; it < p.Iters; it++ {
+		contribs, err := links.JoinPairs(ranks, "prJoinStage", "src", "v", ClsContrib)
+		if err != nil {
+			return nil, fmt.Errorf("pagerank iter %d: %w", it, err)
+		}
+		summed, err := contribs.ReduceByKey("prCombineStage", "v")
+		if err != nil {
+			return nil, fmt.Errorf("pagerank iter %d: %w", it, err)
+		}
+		ranks, err = summed.MapPartitions("prUpdateStage", ClsRank)
+		if err != nil {
+			return nil, fmt.Errorf("pagerank iter %d: %w", it, err)
+		}
+	}
+	return ranks, nil
+}
+
+// DecodeRanks converts a ranks RDD into a map for validation.
+func DecodeRanks(c *serde.Codec, ranks *spark.RDD) (map[int64]float64, error) {
+	out := map[int64]float64{}
+	buf := ranks.CollectBytes()
+	for off := 0; off < len(buf); {
+		v, next, err := c.Decode(ClsRank, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		o := v.(serde.Obj)
+		out[o["v"].(int64)] = o["r"].(float64)
+		off = next
+	}
+	return out, nil
+}

@@ -1,0 +1,211 @@
+// Package sparkapps implements the paper's Spark benchmark programs over
+// the internal/spark engine: PageRank (PR), KMeans (KM), Logistic
+// Regression (LR), Chi-Square Selector (CS) and Gradient Boosting
+// Classification (GB) from Table 1, the graph programs ConnectedComponents
+// (CC) and TriangleCounting (TC) used by Figure 5, WordCount (WC) for the
+// Tungsten comparison of Figure 8, and the StackOverflow Analytics
+// application (SOA) whose Vector-resize aborts drive Figure 10(a).
+//
+// Every UDF is written in the IR, so the Gerenuk compiler analyzes and
+// transforms real code paths — including the paper's motivating complex
+// data types (LabeledPoint, DenseVector, SparseVector: 3-4 levels of
+// objects connected by pointers on the heap path).
+package sparkapps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// Class names shared by the applications.
+const (
+	ClsLinks       = "Links"
+	ClsEdge        = "Edge"
+	ClsRank        = "Rank"
+	ClsContrib     = "Contrib"
+	ClsLabel       = "VLabel"
+	ClsTriRec      = "TriRec"
+	ClsCountRec    = "CountRec"
+	ClsDenseVector = "DenseVector"
+	ClsLabeled     = "LabeledPoint"
+	ClsSparseVec   = "SparseVector"
+	ClsSparsePoint = "SparseLabeledPoint"
+	ClsClusterStat = "ClusterStat"
+	ClsGrad        = "Grad"
+	ClsFeatObs     = "FeatObs"
+	ClsSplitStat   = "SplitStat"
+	ClsDoc         = "Doc"
+	ClsWordCount   = "WordCount"
+	ClsPost        = "Post"
+	ClsAccount     = "Account"
+	ClsUser        = "User"
+	ClsString      = model.StringClassName
+)
+
+// NewProgram builds a program with the full application schema. topTypes
+// lists the classes the job annotates as top-level data types (section
+// 3.1's second user input).
+func NewProgram(topTypes ...string) *ir.Program {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	long := model.Prim(model.KindLong)
+	dbl := model.Prim(model.KindDouble)
+
+	reg.Define(model.ClassDef{Name: ClsLinks, Fields: []model.FieldDef{
+		{Name: "src", Type: long},
+		{Name: "dsts", Type: model.ArrayOf(long)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsEdge, Fields: []model.FieldDef{
+		{Name: "src", Type: long},
+		{Name: "dst", Type: long},
+		{Name: "deg", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsRank, Fields: []model.FieldDef{
+		{Name: "v", Type: long},
+		{Name: "r", Type: dbl},
+	}})
+	reg.Define(model.ClassDef{Name: ClsContrib, Fields: []model.FieldDef{
+		{Name: "v", Type: long},
+		{Name: "c", Type: dbl},
+	}})
+	reg.Define(model.ClassDef{Name: ClsLabel, Fields: []model.FieldDef{
+		{Name: "v", Type: long},
+		{Name: "l", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsTriRec, Fields: []model.FieldDef{
+		{Name: "k", Type: long},
+		{Name: "w", Type: long},
+		{Name: "e", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsCountRec, Fields: []model.FieldDef{
+		{Name: "k", Type: long},
+		{Name: "n", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsDenseVector, Fields: []model.FieldDef{
+		{Name: "size", Type: model.Prim(model.KindInt)},
+		{Name: "values", Type: model.ArrayOf(dbl)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsLabeled, Fields: []model.FieldDef{
+		{Name: "label", Type: dbl},
+		{Name: "features", Type: model.Object(ClsDenseVector)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsSparseVec, Fields: []model.FieldDef{
+		{Name: "size", Type: model.Prim(model.KindInt)},
+		{Name: "indices", Type: model.ArrayOf(long)},
+		{Name: "values", Type: model.ArrayOf(dbl)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsSparsePoint, Fields: []model.FieldDef{
+		{Name: "label", Type: dbl},
+		{Name: "features", Type: model.Object(ClsSparseVec)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsClusterStat, Fields: []model.FieldDef{
+		{Name: "cluster", Type: long},
+		{Name: "count", Type: long},
+		{Name: "sums", Type: model.ArrayOf(dbl)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsGrad, Fields: []model.FieldDef{
+		{Name: "k", Type: long},
+		{Name: "n", Type: long},
+		{Name: "g", Type: model.ArrayOf(dbl)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsFeatObs, Fields: []model.FieldDef{
+		{Name: "k", Type: long},
+		{Name: "n", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsSplitStat, Fields: []model.FieldDef{
+		{Name: "k", Type: long},
+		{Name: "n", Type: long},
+		{Name: "sum", Type: dbl},
+	}})
+	reg.Define(model.ClassDef{Name: ClsDoc, Fields: []model.FieldDef{
+		{Name: "text", Type: model.Object(ClsString)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsWordCount, Fields: []model.FieldDef{
+		{Name: "word", Type: model.Object(ClsString)},
+		{Name: "n", Type: long},
+	}})
+	reg.Define(model.ClassDef{Name: ClsPost, Fields: []model.FieldDef{
+		{Name: "user", Type: long},
+		{Name: "score", Type: long},
+		{Name: "hour", Type: long},
+		{Name: "body", Type: model.Object(ClsString)},
+	}})
+	reg.Define(model.ClassDef{Name: ClsAccount, Fields: []model.FieldDef{
+		{Name: "user", Type: long},
+		{Name: "cap", Type: long},
+		{Name: "n", Type: long},
+		{Name: "posts", Type: model.ArrayOf(model.Object(ClsString))},
+	}})
+	reg.Define(model.ClassDef{Name: ClsUser, Fields: []model.FieldDef{
+		{Name: "id", Type: long},
+		{Name: "lastActive", Type: long},
+		{Name: "posts", Type: long},
+		{Name: "reputation", Type: long},
+		{Name: "about", Type: model.Object(ClsString)},
+	}})
+
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = topTypes
+	return prog
+}
+
+// long and dbl are builder shorthands.
+var (
+	tLong = model.Prim(model.KindLong)
+	tDbl  = model.Prim(model.KindDouble)
+	tChar = model.Prim(model.KindChar)
+)
+
+// CopyString emits IR that clones string src into a fresh String object
+// (construction-order compatible for the native path) and returns it.
+func CopyString(b *ir.FB, src *ir.Var) *ir.Var {
+	out := b.New(ClsString)
+	n := b.Native("length", tLong, src)
+	chars := b.NewArr(tChar, n)
+	b.For(n, func(k *ir.Var) {
+		ch := b.Native("charAt", tLong, src, k)
+		b.SetElem(chars, k, ch)
+	})
+	b.Store(out, "chars", chars)
+	return out
+}
+
+// CountWords emits IR that scans string s and returns the number of
+// space-separated words — the tokenization loop real text-processing
+// mappers run on every record.
+func CountWords(b *ir.FB, s *ir.Var) *ir.Var {
+	n := b.Native("length", tLong, s)
+	space := b.IConst(int64(' '))
+	one := b.IConst(1)
+	zero := b.IConst(0)
+	words := b.Local("words", tLong)
+	b.Assign(words, zero)
+	inWord := b.Local("inWord", tLong)
+	b.Assign(inWord, zero)
+	i := b.Local("wi", tLong)
+	b.Assign(i, zero)
+	b.While(ir.CmpLT, i, n, func() {
+		ch := b.Native("charAt", tLong, s, i)
+		b.If(ir.CmpEQ, ch, space, func() {
+			b.Assign(inWord, zero)
+		}, func() {
+			b.If(ir.CmpEQ, inWord, zero, func() {
+				b.BinTo(words, ir.OpAdd, words, one)
+				b.Assign(inWord, one)
+			}, nil)
+		})
+		b.BinTo(i, ir.OpAdd, i, one)
+	})
+	return words
+}
+
+// copyDoubles emits IR that copies a double[] into a fresh array.
+func copyDoubles(b *ir.FB, src *ir.Var) *ir.Var {
+	n := b.Len(src)
+	arr := b.NewArr(tDbl, n)
+	b.For(n, func(k *ir.Var) {
+		x := b.Elem(src, k)
+		b.SetElem(arr, k, x)
+	})
+	return arr
+}

@@ -1,0 +1,133 @@
+package sparkapps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+// StackOverflowAnalytics (SOA) is the section 4.4 application: phase one
+// groups all posts by user into Account records whose posts live in a
+// capacity-managed vector. When a combine overflows the capacity, the
+// code takes java.util.Vector's resize path — allocate a bigger backing
+// array and write it over the old one, a reference write into an
+// existing data record that violates condition #2. The compiler inserts
+// an abort there; at run time the abort fires exactly when a vector
+// actually resizes (the paper observed ~10% of vectors resizing, making
+// the transformed program 7% slower end to end).
+type StackOverflowAnalytics struct {
+	// InitialCap is the vector capacity of a fresh single-post account.
+	InitialCap int64
+}
+
+// Register defines the SOA UDFs and drivers.
+func (s StackOverflowAnalytics) Register(prog *ir.Program) {
+	cap0 := s.InitialCap
+	if cap0 <= 0 {
+		cap0 = 8
+	}
+
+	// soaMap(post): a single-post account at the initial capacity.
+	b := ir.NewFuncBuilder(prog, "soaMap", model.Type{})
+	p := b.Param("p", model.Object(ClsPost))
+	user := b.Load(p, "user")
+	body := b.Load(p, "body")
+	one := b.IConst(1)
+	capC := b.IConst(cap0)
+	out := b.New(ClsAccount)
+	b.Store(out, "user", user)
+	b.Store(out, "cap", capC)
+	b.Store(out, "n", one)
+	arr := b.NewArr(model.Object(ClsString), one)
+	zero := b.IConst(0)
+	cp := CopyString(b, body)
+	b.SetElem(arr, zero, cp)
+	b.Store(out, "posts", arr)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+
+	// soaCombine(a, b): append b's posts to a's vector. If the combined
+	// count exceeds a's capacity, run the Vector.resize pattern first —
+	// this is the statically detected violation.
+	cb := ir.NewFuncBuilder(prog, "soaCombine", model.Object(ClsAccount))
+	a := cb.Param("a", model.Object(ClsAccount))
+	bb := cb.Param("b", model.Object(ClsAccount))
+	auser := cb.Load(a, "user")
+	an := cb.Load(a, "n")
+	bn := cb.Load(bb, "n")
+	acap := cb.Load(a, "cap")
+	total := cb.Bin(ir.OpAdd, an, bn)
+	newCap := cb.Local("newCap", tLong)
+	cb.Assign(newCap, acap)
+	two := cb.IConst(2)
+	cb.While(ir.CmpGT, total, newCap, func() {
+		cb.BinTo(newCap, ir.OpMul, newCap, two)
+	})
+	cb.If(ir.CmpGT, total, acap, func() {
+		// java.util.Vector.ensureCapacity: grow the backing array and
+		// store it over the old one. The array write into the existing
+		// record 'a' is violation condition #2; the Gerenuk compiler
+		// fences it with an abort.
+		aposts := cb.Load(a, "posts")
+		grown := cb.NewArr(model.Object(ClsString), newCap)
+		anLen := cb.Len(aposts)
+		cb.For(anLen, func(i *ir.Var) {
+			s := cb.Elem(aposts, i)
+			cb.SetElem(grown, i, s)
+		})
+		cb.Store(a, "posts", grown)
+	}, nil)
+
+	// Build the combined account (fresh, immutable — the normal path).
+	aposts2 := cb.Load(a, "posts")
+	bposts := cb.Load(bb, "posts")
+	outAcc := cb.New(ClsAccount)
+	cb.Store(outAcc, "user", auser)
+	cb.Store(outAcc, "cap", newCap)
+	cb.Store(outAcc, "n", total)
+	narr := cb.NewArr(model.Object(ClsString), total)
+	cb.For(an, func(i *ir.Var) {
+		s := cb.Elem(aposts2, i)
+		cp := CopyString(cb, s)
+		cb.SetElem(narr, i, cp)
+	})
+	cb.For(bn, func(i *ir.Var) {
+		s := cb.Elem(bposts, i)
+		cp := CopyString(cb, s)
+		j := cb.Bin(ir.OpAdd, an, i)
+		cb.SetElem(narr, j, cp)
+	})
+	cb.Store(outAcc, "posts", narr)
+	cb.Ret(outAcc)
+	cb.Done()
+
+	spark.BuildMapDriver(prog, "soaMapStage", "soaMap", ClsPost)
+	spark.BuildReduceDriver(prog, "soaCombineStage", "soaCombine", ClsAccount)
+}
+
+// Run executes phase one: group all posts per user.
+func (s StackOverflowAnalytics) Run(ctx *spark.Context, posts *spark.RDD) (*spark.RDD, error) {
+	accounts, err := posts.MapPartitions("soaMapStage", ClsAccount)
+	if err != nil {
+		return nil, err
+	}
+	return accounts.ReduceByKey("soaCombineStage", "user")
+}
+
+// DecodeAccounts returns userID -> post count for validation.
+func DecodeAccounts(c *serde.Codec, accounts *spark.RDD) (map[int64]int64, error) {
+	out := map[int64]int64{}
+	buf := accounts.CollectBytes()
+	for off := 0; off < len(buf); {
+		v, next, err := c.Decode(ClsAccount, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		o := v.(serde.Obj)
+		out[o["user"].(int64)] = o["n"].(int64)
+		off = next
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package sparkapps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+// WordCount (WC) is the non-iterative program added for the Tungsten
+// comparison (Figure 8(b)): split documents into words, count per word.
+type WordCount struct{}
+
+// Register defines the WC UDFs and drivers: the splitter builds word
+// strings character by character (whitelisted native length/charAt), the
+// combiner sums counts while cloning the word.
+func (WordCount) Register(prog *ir.Program) {
+	b := ir.NewFuncBuilder(prog, "wcSplit", model.Type{})
+	doc := b.Param("doc", model.Object(ClsDoc))
+	text := b.Load(doc, "text")
+	n := b.Native("length", tLong, text)
+	space := b.IConst(int64(' '))
+	one := b.IConst(1)
+	zero := b.IConst(0)
+	start := b.Local("start", tLong)
+	b.Assign(start, zero)
+	i := b.Local("i", tLong)
+	b.Assign(i, zero)
+	flush := func(end *ir.Var) {
+		wlen := b.Bin(ir.OpSub, end, start)
+		b.If(ir.CmpGT, wlen, zero, func() {
+			out := b.New(ClsWordCount)
+			word := b.New(ClsString)
+			chars := b.NewArr(tChar, wlen)
+			b.For(wlen, func(k *ir.Var) {
+				pos := b.Bin(ir.OpAdd, start, k)
+				ch := b.Native("charAt", tLong, text, pos)
+				b.SetElem(chars, k, ch)
+			})
+			b.Store(word, "chars", chars)
+			b.Store(out, "word", word)
+			b.Store(out, "n", one)
+			b.EmitRecord(out)
+		}, nil)
+	}
+	b.While(ir.CmpLT, i, n, func() {
+		ch := b.Native("charAt", tLong, text, i)
+		b.If(ir.CmpEQ, ch, space, func() {
+			flush(i)
+			next := b.Bin(ir.OpAdd, i, one)
+			b.Assign(start, next)
+		}, nil)
+		b.BinTo(i, ir.OpAdd, i, one)
+	})
+	flush(n)
+	b.Ret(nil)
+	b.Done()
+
+	cb := ir.NewFuncBuilder(prog, "wcCombine", model.Object(ClsWordCount))
+	a := cb.Param("a", model.Object(ClsWordCount))
+	bb := cb.Param("b", model.Object(ClsWordCount))
+	wa := cb.Load(a, "word")
+	sum := cb.Bin(ir.OpAdd, cb.Load(a, "n"), cb.Load(bb, "n"))
+	out := cb.New(ClsWordCount)
+	word := CopyString(cb, wa)
+	cb.Store(out, "word", word)
+	cb.Store(out, "n", sum)
+	cb.Ret(out)
+	cb.Done()
+
+	spark.BuildMapDriver(prog, "wcSplitStage", "wcSplit", ClsDoc)
+	spark.BuildReduceDriver(prog, "wcCombineStage", "wcCombine", ClsWordCount)
+}
+
+// Run executes WordCount and returns the counts RDD.
+func (w WordCount) Run(ctx *spark.Context, docs *spark.RDD) (*spark.RDD, error) {
+	words, err := docs.MapPartitions("wcSplitStage", ClsWordCount)
+	if err != nil {
+		return nil, err
+	}
+	return words.ReduceByKey("wcCombineStage", "word")
+}
+
+// DecodeCounts converts a counts RDD to a map.
+func DecodeCounts(c *serde.Codec, counts *spark.RDD) (map[string]int64, error) {
+	out := map[string]int64{}
+	buf := counts.CollectBytes()
+	for off := 0; off < len(buf); {
+		v, next, err := c.Decode(ClsWordCount, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		o := v.(serde.Obj)
+		out[o["word"].(string)] += o["n"].(int64)
+		off = next
+	}
+	return out, nil
+}

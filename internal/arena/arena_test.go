@@ -1,0 +1,243 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+func TestRegionAppendAndAddressing(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	p := r.Append(16)
+	q := r.Append(8)
+	if p == 0 || q != p+16 {
+		t.Fatalf("addresses: p=%#x q=%#x", p, q)
+	}
+	a.WriteNative(p, 0, 8, 0x1122334455667788)
+	a.WriteNative(q, 4, 4, -7)
+	if got := a.ReadNative(p, 0, 8); got != 0x1122334455667788 {
+		t.Errorf("read8 = %#x", got)
+	}
+	if got := a.ReadNative(q, 4, 4); got != -7 {
+		t.Errorf("read4 = %d, want -7 (sign extension)", got)
+	}
+	if r.Len() != 24 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestWritePastEndExtends(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	p := r.Append(4)
+	a.WriteNative(p, 4, 8, 42) // lands just past the appended bytes
+	if r.Len() != 12 {
+		t.Errorf("Len = %d, want 12", r.Len())
+	}
+	if got := a.ReadNative(p, 4, 8); got != 42 {
+		t.Errorf("read = %d", got)
+	}
+}
+
+func TestCrossRegionCopyRecord(t *testing.T) {
+	a := New()
+	src := a.NewRegion("src")
+	dst := a.NewRegion("dst")
+	p := src.Append(8)
+	a.WriteNative(p, 0, 8, 99)
+	q := dst.CopyRecord(p, 8)
+	if got := a.ReadNative(q, 0, 8); got != 99 {
+		t.Errorf("copied value = %d", got)
+	}
+	if int(q>>32) == int(p>>32) {
+		t.Errorf("copy stayed in the same region")
+	}
+}
+
+func TestFreeWholesaleAndAccounting(t *testing.T) {
+	a := New()
+	r1 := a.NewRegion("a")
+	r2 := a.NewRegion("b")
+	r1.Append(100)
+	r2.Append(50)
+	if a.LiveBytes() != 150 {
+		t.Fatalf("live = %d", a.LiveBytes())
+	}
+	r1.Free()
+	if a.LiveBytes() != 50 {
+		t.Errorf("live after free = %d", a.LiveBytes())
+	}
+	st := a.Stats()
+	if st.FreedBytes != 100 || st.PeakBytes != 150 || st.AllocBytes != 150 || st.Regions != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !r1.Freed() || r2.Freed() {
+		t.Errorf("freed flags wrong")
+	}
+	r1.Free() // double free is a no-op
+	if a.Stats().FreedBytes != 100 {
+		t.Errorf("double free accounted")
+	}
+}
+
+func TestUseAfterFreePanics(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	p := r.Append(8)
+	r.Free()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("read of freed region did not panic")
+		}
+	}()
+	a.ReadNative(p, 0, 8)
+}
+
+func TestAdoptBytes(t *testing.T) {
+	a := New()
+	data := []byte{1, 0, 0, 0, 2, 0, 0, 0}
+	r := a.AdoptBytes("shuffle-0", data)
+	if got := a.ReadNative(r.Base(), 4, 4); got != 2 {
+		t.Errorf("adopted read = %d", got)
+	}
+	data[4] = 9 // mutating the source must not affect the region
+	if got := a.ReadNative(r.Base(), 4, 4); got != 2 {
+		t.Errorf("region aliases caller bytes")
+	}
+}
+
+// TestRecordBuilderInOrder builds the paper's class C { int a; long[] b;
+// double c; } in layout order and checks the final bytes.
+func TestRecordBuilderInOrder(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	b := r.NewRecord()
+
+	lenB := expr.ReadNative(1, expr.Konst(4), 4)
+	offC := expr.Konst(8).Add(lenB.Scale(8))
+
+	b.WriteAt(b.Base(), expr.Konst(0), 4, 7) // a = 7
+	b.AppendArray(8, 3)
+	b.WriteAt(b.Base(), offC, 8, 1234) // c (raw bits)
+	base, size, err := b.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4+4+24+8 {
+		t.Errorf("size = %d, want 40", size)
+	}
+	if got := a.ReadNative(base, 0, 4); got != 7 {
+		t.Errorf("a = %d", got)
+	}
+	if got := a.ReadNative(base, 4, 4); got != 3 {
+		t.Errorf("b.len = %d", got)
+	}
+	if got := a.ReadNative(base, 32, 8); got != 1234 {
+		t.Errorf("c = %d", got)
+	}
+}
+
+// TestRecordBuilderOutOfOrder writes field c BEFORE creating array b: the
+// write must park and flush when the array creation event fires — the
+// event-driven mechanism of section 3.6.
+func TestRecordBuilderOutOfOrder(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	b := r.NewRecord()
+
+	lenB := expr.ReadNative(1, expr.Konst(4), 4)
+	offC := expr.Konst(8).Add(lenB.Scale(8))
+
+	b.WriteAt(b.Base(), offC, 8, 5555)       // c first: offset unknown, parks
+	b.WriteAt(b.Base(), expr.Konst(0), 4, 7) // a
+	b.AppendArray(8, 2)
+	base, size, err := b.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4+4+16+8 {
+		t.Errorf("size = %d, want 32", size)
+	}
+	if got := a.ReadNative(base, 24, 8); got != 5555 {
+		t.Errorf("c = %d, want 5555", got)
+	}
+}
+
+func TestRecordBuilderSealFailsOnMissingArray(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	b := r.NewRecord()
+	off := expr.Konst(8).Add(expr.ReadNative(8, expr.Konst(4), 4))
+	b.WriteAt(b.Base(), off, 8, 1)
+	if _, _, err := b.Seal(); err == nil {
+		t.Errorf("Seal succeeded with unresolved pending write")
+	}
+}
+
+func TestNestedSymbolicArrays(t *testing.T) {
+	// Record: [len1:4][len1 int32s][len2:4][len2 int32s][tail:4]
+	a := New()
+	r := a.NewRegion("t")
+	b := r.NewRecord()
+
+	len1 := expr.ReadNative(1, expr.Konst(0), 4)
+	off2 := expr.Konst(4).Add(len1.Scale(4)) // len2 slot
+	len2 := &expr.Expr{Terms: []expr.Term{{Scale: 1, Off: off2, Size: 4}}}
+	tail := off2.AddConst(4).Add(len2.Scale(4))
+
+	b.WriteAt(b.Base(), tail, 4, 77) // parks: neither array exists
+	b.AppendArray(4, 3)
+	b.AppendArray(4, 2)
+	base, size, err := b.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTail := int64(4 + 12 + 4 + 8)
+	if got := a.ReadNative(base, wantTail, 4); got != 77 {
+		t.Errorf("tail = %d at %d (size %d)", got, wantTail, size)
+	}
+}
+
+// Property: for random sequences of appends and read/write pairs, every
+// read returns the last value written at that location.
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	f := func(vals []int64, szSel []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := New()
+		r := a.NewRegion("q")
+		base := r.Append(8 * len(vals))
+		for i, v := range vals {
+			sz := 8
+			if len(szSel) > 0 {
+				sz = sizes[int(szSel[i%len(szSel)])%4]
+			}
+			off := int64(i * 8)
+			a.WriteNative(base, off, sz, v)
+			got := a.ReadNative(base, off, sz)
+			// Truncate-and-sign-extend semantics.
+			var want int64
+			switch sz {
+			case 1:
+				want = int64(int8(v))
+			case 2:
+				want = int64(int16(v))
+			case 4:
+				want = int64(int32(v))
+			case 8:
+				want = v
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale < 1 || c.Workers < 1 || c.Partitions < 1 || c.Iters < 1 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	q := Quick()
+	if q.Scale != 1 {
+		t.Errorf("quick scale = %d", q.Scale)
+	}
+	f := Full()
+	if f.Scale <= q.Scale {
+		t.Errorf("full config not larger than quick")
+	}
+}
+
+func TestHeapSizesOrdering(t *testing.T) {
+	hs := HeapSizes(2)
+	if len(hs) != 3 {
+		t.Fatalf("heap sizes = %d", len(hs))
+	}
+	names := []string{"10GB", "15GB", "20GB"}
+	for i, h := range hs {
+		if h.Name != names[i] {
+			t.Errorf("name %d = %s", i, h.Name)
+		}
+		if i > 0 && h.Cfg.OldSize <= hs[i-1].Cfg.OldSize {
+			t.Errorf("heap sizes not increasing")
+		}
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := newResult("Figure X", "demo", "a", "b")
+	r.Table.AddRow("1", "2")
+	r.Notes = append(r.Notes, "hello")
+	out := r.Render()
+	for _, want := range []string{"Figure X", "demo", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTables1And2AreComplete(t *testing.T) {
+	t1 := Table1(Quick())
+	if len(t1.Table.Rows) != 5 {
+		t.Errorf("Table 1 rows = %d, want 5", len(t1.Table.Rows))
+	}
+	t2 := Table2(Quick())
+	if len(t2.Table.Rows) != 7 {
+		t.Errorf("Table 2 rows = %d, want 7", len(t2.Table.Rows))
+	}
+}
+
+func TestRunAppDispatch(t *testing.T) {
+	if _, err := RunApp("nope", Quick(), engine.Baseline); err == nil {
+		t.Errorf("unknown app accepted")
+	}
+	st, err := RunApp("UAH", Quick(), engine.Gerenuk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total == 0 || st.Records == 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestSuiteFindHelpers(t *testing.T) {
+	s := &SparkSuite{Runs: []AppRun{{App: "PR", HeapName: "10GB", Mode: engine.Gerenuk}}}
+	if _, ok := s.Find("PR", "10GB", engine.Gerenuk); !ok {
+		t.Errorf("Find missed an existing run")
+	}
+	if _, ok := s.Find("PR", "10GB", engine.Baseline); ok {
+		t.Errorf("Find matched the wrong mode")
+	}
+	h := &HadoopSuite{Runs: []AppRun{{App: "IMC", Mode: engine.Baseline}}}
+	if _, ok := h.Find("IMC", engine.Baseline); !ok {
+		t.Errorf("hadoop Find missed a run")
+	}
+}

@@ -1,0 +1,865 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/apps/sparkapps"
+	"repro/internal/engine"
+	"repro/internal/heap"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+	"repro/internal/tungsten"
+	"repro/internal/workload"
+)
+
+// Figure4 regenerates the section 2 analytical comparison: the heap vs
+// inlined representation of an array of three LabeledPoints. The paper
+// reports 312 heap bytes vs 112 inlined (object overhead ≈ 1.8x the
+// payload); our heap model yields the same shape with slightly different
+// constants (it charges a header for the double[] object the paper's
+// arithmetic folds away).
+func Figure4() (*Result, error) {
+	r := newResult("Figure 4", "LabeledPoint layout: heap vs inlined bytes",
+		"representation", "bytes", "per-record", "overhead ratio")
+	prog := sparkapps.NewProgram(sparkapps.ClsLabeled)
+	comp := engine.Compile(prog)
+	h := heap.New(prog.Reg, heap.Config{})
+
+	var roots []heap.Addr
+	remove := h.AddRoots(heap.RootFunc(func(visit func(*heap.Addr)) {
+		for i := range roots {
+			visit(&roots[i])
+		}
+	}))
+	defer remove()
+
+	var heapBytes, wireBytes int64
+	for i := 0; i < 3; i++ {
+		obj := serde.Obj{
+			"label": float64(i),
+			"features": serde.Obj{
+				"size":   int64(3),
+				"values": []float64{1, 2, 3},
+			},
+		}
+		a, err := comp.Codec.Build(h, sparkapps.ClsLabeled, obj)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, a)
+		foot, err := comp.Codec.HeapFootprint(h, a, sparkapps.ClsLabeled)
+		if err != nil {
+			return nil, err
+		}
+		heapBytes += foot
+		wire, err := comp.Codec.Serialize(h, a, sparkapps.ClsLabeled, nil)
+		if err != nil {
+			return nil, err
+		}
+		wireBytes += int64(len(wire) - serde.SizePrefixBytes)
+	}
+	// The outer array holding the three records.
+	heapBytes += int64(model.ArrayRefSize(3))
+	wireBytes += 4 // array length slot
+
+	ratio := metrics.Ratio(float64(heapBytes), float64(wireBytes))
+	r.Table.AddRow("heap objects", fmt.Sprint(heapBytes), fmt.Sprintf("%d", heapBytes/3), metrics.F(ratio))
+	r.Table.AddRow("inlined native", fmt.Sprint(wireBytes), fmt.Sprintf("%d", wireBytes/3), "1.00")
+	r.Table.AddRow("paper (heap)", "312", "104", "2.79")
+	r.Table.AddRow("paper (inlined)", "112", "36", "1.00")
+	r.Checks["heap_bytes"] = float64(heapBytes)
+	r.Checks["inline_bytes"] = float64(wireBytes)
+	r.Checks["ratio"] = ratio
+	r.Notes = append(r.Notes,
+		"paper reports 312/112 = 2.79x; shape criterion: heap/inlined between 2x and 3.5x")
+	return r, nil
+}
+
+// Figure5 regenerates the object-bytes to serialized-bytes ratios for
+// PR, CC and TC over the four standard graphs (paper overall: 3.5x).
+func Figure5(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 5", "heap bytes / serialized bytes at shuffles",
+		"graph", "PR", "CC", "TC")
+	graphs := workload.StandardGraphs(cfg.Scale)
+	var all []float64
+	for _, g := range graphs {
+		// Keep graphs modest: the ratio is size-independent.
+		g.Vertices = min(g.Vertices, 150*cfg.Scale)
+		links := workload.GenGraph(g)
+		row := []string{g.Name}
+		for _, app := range []string{"PR", "CC", "TC"} {
+			ratio, err := shuffleRatio(app, links, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s/%s: %w", g.Name, app, err)
+			}
+			row = append(row, metrics.F(ratio))
+			all = append(all, ratio)
+			r.Checks[g.Name+"/"+app] = ratio
+		}
+		r.Table.AddRow(row...)
+	}
+	overall := metrics.GeoMean(all)
+	r.Checks["overall"] = overall
+	r.Table.AddRow("overall (geomean)", metrics.F(overall), "", "")
+	r.Notes = append(r.Notes, "paper overall ratio: 3.5x; shape criterion: > 2x")
+	return r, nil
+}
+
+// shuffleRatio runs one iteration of the app far enough to obtain its
+// first shuffle block, then compares the heap footprint of the
+// deserialized records against their serialized size.
+func shuffleRatio(app string, links []workload.Links, cfg Config) (float64, error) {
+	prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsRank,
+		sparkapps.ClsContrib, sparkapps.ClsLabel, sparkapps.ClsTriRec, sparkapps.ClsCountRec)
+	comp := engine.Compile(prog)
+	ctx := spark.NewContext(comp, engine.Baseline)
+	ctx.Workers = cfg.Workers
+	ctx.Partitions = cfg.Partitions
+
+	parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
+	if err != nil {
+		return 0, err
+	}
+	rdd := ctx.Parallelize(sparkapps.ClsLinks, parts)
+
+	var shuffled *spark.RDD
+	var class string
+	switch app {
+	case "PR":
+		pr := sparkapps.PageRank{Iters: 1}
+		pr.Register(prog)
+		ranks, err := rdd.MapPartitions("prInitStage", sparkapps.ClsRank)
+		if err != nil {
+			return 0, err
+		}
+		shuffled, err = rdd.JoinPairs(ranks, "prJoinStage", "src", "v", sparkapps.ClsContrib)
+		if err != nil {
+			return 0, err
+		}
+		class = sparkapps.ClsContrib
+	case "CC":
+		cc := sparkapps.ConnectedComponents{Iters: 1}
+		cc.Register(prog)
+		labels, err := rdd.MapPartitions("ccInitStage", sparkapps.ClsLabel)
+		if err != nil {
+			return 0, err
+		}
+		shuffled, err = rdd.JoinPairs(labels, "ccJoinStage", "src", "v", sparkapps.ClsLabel)
+		if err != nil {
+			return 0, err
+		}
+		class = sparkapps.ClsLabel
+	case "TC":
+		tc := sparkapps.TriangleCounting{Vertices: int64(len(links)) + 1, MaxWedges: 32}
+		tc.Register(prog)
+		shuffled, err = rdd.MapPartitions("tcWedgeStage", sparkapps.ClsTriRec)
+		if err != nil {
+			return 0, err
+		}
+		class = sparkapps.ClsTriRec
+	}
+
+	// Total the heap bytes the shuffle records occupy as a JVM would
+	// hold them — generic tuple records with boxed primitive fields,
+	// which is exactly the "before Kryo" number the paper's modified
+	// Kryo reported for GraphX shuffles.
+	buf := shuffled.CollectBytes()
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("no shuffle records")
+	}
+	var heapBytes, wire int64
+	for off := 0; off < len(buf); {
+		sz := serde.RecordSize(buf, off)
+		foot, err := comp.Codec.BoxedWireFootprint(class, buf, off)
+		if err != nil {
+			return 0, err
+		}
+		heapBytes += foot
+		wire += int64(sz - serde.SizePrefixBytes)
+		off += sz
+	}
+	return metrics.Ratio(float64(heapBytes), float64(wire)), nil
+}
+
+// Table1 regenerates the Spark program inventory.
+func Table1(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := newResult("Table 1", "Spark programs and inputs (scaled)",
+		"name", "dataset (scaled)", "data type T")
+	r.Table.AddRow("PageRank (PR)", fmt.Sprintf("power-law graph, %d vertices", 150*cfg.Scale), "Links (long, long[])")
+	r.Table.AddRow("KMeans (KM)", fmt.Sprintf("synthetic %d points, 8 features", 120*cfg.Scale), "DenseVector")
+	r.Table.AddRow("Logistic Regression (LR)", fmt.Sprintf("synthetic %d points, 10 features", 150*cfg.Scale), "LabeledPoint, DenseVector")
+	r.Table.AddRow("Chi Square Selector (CS)", fmt.Sprintf("synthetic %d points, 28 features", 200*cfg.Scale), "LabeledPoint, SparseVector")
+	r.Table.AddRow("Gradient Boosting (GB)", fmt.Sprintf("synthetic %d points, 8 features", 150*cfg.Scale), "LabeledPoint, DenseVector")
+	return r
+}
+
+// Table2 regenerates the Hadoop program inventory.
+func Table2(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := newResult("Table 2", "Hadoop programs and inputs (scaled)",
+		"name", "dataset (scaled)", "description")
+	so := fmt.Sprintf("StackOverflow-like, %d users", 80*cfg.Scale)
+	wiki := fmt.Sprintf("Wikipedia-like, %d docs", 40*cfg.Scale)
+	r.Table.AddRow("IUF", so, "Inactive Users Filtering")
+	r.Table.AddRow("UAH", so, "Active User Activity Histogram")
+	r.Table.AddRow("SPF", so, "Spam Posts Filtering")
+	r.Table.AddRow("UED", so, "User Engagement Distribution")
+	r.Table.AddRow("CED", so, "Community Expert Detection")
+	r.Table.AddRow("IMC", wiki, "In-Map Combiner word count")
+	r.Table.AddRow("TFC", wiki, "Term Frequency Calculation")
+	return r
+}
+
+// Figure6a renders the Spark runtime breakdown comparison.
+func Figure6a(s *SparkSuite) *Result {
+	r := newResult("Figure 6(a)", "Spark running time: baseline vs Gerenuk",
+		"app", "heap", "mode", "total", "compute", "gc", "ser", "deser", "speedup")
+	var speedups []float64
+	for _, hc := range []string{"10GB", "15GB", "20GB"} {
+		for _, app := range SparkAppNames {
+			base, ok1 := s.Find(app, hc, engine.Baseline)
+			ger, ok2 := s.Find(app, hc, engine.Gerenuk)
+			if !ok1 || !ok2 {
+				continue
+			}
+			sp := metrics.Ratio(float64(base.Stats.Total), float64(ger.Stats.Total))
+			speedups = append(speedups, sp)
+			r.Checks[app+"/"+hc] = sp
+			for _, run := range []AppRun{base, ger} {
+				r.Table.AddRow(app, hc, run.Mode.String(),
+					metrics.D(run.Stats.Total), metrics.D(run.Stats.Compute()),
+					metrics.D(run.Stats.GC), metrics.D(run.Stats.Ser),
+					metrics.D(run.Stats.Deser),
+					map[bool]string{true: metrics.F(sp), false: ""}[run.Mode == engine.Gerenuk])
+			}
+		}
+	}
+	overall := metrics.GeoMean(speedups)
+	r.Checks["overall_speedup"] = overall
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("overall Gerenuk speedup (geomean): %s (paper: 1.96x)", metrics.F(overall)))
+	return r
+}
+
+// Figure6b renders the Hadoop runtime comparison.
+func Figure6b(s *HadoopSuite) *Result {
+	r := newResult("Figure 6(b)", "Hadoop running time: baseline vs Gerenuk",
+		"app", "mode", "total", "compute", "gc", "ser", "deser", "speedup")
+	var speedups []float64
+	for _, run := range s.Runs {
+		if run.Mode != engine.Baseline {
+			continue
+		}
+		ger, ok := s.Find(run.App, engine.Gerenuk)
+		if !ok {
+			continue
+		}
+		sp := metrics.Ratio(float64(run.Stats.Total), float64(ger.Stats.Total))
+		speedups = append(speedups, sp)
+		r.Checks[run.App] = sp
+		for _, rr := range []AppRun{run, ger} {
+			r.Table.AddRow(rr.App, rr.Mode.String(),
+				metrics.D(rr.Stats.Total), metrics.D(rr.Stats.Compute()),
+				metrics.D(rr.Stats.GC), metrics.D(rr.Stats.Ser), metrics.D(rr.Stats.Deser),
+				map[bool]string{true: metrics.F(sp), false: ""}[rr.Mode == engine.Gerenuk])
+		}
+	}
+	overall := metrics.GeoMean(speedups)
+	r.Checks["overall_speedup"] = overall
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("overall Gerenuk speedup (geomean): %s (paper: 1.4x)", metrics.F(overall)))
+	return r
+}
+
+// Figure7a renders the Spark peak-memory comparison.
+func Figure7a(s *SparkSuite) *Result {
+	return figure7("Figure 7(a)", "Spark peak memory", sparkRuns(s))
+}
+
+// Figure7b renders the Hadoop peak-memory comparison.
+func Figure7b(s *HadoopSuite) *Result {
+	return figure7("Figure 7(b)", "Hadoop peak memory", s.Runs)
+}
+
+func sparkRuns(s *SparkSuite) []AppRun { return s.Runs }
+
+func figure7(id, title string, runs []AppRun) *Result {
+	r := newResult(id, title, "app", "heap", "baseline", "gerenuk", "ratio")
+	var ratios []float64
+	for _, run := range runs {
+		if run.Mode != engine.Baseline {
+			continue
+		}
+		var ger *AppRun
+		for i := range runs {
+			if runs[i].App == run.App && runs[i].HeapName == run.HeapName &&
+				runs[i].Mode == engine.Gerenuk {
+				ger = &runs[i]
+			}
+		}
+		if ger == nil {
+			continue
+		}
+		ratio := metrics.Ratio(float64(ger.Stats.PeakBytes()), float64(run.Stats.PeakBytes()))
+		ratios = append(ratios, ratio)
+		r.Checks[run.App+"/"+run.HeapName] = ratio
+		r.Table.AddRow(run.App, run.HeapName,
+			metrics.FmtBytes(run.Stats.PeakBytes()),
+			metrics.FmtBytes(ger.Stats.PeakBytes()), metrics.F(ratio))
+	}
+	overall := metrics.GeoMean(ratios)
+	r.Checks["overall_ratio"] = overall
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"overall gerenuk/baseline memory (geomean): %s (paper: 0.82 Spark, 0.69 Hadoop)",
+		metrics.F(overall)))
+	return r
+}
+
+// Table3 renders the normalized performance summary (lower is better).
+func Table3(sp *SparkSuite, hd *HadoopSuite) *Result {
+	r := newResult("Table 3", "Gerenuk normalized to baseline (lower is better)",
+		"framework", "overall", "gc", "app", "mem")
+	addRows := func(name string, runs []AppRun) {
+		var overall, gc, app, mem []float64
+		for _, run := range runs {
+			if run.Mode != engine.Baseline {
+				continue
+			}
+			var ger *AppRun
+			for i := range runs {
+				if runs[i].App == run.App && runs[i].HeapName == run.HeapName &&
+					runs[i].Mode == engine.Gerenuk {
+					ger = &runs[i]
+				}
+			}
+			if ger == nil {
+				continue
+			}
+			overall = append(overall, metrics.Ratio(float64(ger.Stats.Total), float64(run.Stats.Total)))
+			if run.Stats.GC > 0 {
+				gc = append(gc, metrics.Ratio(float64(ger.Stats.GC), float64(run.Stats.GC)))
+			}
+			app = append(app, metrics.Ratio(float64(ger.Stats.Compute()), float64(run.Stats.Compute())))
+			mem = append(mem, metrics.Ratio(float64(ger.Stats.PeakBytes()), float64(run.Stats.PeakBytes())))
+		}
+		fmtCell := func(vals []float64) string {
+			lo, hi := metrics.MinMax(vals)
+			return fmt.Sprintf("%s~%s (%s)", metrics.F(lo), metrics.F(hi), metrics.F(metrics.GeoMean(vals)))
+		}
+		r.Table.AddRow(name, fmtCell(overall), fmtCell(gc), fmtCell(app), fmtCell(mem))
+		r.Checks[name+"/overall"] = metrics.GeoMean(overall)
+		r.Checks[name+"/gc"] = metrics.GeoMean(gc)
+		r.Checks[name+"/app"] = metrics.GeoMean(app)
+		r.Checks[name+"/mem"] = metrics.GeoMean(mem)
+	}
+	addRows("Spark", sp.Runs)
+	addRows("Hadoop", hd.Runs)
+	r.Table.AddRow("paper Spark", "0.28~0.93 (0.51)", "0.44~0.89 (0.63)", "0.28~0.93 (0.50)", "0.62~0.92 (0.82)")
+	r.Table.AddRow("paper Hadoop", "0.51~0.87 (0.72)", "0.23~0.87 (0.54)", "0.49~0.88 (0.74)", "0.58~0.84 (0.69)")
+	return r
+}
+
+// medianDuration runs f reps times (with the Go collector quiesced
+// before each run, so measurements are not cross-polluted) and returns
+// the median result.
+func medianDuration(reps int, f func() (time.Duration, error)) (time.Duration, error) {
+	var vals []time.Duration
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		v, err := f()
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2], nil
+}
+
+// medianBreakdown is medianDuration over full breakdowns, keyed by Total.
+func medianBreakdown(reps int, f func() (metrics.Breakdown, error)) (metrics.Breakdown, error) {
+	var vals []metrics.Breakdown
+	for i := 0; i < reps; i++ {
+		runtime.GC()
+		v, err := f()
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		vals = append(vals, v)
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j].Total < vals[j-1].Total; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2], nil
+}
+
+// Figure8a compares PageRank across vanilla Spark, Tungsten/DataFrame,
+// and Gerenuk, at a fixed 10 iterations (the paper had to cap DataFrame
+// PR because of plan growth).
+func Figure8a(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	iters := 10
+	r := newResult("Figure 8(a)", "PageRank: baseline vs Tungsten vs Gerenuk (10 iters)",
+		"system", "time", "vs baseline")
+	links := workload.GenGraph(workload.GraphSpec{
+		Name: "LiveJournal", Vertices: 100 * cfg.Scale, AvgDeg: 6, Alpha: 2.3, Seed: 11,
+	})
+
+	times := map[string]time.Duration{}
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		mode := mode
+		med, err := medianDuration(Reps, func() (time.Duration, error) {
+			prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsRank, sparkapps.ClsContrib)
+			comp := engine.Compile(prog)
+			ctx := spark.NewContext(comp, mode)
+			ctx.Workers = cfg.Workers
+			ctx.Partitions = cfg.Partitions
+			pr := sparkapps.PageRank{Iters: iters}
+			pr.Register(prog)
+			parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := pr.Run(ctx, ctx.Parallelize(sparkapps.ClsLinks, parts)); err != nil {
+				return 0, err
+			}
+			return ctx.Stats.Total, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		times[mode.String()] = med
+	}
+	// Tungsten/DataFrame runs on the same native substrate but with flat
+	// exploded schemas, per-iteration re-planning and extra
+	// materializations (see sparkapps.TungstenPageRank).
+	med, err := medianDuration(Reps, func() (time.Duration, error) {
+		prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsEdge,
+			sparkapps.ClsRank, sparkapps.ClsContrib)
+		comp := engine.Compile(prog)
+		ctx := spark.NewContext(comp, engine.Gerenuk)
+		ctx.Workers = cfg.Workers
+		ctx.Partitions = cfg.Partitions
+		tp := sparkapps.TungstenPageRank{Iters: iters}
+		tp.Register(prog)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
+		if err != nil {
+			return 0, err
+		}
+		s := tungsten.NewSession()
+		if _, err := tp.Run(ctx, ctx.Parallelize(sparkapps.ClsLinks, parts), s); err != nil {
+			return 0, err
+		}
+		return ctx.Stats.Total + s.Stats.PlanTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	times["tungsten"] = med
+
+	base := times["baseline"]
+	for _, name := range []string{"baseline", "tungsten", "gerenuk"} {
+		r.Table.AddRow(name, metrics.D(times[name]),
+			metrics.F(metrics.Ratio(float64(times[name]), float64(base))))
+		r.Checks[name+"_ns"] = float64(times[name])
+	}
+	r.Checks["gerenuk_vs_tungsten"] =
+		metrics.Ratio(float64(times["tungsten"]), float64(times["gerenuk"]))
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"Gerenuk is %sx faster than Tungsten (paper: 2.2x)",
+		metrics.F(r.Checks["gerenuk_vs_tungsten"])))
+	return r, nil
+}
+
+// Figure8b compares WordCount across the three systems; Tungsten's
+// string optimizations win here (paper: by ~20%).
+func Figure8b(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 8(b)", "WordCount: baseline vs Tungsten vs Gerenuk",
+		"system", "time", "vs baseline")
+	docs := workload.GenDocs(30*cfg.Scale, 30, 3)
+
+	times := map[string]time.Duration{}
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		mode := mode
+		med, err := medianDuration(Reps, func() (time.Duration, error) {
+			prog := sparkapps.NewProgram(sparkapps.ClsDoc, sparkapps.ClsWordCount)
+			comp := engine.Compile(prog)
+			ctx := spark.NewContext(comp, mode)
+			ctx.Workers = cfg.Workers
+			ctx.Partitions = cfg.Partitions
+			wc := sparkapps.WordCount{}
+			wc.Register(prog)
+			parts, err := workload.Encode(comp.Codec, sparkapps.ClsDoc, docs, cfg.Partitions)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := wc.Run(ctx, ctx.Parallelize(sparkapps.ClsDoc, parts)); err != nil {
+				return 0, err
+			}
+			return ctx.Stats.Total, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		times[mode.String()] = med
+	}
+	med, err := medianDuration(Reps, func() (time.Duration, error) {
+		prog := sparkapps.NewProgram(sparkapps.ClsDoc, sparkapps.ClsWordCount)
+		comp := engine.Compile(prog)
+		ctx := spark.NewContext(comp, engine.Gerenuk)
+		ctx.Workers = cfg.Workers
+		ctx.Partitions = cfg.Partitions
+		twc := sparkapps.TungstenWordCount{}
+		twc.Register(prog)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsDoc, docs, cfg.Partitions)
+		if err != nil {
+			return 0, err
+		}
+		s := tungsten.NewSession()
+		if _, err := twc.Run(ctx, ctx.Parallelize(sparkapps.ClsDoc, parts), s); err != nil {
+			return 0, err
+		}
+		return ctx.Stats.Total + s.Stats.PlanTime, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	times["tungsten"] = med
+
+	base := times["baseline"]
+	for _, name := range []string{"baseline", "tungsten", "gerenuk"} {
+		r.Table.AddRow(name, metrics.D(times[name]),
+			metrics.F(metrics.Ratio(float64(times[name]), float64(base))))
+		r.Checks[name+"_ns"] = float64(times[name])
+	}
+	r.Checks["tungsten_vs_gerenuk"] =
+		metrics.Ratio(float64(times["gerenuk"]), float64(times["tungsten"]))
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"Tungsten is %sx faster than Gerenuk on WordCount (paper: ~1.2x)",
+		metrics.F(r.Checks["tungsten_vs_gerenuk"])))
+	return r, nil
+}
+
+// Figure9 compares Hadoop IMC under Parallel Scavenge, Yak and Gerenuk
+// (paper: Gerenuk cuts GC 13.7x vs PS, runs 2.4x faster than PS and
+// 1.8x faster than Yak).
+func Figure9(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 9", "Hadoop IMC: Parallel Scavenge vs Yak vs Gerenuk",
+		"system", "total", "compute", "gc", "ser+deser")
+	type row struct {
+		name string
+		mode engine.Mode
+		yak  bool
+	}
+	rows := []row{
+		{"parallel-scavenge", engine.Baseline, false},
+		{"yak", engine.Baseline, true},
+		{"gerenuk", engine.Gerenuk, false},
+	}
+	totals := map[string]metrics.Breakdown{}
+	// The paper's Yak comparison deliberately uses tight heaps (3GB map
+	// + 2GB reduce) so collection effort is visible; scale the workload
+	// up and the heaps down accordingly.
+	tight := cfg
+	tight.Scale = cfg.Scale * 4
+	for _, rw := range rows {
+		rw := rw
+		stats, err := medianBreakdown(Reps, func() (metrics.Breakdown, error) {
+			res, _, err := runHadoopAppHeaps("IMC", tight, rw.mode, rw.yak,
+				heap.Config{YoungSize: 8 << 10, OldSize: 64 << 10, RegionSize: 512 << 10},
+				heap.Config{YoungSize: 8 << 10, OldSize: 96 << 10, RegionSize: 512 << 10})
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			return res.Stats, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", rw.name, err)
+		}
+		totals[rw.name] = stats
+		r.Table.AddRow(rw.name, metrics.D(stats.Total), metrics.D(stats.Compute()),
+			metrics.D(stats.GC), metrics.D(stats.Ser+stats.Deser))
+	}
+	ps, yak, ger := totals["parallel-scavenge"], totals["yak"], totals["gerenuk"]
+	gerGC := float64(ger.GC)
+	if gerGC == 0 {
+		gerGC = float64(time.Microsecond) // Gerenuk eliminated GC entirely
+	}
+	r.Checks["gc_reduction_vs_ps"] = metrics.Ratio(float64(ps.GC), gerGC)
+	r.Checks["speedup_vs_ps"] = metrics.Ratio(float64(ps.Total), float64(ger.Total))
+	r.Checks["speedup_vs_yak"] = metrics.Ratio(float64(yak.Total), float64(ger.Total))
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"Gerenuk GC reduction vs PS: %sx (paper 13.7x); speedup vs PS %sx (paper 2.4x), vs Yak %sx (paper 1.8x)",
+		metrics.F(r.Checks["gc_reduction_vs_ps"]),
+		metrics.F(r.Checks["speedup_vs_ps"]),
+		metrics.F(r.Checks["speedup_vs_yak"])))
+	return r, nil
+}
+
+// Figure10a measures the StackOverflow Analytics application, whose
+// Vector resizes trigger real aborts (paper: Gerenuk ends up 7% slower).
+func Figure10a(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 10(a)", "SOA with real aborts",
+		"mode", "total", "aborts", "vs baseline")
+	// The combine phase (quadratic in posts per user) dominates; the
+	// initial capacity is sized so that only the ~10% heavy users make
+	// their vectors resize, matching the paper's observation that about
+	// 10% of Vector instances resized.
+	posts := workload.GenPosts(64*cfg.Scale, 20, 17)
+
+	var results []metrics.Breakdown
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		mode := mode
+		stats, err := medianBreakdown(Reps, func() (metrics.Breakdown, error) {
+			prog := sparkapps.NewProgram(sparkapps.ClsPost, sparkapps.ClsAccount)
+			comp := engine.Compile(prog)
+			ctx := spark.NewContext(comp, mode)
+			ctx.Workers = cfg.Workers
+			ctx.Partitions = cfg.Partitions
+			soa := sparkapps.StackOverflowAnalytics{InitialCap: 40}
+			soa.Register(prog)
+			parts, err := workload.Encode(comp.Codec, sparkapps.ClsPost, posts, cfg.Partitions)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			if _, err := soa.Run(ctx, ctx.Parallelize(sparkapps.ClsPost, parts)); err != nil {
+				return metrics.Breakdown{}, err
+			}
+			return ctx.Stats, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, stats)
+	}
+	slowdown := metrics.Ratio(float64(results[1].Total), float64(results[0].Total))
+	r.Table.AddRow("baseline", metrics.D(results[0].Total), "0", "1.00")
+	r.Table.AddRow("gerenuk", metrics.D(results[1].Total),
+		fmt.Sprint(results[1].Aborts), metrics.F(slowdown))
+	r.Checks["slowdown"] = slowdown
+	r.Checks["aborts"] = float64(results[1].Aborts)
+	r.Notes = append(r.Notes,
+		"paper: transformed version 7% slower due to abort-and-re-execute waste")
+	return r, nil
+}
+
+// Figure10b measures PageRank with 0..20 forced aborts (paper: each
+// re-execution costs ~9% of a baseline SER).
+func Figure10b(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("Figure 10(b)", "PageRank with forced aborts",
+		"config", "total", "aborts", "vs gerenuk-0")
+	links := workload.GenGraph(workload.GraphSpec{
+		Name: "LiveJournal", Vertices: 80 * cfg.Scale, AvgDeg: 6, Alpha: 2.3, Seed: 11,
+	})
+	iters := max(cfg.Iters, 4)
+
+	runOnce := func(mode engine.Mode, forced int) (metrics.Breakdown, error) {
+		prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsRank, sparkapps.ClsContrib)
+		comp := engine.Compile(prog)
+		ctx := spark.NewContext(comp, mode)
+		ctx.Workers = cfg.Workers
+		ctx.Partitions = cfg.Partitions
+		pr := sparkapps.PageRank{Iters: iters}
+		pr.Register(prog)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		// The init stage runs unforced; the abort budget is armed for
+		// the iteration SERs, as in the paper's manual abort injection.
+		rdd := ctx.Parallelize(sparkapps.ClsLinks, parts)
+		ranks, err := rdd.MapPartitions("prInitStage", sparkapps.ClsRank)
+		if err != nil {
+			return metrics.Breakdown{}, err
+		}
+		ctx.ForcedAbortBudget = forced
+		for it := 0; it < iters; it++ {
+			contribs, err := rdd.JoinPairs(ranks, "prJoinStage", "src", "v", sparkapps.ClsContrib)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			summed, err := contribs.ReduceByKey("prCombineStage", "v")
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			ranks, err = summed.MapPartitions("prUpdateStage", sparkapps.ClsRank)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+		}
+		return ctx.Stats, nil
+	}
+	run := func(mode engine.Mode, forced int) (metrics.Breakdown, error) {
+		var runs []metrics.Breakdown
+		for i := 0; i < Reps; i++ {
+			st, err := runOnce(mode, forced)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			runs = append(runs, st)
+		}
+		for i := 1; i < len(runs); i++ {
+			for j := i; j > 0 && runs[j].Total < runs[j-1].Total; j-- {
+				runs[j], runs[j-1] = runs[j-1], runs[j]
+			}
+		}
+		return runs[len(runs)/2], nil
+	}
+
+	base, err := run(engine.Baseline, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.Table.AddRow("baseline", metrics.D(base.Total), "0", "")
+	var zero metrics.Breakdown
+	for _, k := range []int{0, 1, 2, 5, 10, 15, 20} {
+		st, err := run(engine.Gerenuk, k)
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			zero = st
+		}
+		rel := metrics.Ratio(float64(st.Total), float64(zero.Total))
+		r.Table.AddRow(fmt.Sprintf("gerenuk-%d", k), metrics.D(st.Total),
+			fmt.Sprint(st.Aborts), metrics.F(rel))
+		r.Checks[fmt.Sprintf("aborts_%d", k)] = float64(st.Aborts)
+		r.Checks[fmt.Sprintf("rel_%d", k)] = rel
+	}
+	r.Checks["baseline_ns"] = float64(base.Total)
+	r.Checks["gerenuk0_ns"] = float64(zero.Total)
+	r.Notes = append(r.Notes,
+		"paper: each re-execution adds ~9% of a baseline SER; serde and GC grow with aborts")
+	return r, nil
+}
+
+// StaticStats regenerates the section 4.1/4.2 compiler statistics: how
+// many classes were touched and how many violation points were inserted
+// across the full application suite.
+func StaticStats() (*Result, error) {
+	r := newResult("Static stats", "compiler statistics across all drivers",
+		"suite", "drivers", "classes", "violation points", "rewritten stmts", "inlined calls")
+
+	type suite struct {
+		name    string
+		prog    func() *engine.Compiled
+		drivers []string
+	}
+	sparkComp := func() *engine.Compiled {
+		prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsRank,
+			sparkapps.ClsContrib, sparkapps.ClsLabel, sparkapps.ClsTriRec,
+			sparkapps.ClsCountRec, sparkapps.ClsDenseVector, sparkapps.ClsLabeled,
+			sparkapps.ClsSparsePoint, sparkapps.ClsClusterStat, sparkapps.ClsGrad,
+			sparkapps.ClsFeatObs, sparkapps.ClsSplitStat, sparkapps.ClsDoc,
+			sparkapps.ClsWordCount, sparkapps.ClsPost, sparkapps.ClsAccount)
+		sparkapps.PageRank{Iters: 1}.Register(prog)
+		sparkapps.ConnectedComponents{Iters: 1}.Register(prog)
+		sparkapps.TriangleCounting{Vertices: 100}.Register(prog)
+		sparkapps.KMeans{K: 2, Dim: 2, Iters: 1}.Register(prog)
+		sparkapps.LogReg{Dim: 2, Iters: 1}.Register(prog)
+		sparkapps.ChiSqSelector{Dim: 2}.Register(prog)
+		sparkapps.GBoost{Dim: 2, Rounds: 1, Buckets: 2, Range: 1}.Register(prog)
+		sparkapps.WordCount{}.Register(prog)
+		sparkapps.StackOverflowAnalytics{InitialCap: 4}.Register(prog)
+		return engine.Compile(prog)
+	}
+	sparkDrivers := []string{
+		"prInitStage", "prJoinStage", "prCombineStage", "prUpdateStage",
+		"ccInitStage", "ccJoinStage", "ccCombineStage",
+		"tcWedgeStage", "tcEdgeStage", "tcCombineStage", "tcCountStage", "tcSumStage",
+		"kmCombineStage", "lrCombineStage", "csMapStage", "csCombineStage",
+		"gbCombineStage", "wcSplitStage", "wcCombineStage",
+		"soaMapStage", "soaCombineStage",
+	}
+
+	total := func(comp *engine.Compiled, drivers []string) (classes map[string]bool, viols, stmts, inlined int, err error) {
+		classes = map[string]bool{}
+		for _, d := range drivers {
+			if err = comp.CompileDriver(d); err != nil {
+				return
+			}
+			ser := comp.SERs[d]
+			for c := range ser.ClassesTouched {
+				classes[c] = true
+			}
+			viols += len(ser.Violations)
+			st := comp.XStats[d]
+			stmts += st.RewrittenStmts
+			inlined += st.InlinedCalls
+		}
+		return
+	}
+
+	comp := sparkComp()
+	classes, viols, stmts, inlined, err := total(comp, sparkDrivers)
+	if err != nil {
+		return nil, err
+	}
+	r.Table.AddRow("Spark", fmt.Sprint(len(sparkDrivers)), fmt.Sprint(len(classes)),
+		fmt.Sprint(viols), fmt.Sprint(stmts), fmt.Sprint(inlined))
+	r.Checks["spark_classes"] = float64(len(classes))
+	r.Checks["spark_violations"] = float64(viols)
+
+	// Hadoop suite.
+	hclasses := map[string]bool{}
+	hviols, hstmts, hinlined, hdrivers := 0, 0, 0, 0
+	for _, app := range []string{"IUF", "UAH", "SPF", "UED", "CED", "IMC", "TFC"} {
+		prog, conf := hadoopapps.NewProgram(app)
+		comp := engine.Compile(prog)
+		for _, d := range []string{conf.MapDriver, conf.CombineDriver, conf.ReduceDriver} {
+			if d == "" {
+				continue
+			}
+			if err := comp.CompileDriver(d); err != nil {
+				return nil, err
+			}
+			ser := comp.SERs[d]
+			for c := range ser.ClassesTouched {
+				hclasses[c] = true
+			}
+			hviols += len(ser.Violations)
+			st := comp.XStats[d]
+			hstmts += st.RewrittenStmts
+			hinlined += st.InlinedCalls
+			hdrivers++
+		}
+	}
+	r.Table.AddRow("Hadoop", fmt.Sprint(hdrivers), fmt.Sprint(len(hclasses)),
+		fmt.Sprint(hviols), fmt.Sprint(hstmts), fmt.Sprint(hinlined))
+	r.Checks["hadoop_classes"] = float64(len(hclasses))
+	r.Checks["hadoop_violations"] = float64(hviols)
+	r.Notes = append(r.Notes,
+		"paper: 55 Spark classes, >126 violation points (none triggered); 22 Hadoop classes")
+	return r, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,385 @@
+// Package bench implements one experiment driver per table and figure of
+// the paper's evaluation (section 4). Each driver returns a Result whose
+// text table mirrors the paper's presentation and whose Checks map holds
+// the scalar outcomes EXPERIMENTS.md records (and the tests assert on).
+//
+// The drivers are used by cmd/gerenukbench (full runs) and by the
+// repository-root benchmarks in bench_test.go (quick runs).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/apps/sparkapps"
+	"repro/internal/engine"
+	"repro/internal/hadoop"
+	"repro/internal/heap"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+	"repro/internal/spark"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Scale multiplies workload sizes; 1 is the quick/test size.
+	Scale int
+	// Workers is the executor pool size per job.
+	Workers int
+	// Partitions is the RDD/shuffle partition count.
+	Partitions int
+	// Iters is the iteration count for iterative apps.
+	Iters int
+}
+
+// Quick returns the configuration used by `go test`.
+func Quick() Config { return Config{Scale: 1, Workers: 2, Partitions: 2, Iters: 2} }
+
+// Full returns the default harness configuration.
+func Full() Config { return Config{Scale: 6, Workers: 4, Partitions: 4, Iters: 5} }
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 2
+	}
+	if c.Iters <= 0 {
+		c.Iters = 2
+	}
+	return c
+}
+
+// Result is one regenerated table/figure.
+type Result struct {
+	ID     string
+	Title  string
+	Table  metrics.Table
+	Notes  []string
+	Checks map[string]float64
+}
+
+func newResult(id, title string, header ...string) *Result {
+	r := &Result{ID: id, Title: title, Checks: map[string]float64{}}
+	r.Table.Title = fmt.Sprintf("%s — %s", id, title)
+	r.Table.Header = header
+	return r
+}
+
+// Render returns the printable form.
+func (r *Result) Render() string {
+	out := r.Table.Render()
+	for _, n := range r.Notes {
+		out += "  note: " + n + "\n"
+	}
+	return out
+}
+
+// HeapSizeConfig names one of the paper's three per-executor heap sizes,
+// scaled to the simulated per-task heaps.
+type HeapSizeConfig struct {
+	Name string
+	Cfg  heap.Config
+}
+
+// HeapSizes mirrors the paper's 10GB/15GB/20GB executor heaps, scaled so
+// that per-task working sets actually pressure the nursery (the paper's
+// inputs are sized relative to the heap the same way).
+func HeapSizes(scale int) []HeapSizeConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	kb := 1 << 10
+	return []HeapSizeConfig{
+		{Name: "10GB", Cfg: heap.Config{YoungSize: scale * 24 * kb, OldSize: scale * 192 * kb}},
+		{Name: "15GB", Cfg: heap.Config{YoungSize: scale * 36 * kb, OldSize: scale * 288 * kb}},
+		{Name: "20GB", Cfg: heap.Config{YoungSize: scale * 48 * kb, OldSize: scale * 384 * kb}},
+	}
+}
+
+// SparkAppNames lists the Table 1 programs in paper order.
+var SparkAppNames = []string{"PR", "KM", "LR", "CS", "GB"}
+
+// AppRun is one (app, heap size, mode) measurement.
+type AppRun struct {
+	App      string
+	HeapName string
+	Mode     engine.Mode
+	Stats    metrics.Breakdown
+	Wall     time.Duration
+}
+
+// SparkSuite holds all Figure 6(a)/7(a)/Table 3 measurements.
+type SparkSuite struct {
+	Runs []AppRun
+}
+
+// Find returns the run for (app, heapName, mode).
+func (s *SparkSuite) Find(app, heapName string, mode engine.Mode) (AppRun, bool) {
+	for _, r := range s.Runs {
+		if r.App == app && r.HeapName == heapName && r.Mode == mode {
+			return r, true
+		}
+	}
+	return AppRun{}, false
+}
+
+// runSparkApp executes one Table 1 program end to end and returns its
+// accumulated job statistics.
+func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metrics.Breakdown, time.Duration, error) {
+	cfg = cfg.withDefaults()
+	mk := func(topTypes ...string) (*spark.Context, *engine.Compiled) {
+		prog := sparkapps.NewProgram(topTypes...)
+		comp := engine.Compile(prog)
+		ctx := spark.NewContext(comp, mode)
+		ctx.Workers = cfg.Workers
+		ctx.Partitions = cfg.Partitions
+		ctx.HeapCfg = hc
+		return ctx, comp
+	}
+	switch app {
+	case "PR":
+		ctx, comp := mk(sparkapps.ClsLinks, sparkapps.ClsRank, sparkapps.ClsContrib)
+		pr := sparkapps.PageRank{Iters: cfg.Iters}
+		pr.Register(comp.Prog)
+		links := workload.GenGraph(workload.GraphSpec{
+			Name: "LiveJournal", Vertices: 150 * cfg.Scale, AvgDeg: 6, Alpha: 2.3, Seed: 11,
+		})
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		if _, err := pr.Run(ctx, ctx.Parallelize(sparkapps.ClsLinks, parts)); err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		return ctx.Stats, ctx.Wall, nil
+
+	case "KM":
+		ctx, comp := mk(sparkapps.ClsDenseVector, sparkapps.ClsClusterStat)
+		km := sparkapps.KMeans{K: 4, Dim: 8, Iters: cfg.Iters}
+		km.Register(comp.Prog)
+		points, _ := workload.GenDensePoints(120*cfg.Scale, 8, 4, 5)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsDenseVector, points, cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		initial := make([][]float64, 4)
+		for j := range initial {
+			c := make([]float64, 8)
+			for d := range c {
+				c[d] = float64(25 * (j + 1))
+			}
+			initial[j] = c
+		}
+		if _, err := km.Run(ctx, ctx.Parallelize(sparkapps.ClsDenseVector, parts), initial); err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		return ctx.Stats, ctx.Wall, nil
+
+	case "LR":
+		ctx, comp := mk(sparkapps.ClsLabeled, sparkapps.ClsGrad)
+		lr := sparkapps.LogReg{Dim: 10, Iters: cfg.Iters, Rate: 0.5}
+		lr.Register(comp.Prog)
+		points, _ := workload.GenLabeledPoints(150*cfg.Scale, 10, 9)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLabeled, points, cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		if _, err := lr.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts)); err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		return ctx.Stats, ctx.Wall, nil
+
+	case "CS":
+		ctx, comp := mk(sparkapps.ClsSparsePoint, sparkapps.ClsFeatObs)
+		cs := sparkapps.ChiSqSelector{Dim: 28}
+		cs.Register(comp.Prog)
+		points := workload.GenSparsePoints(200*cfg.Scale, 28, 6, 21)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsSparsePoint, points, cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		if _, err := cs.Run(ctx, ctx.Parallelize(sparkapps.ClsSparsePoint, parts)); err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		return ctx.Stats, ctx.Wall, nil
+
+	case "GB":
+		ctx, comp := mk(sparkapps.ClsLabeled, sparkapps.ClsSplitStat)
+		gb := sparkapps.GBoost{Dim: 8, Rounds: cfg.Iters, Buckets: 8, Shrinkage: 0.5, Range: 4}
+		gb.Register(comp.Prog)
+		points, _ := workload.GenLabeledPoints(150*cfg.Scale, 8, 33)
+		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLabeled, points, cfg.Partitions)
+		if err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		if _, err := gb.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts)); err != nil {
+			return metrics.Breakdown{}, 0, err
+		}
+		return ctx.Stats, ctx.Wall, nil
+	}
+	return metrics.Breakdown{}, 0, fmt.Errorf("bench: unknown spark app %q", app)
+}
+
+// Reps is how many times each configuration runs; the median total is
+// reported, as in the paper ("run three times, median reported").
+const Reps = 3
+
+// RunSparkSuite measures every Table 1 app under every heap size in both
+// modes — the data behind Figures 6(a), 7(a) and Table 3.
+func RunSparkSuite(cfg Config) (*SparkSuite, error) {
+	cfg = cfg.withDefaults()
+	suite := &SparkSuite{}
+	for _, hc := range HeapSizes(cfg.Scale) {
+		for _, app := range SparkAppNames {
+			for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+				run, err := medianRun(Reps, func() (metrics.Breakdown, time.Duration, error) {
+					return runSparkApp(app, cfg, hc.Cfg, mode)
+				})
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%v: %w", app, hc.Name, mode, err)
+				}
+				run.App, run.HeapName, run.Mode = app, hc.Name, mode
+				suite.Runs = append(suite.Runs, run)
+			}
+		}
+	}
+	return suite, nil
+}
+
+// medianRun executes f reps times and returns the run with the median
+// total time.
+func medianRun(reps int, f func() (metrics.Breakdown, time.Duration, error)) (AppRun, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	runs := make([]AppRun, 0, reps)
+	for i := 0; i < reps; i++ {
+		stats, wall, err := f()
+		if err != nil {
+			return AppRun{}, err
+		}
+		runs = append(runs, AppRun{Stats: stats, Wall: wall})
+	}
+	sortRunsByTotal(runs)
+	return runs[len(runs)/2], nil
+}
+
+func sortRunsByTotal(runs []AppRun) {
+	for i := 1; i < len(runs); i++ {
+		for j := i; j > 0 && runs[j].Stats.Total < runs[j-1].Stats.Total; j-- {
+			runs[j], runs[j-1] = runs[j-1], runs[j]
+		}
+	}
+}
+
+// HadoopSuite holds the Figure 6(b)/7(b) measurements.
+type HadoopSuite struct {
+	Runs []AppRun
+}
+
+// Find returns the run for (app, mode).
+func (s *HadoopSuite) Find(app string, mode engine.Mode) (AppRun, bool) {
+	for _, r := range s.Runs {
+		if r.App == app && r.Mode == mode {
+			return r, true
+		}
+	}
+	return AppRun{}, false
+}
+
+// hadoopSplits generates the input splits for one Table 2 app.
+func hadoopSplits(comp *engine.Compiled, app string, cfg Config) ([][]byte, error) {
+	var objs []serde.Obj
+	var class string
+	switch hadoopapps.Dataset(app) {
+	case "stackoverflow-users":
+		objs = workload.GenUsers(300*cfg.Scale, 3)
+		class = hadoopapps.ClsUser
+	case "stackoverflow-posts":
+		objs = workload.GenPosts(80*cfg.Scale, 5, 3)
+		class = hadoopapps.ClsPost
+	default:
+		objs = workload.GenDocs(40*cfg.Scale, 30, 3)
+		class = hadoopapps.ClsDoc
+	}
+	return workload.Encode(comp.Codec, class, objs, cfg.Partitions)
+}
+
+// RunHadoopSuite measures every Table 2 app in both modes.
+func RunHadoopSuite(cfg Config) (*HadoopSuite, error) {
+	cfg = cfg.withDefaults()
+	suite := &HadoopSuite{}
+	for _, app := range hadoopapps.AllApps {
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			run, err := medianRun(Reps, func() (metrics.Breakdown, time.Duration, error) {
+				res, _, err := runHadoopApp(app, cfg, mode, false)
+				if err != nil {
+					return metrics.Breakdown{}, 0, err
+				}
+				return res.Stats, res.Wall, nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", app, mode, err)
+			}
+			run.App, run.Mode = app, mode
+			suite.Runs = append(suite.Runs, run)
+		}
+	}
+	return suite, nil
+}
+
+func runHadoopApp(app string, cfg Config, mode engine.Mode, yak bool) (*hadoop.Result, *engine.Compiled, error) {
+	cfg = cfg.withDefaults()
+	kb := 1 << 10
+	return runHadoopAppHeaps(app, cfg, mode, yak,
+		heap.Config{YoungSize: cfg.Scale * 24 * kb, OldSize: cfg.Scale * 192 * kb},
+		heap.Config{YoungSize: cfg.Scale * 24 * kb, OldSize: cfg.Scale * 288 * kb})
+}
+
+func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHeap, reduceHeap heap.Config) (*hadoop.Result, *engine.Compiled, error) {
+	cfg = cfg.withDefaults()
+	prog, conf := hadoopapps.NewProgram(app)
+	conf.Mode = mode
+	conf.Workers = cfg.Workers
+	conf.Reducers = cfg.Partitions
+	conf.EpochPerTask = yak
+	conf.MapHeap = mapHeap
+	conf.ReduceHeap = reduceHeap
+	comp := engine.Compile(prog)
+	splits, err := hadoopSplits(comp, app, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := hadoop.Run(comp, conf, splits)
+	return res, comp, err
+}
+
+// RunApp executes one named application (Spark or Hadoop) in the given
+// mode and returns its cost breakdown. Used by cmd/gerenukrun.
+func RunApp(app string, cfg Config, mode engine.Mode) (metrics.Breakdown, error) {
+	cfg = cfg.withDefaults()
+	for _, s := range SparkAppNames {
+		if s == app {
+			hc := HeapSizes(cfg.Scale)[2].Cfg
+			stats, _, err := runSparkApp(app, cfg, hc, mode)
+			return stats, err
+		}
+	}
+	for _, h := range hadoopapps.AllApps {
+		if h == app {
+			res, _, err := runHadoopApp(app, cfg, mode, false)
+			if err != nil {
+				return metrics.Breakdown{}, err
+			}
+			return res.Stats, nil
+		}
+	}
+	return metrics.Breakdown{}, fmt.Errorf("bench: unknown app %q", app)
+}

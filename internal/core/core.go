@@ -1,0 +1,137 @@
+// Package core is the public face of the Gerenuk reproduction: a
+// compiler + runtime that lets a dataflow program execute directly over
+// inlined native bytes, speculatively, with automatic abort-and-retry.
+//
+// The pipeline mirrors the paper's architecture (Figure 2):
+//
+//	                 ┌─ internal/dsa ──────── inline layouts (§3.3)
+//	Program (IR) ────┤─ internal/analysis ─── SER discovery + violations (§3.2, §3.4)
+//	                 └─ internal/transform ── Algorithm 1 rewriting (§3.5)
+//	                          │
+//	                 internal/engine ───────── speculative execution,
+//	                                           abort → slow path (§3.6)
+//
+// A downstream user provides three things (the paper's section 3.1 user
+// effort): the (de)serialization points — expressed as Deserialize and
+// Serialize/Emit statements in the IR —, the top-level data types
+// (Program.TopTypes), and the collection types, which the bundled
+// dataflow engines (internal/spark, internal/hadoop) already annotate.
+//
+// Typical use:
+//
+//	prog := ir.NewProgram(reg)
+//	prog.TopTypes = []string{"LabeledPoint"}
+//	...define UDFs and stage drivers...
+//	g := core.New(prog)
+//	report, err := g.CompileSER("myStage")       // static pipeline
+//	res, err := g.RunTask(core.ModeGerenuk, spec) // speculative execution
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/engine"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/transform"
+)
+
+// Mode re-exports the execution mode.
+type Mode = engine.Mode
+
+// Execution modes.
+const (
+	ModeBaseline = engine.Baseline
+	ModeGerenuk  = engine.Gerenuk
+)
+
+// TaskSpec re-exports the task description.
+type TaskSpec = engine.TaskSpec
+
+// Input re-exports the task input binding.
+type Input = engine.Input
+
+// Gerenuk bundles a compiled program with its executor configuration.
+type Gerenuk struct {
+	C *engine.Compiled
+	// HeapCfg sizes the simulated per-task heap for baseline attempts
+	// and slow-path re-executions.
+	HeapCfg heap.Config
+}
+
+// New compiles the program's schemas (data structure analyzer) and
+// returns a Gerenuk instance. SERs compile lazily per driver.
+func New(prog *ir.Program) *Gerenuk {
+	return &Gerenuk{
+		C:       engine.Compile(prog),
+		HeapCfg: heap.Config{YoungSize: 128 << 10, OldSize: 2 << 20},
+	}
+}
+
+// Report summarizes the static compilation of one SER, the numbers the
+// paper reports in sections 4.1/4.2.
+type Report struct {
+	Driver         string
+	Transformable  bool
+	Reason         string
+	Violations     []analysis.Violation
+	ClassesTouched int
+	Stats          transform.Stats
+}
+
+func (r Report) String() string {
+	if !r.Transformable {
+		return fmt.Sprintf("%s: NOT transformable (%s)", r.Driver, r.Reason)
+	}
+	return fmt.Sprintf("%s: %d stmts rewritten, %d calls inlined, %d classes, %d violation points",
+		r.Driver, r.Stats.RewrittenStmts, r.Stats.InlinedCalls, r.ClassesTouched, len(r.Violations))
+}
+
+// CompileSER runs the full static pipeline (SER code analyzer, violation
+// detection, Algorithm 1) for the driver function and returns the report.
+func (g *Gerenuk) CompileSER(driver string) (Report, error) {
+	if err := g.C.CompileDriver(driver); err != nil {
+		return Report{}, err
+	}
+	ser := g.C.SERs[driver]
+	rep := Report{
+		Driver:         driver,
+		Transformable:  ser.Transformable,
+		Reason:         ser.Reason,
+		Violations:     ser.Violations,
+		ClassesTouched: len(ser.ClassesTouched),
+		Stats:          g.C.XStats[driver],
+	}
+	return rep, nil
+}
+
+// RunTask executes one task in the given mode. In Gerenuk mode the
+// transformed driver runs over native buffers; on abort the executor is
+// discarded and the original driver re-runs on the heap path over the
+// same immutable inputs.
+func (g *Gerenuk) RunTask(mode Mode, spec TaskSpec) (engine.TaskResult, error) {
+	if err := g.C.CompileDriver(spec.Driver); err != nil {
+		return engine.TaskResult{}, err
+	}
+	ex := &engine.Executor{C: g.C, Mode: mode, HeapCfg: g.HeapCfg}
+	return ex.RunTask(spec)
+}
+
+// CompareModes runs the same task on both paths and returns the results
+// keyed by mode — the one-call way to see the transformation's effect
+// and verify output equivalence.
+func (g *Gerenuk) CompareModes(spec TaskSpec) (base, ger engine.TaskResult, err error) {
+	base, err = g.RunTask(ModeBaseline, spec)
+	if err != nil {
+		return
+	}
+	ger, err = g.RunTask(ModeGerenuk, spec)
+	return
+}
+
+// Speedup computes baseline/gerenuk total time from two results.
+func Speedup(base, ger engine.TaskResult) float64 {
+	return metrics.Ratio(float64(base.Stats.Total), float64(ger.Stats.Total))
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/spark"
+)
+
+func demoProgram(t *testing.T) (*ir.Program, *Gerenuk) {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Point", Fields: []model.FieldDef{
+		{Name: "id", Type: model.Prim(model.KindLong)},
+		{Name: "xs", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Point"}
+
+	b := ir.NewFuncBuilder(prog, "normUDF", model.Type{})
+	p := b.Param("p", model.Object("Point"))
+	id := b.Load(p, "id")
+	xs := b.Load(p, "xs")
+	n := b.Len(xs)
+	out := b.New("Point")
+	b.Store(out, "id", id)
+	arr := b.NewArr(model.Prim(model.KindDouble), n)
+	two := b.FConst(0.5)
+	b.For(n, func(i *ir.Var) {
+		x := b.Elem(xs, i)
+		h := b.Bin(ir.OpMul, x, two)
+		b.SetElem(arr, i, h)
+	})
+	b.Store(out, "xs", arr)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+	spark.BuildMapDriver(prog, "normStage", "normUDF", "Point")
+	return prog, New(prog)
+}
+
+func encodePoints(t *testing.T, g *Gerenuk, n int) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for i := 0; i < n; i++ {
+		buf, err = g.C.Codec.Encode("Point", serde.Obj{
+			"id": int64(i), "xs": []float64{float64(i), float64(2 * i)},
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func TestCompileSERReport(t *testing.T) {
+	_, g := demoProgram(t)
+	rep, err := g.CompileSER("normStage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Transformable {
+		t.Fatalf("not transformable: %s", rep.Reason)
+	}
+	if rep.Stats.RewrittenStmts == 0 || rep.Stats.InlinedCalls == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Errorf("empty report string")
+	}
+}
+
+func TestCompareModesIdenticalOutput(t *testing.T) {
+	_, g := demoProgram(t)
+	input := encodePoints(t, g, 20)
+	spec := TaskSpec{
+		Name:   "t",
+		Driver: "normStage",
+		Invocations: []map[string]Input{
+			{"in": {Class: "Point", Buf: input}},
+		},
+	}
+	base, ger, err := g.CompareModes(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base.Out, ger.Out) {
+		t.Fatalf("outputs differ between modes")
+	}
+	if ger.Stats.Deser != 0 {
+		t.Errorf("gerenuk paid record deserialization: %v", ger.Stats.Deser)
+	}
+	if base.Stats.Deser == 0 {
+		t.Errorf("baseline paid no deserialization")
+	}
+	if Speedup(base, ger) <= 0 {
+		t.Errorf("speedup not computable")
+	}
+}
+
+func TestRunTaskUnknownDriver(t *testing.T) {
+	_, g := demoProgram(t)
+	if _, err := g.RunTask(ModeGerenuk, TaskSpec{Driver: "missing"}); err == nil {
+		t.Fatalf("expected error for unknown driver")
+	}
+}
+
+func TestUntransformableSERStillRuns(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Node", Fields: []model.FieldDef{
+		{Name: "v", Type: model.Prim(model.KindLong)},
+		{Name: "next", Type: model.Object("Node")}, // recursive: DSA rejects
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Node"}
+	b := ir.NewFuncBuilder(prog, "idUDF", model.Type{})
+	p := b.Param("p", model.Object("Node"))
+	b.EmitRecord(p)
+	b.Ret(nil)
+	b.Done()
+	spark.BuildMapDriver(prog, "idStage", "idUDF", "Node")
+
+	g := New(prog)
+	rep, err := g.CompileSER("idStage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transformable {
+		t.Fatalf("recursive type reported transformable")
+	}
+	// Gerenuk mode must fall back to the heap path transparently.
+	var input []byte
+	input, err = g.C.Codec.Encode("Node", serde.Obj{"v": int64(1), "next": serde.Obj{}}, input)
+	if err == nil {
+		// Recursive schemas cannot even encode without a layout; this is
+		// fine — the engine runs such jobs purely on the heap path with
+		// codec-free inputs in practice. Just check mode dispatch.
+		_ = input
+	}
+	res, err := g.RunTask(ModeGerenuk, TaskSpec{
+		Name: "t", Driver: "idStage",
+		Invocations: []map[string]Input{{"in": {Class: "Node", Buf: nil}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Aborts != 0 {
+		t.Errorf("fallback should not count as abort")
+	}
+}

@@ -1,0 +1,169 @@
+package dsa_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsa"
+	"repro/internal/model"
+	"repro/internal/serde"
+)
+
+// byteReader adapts wire bytes to expr.NativeReader.
+type byteReader []byte
+
+func (b byteReader) ReadNative(base, off int64, sz int) int64 {
+	var v uint64
+	for i := 0; i < sz; i++ {
+		v |= uint64(b[base+off+int64(i)]) << (8 * i)
+	}
+	switch sz {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	default:
+		return int64(v)
+	}
+}
+
+// TestOffsetsAgreeWithSerializer is the central cross-component
+// invariant of the whole system (paper section 3.6: "we need to
+// guarantee that the way our compiler computes these offsets is
+// consistent with how data is actually serialized"): for randomly
+// generated schemas and records, every primitive field read through the
+// DSA's (possibly symbolic) offset expression over the serialized bytes
+// must equal the value that was encoded.
+func TestOffsetsAgreeWithSerializer(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		reg := model.NewRegistry()
+
+		// Random leaf class: prims + at most one prim array, array not
+		// necessarily last (fields after it get symbolic offsets).
+		nLeaf := 1 + r.Intn(4)
+		arrayAt := -1
+		if r.Intn(2) == 0 {
+			arrayAt = r.Intn(nLeaf)
+		}
+		kinds := []model.Kind{model.KindInt, model.KindLong, model.KindDouble, model.KindShort}
+		var leafFields []model.FieldDef
+		for i := 0; i < nLeaf; i++ {
+			if i == arrayAt {
+				leafFields = append(leafFields, model.FieldDef{
+					Name: fmt.Sprintf("arr%d", i),
+					Type: model.ArrayOf(model.Prim(kinds[r.Intn(len(kinds))])),
+				})
+				continue
+			}
+			leafFields = append(leafFields, model.FieldDef{
+				Name: fmt.Sprintf("f%d", i),
+				Type: model.Prim(kinds[r.Intn(len(kinds))]),
+			})
+		}
+		reg.Define(model.ClassDef{Name: "Leaf", Fields: leafFields})
+
+		// Top class: a prim, a nested Leaf, a trailing prim.
+		reg.Define(model.ClassDef{Name: "Top", Fields: []model.FieldDef{
+			{Name: "pre", Type: model.Prim(model.KindLong)},
+			{Name: "leaf", Type: model.Object("Leaf")},
+			{Name: "post", Type: model.Prim(model.KindInt)},
+		}})
+
+		layouts := dsa.Analyze(reg, []string{"Top"})
+		if !layouts.IsAccepted("Top") {
+			t.Logf("seed %d: rejected (%v)", seed, layouts.Rejected)
+			return false
+		}
+		codec := serde.NewCodec(reg, layouts)
+
+		// Random record values.
+		leafObj := serde.Obj{}
+		expect := map[string]int64{}
+		for i, fd := range leafFields {
+			if i == arrayAt {
+				n := r.Intn(5)
+				vals := make([]int64, n)
+				for j := range vals {
+					vals[j] = int64(r.Intn(100))
+				}
+				leafObj[fd.Name] = vals
+				continue
+			}
+			v := int64(r.Intn(1000))
+			if fd.Type.Kind == model.KindDouble {
+				leafObj[fd.Name] = float64(v)
+			} else {
+				leafObj[fd.Name] = v
+			}
+			expect["leaf."+fd.Name] = v
+		}
+		preV, postV := int64(r.Intn(1000)), int64(r.Intn(1000))
+		top := serde.Obj{"pre": preV, "leaf": leafObj, "post": postV}
+		expect["pre"] = preV
+		expect["post"] = postV
+
+		wire, err := codec.Encode("Top", top, nil)
+		if err != nil {
+			t.Logf("seed %d: encode: %v", seed, err)
+			return false
+		}
+		payload := byteReader(wire[serde.SizePrefixBytes:])
+		topL := layouts.Layout("Top")
+		leafL := layouts.Layout("Leaf")
+		leafBase := topL.FieldOff["leaf"].Eval(payload, 0)
+
+		check := func(name string, e int64, off int64, k model.Kind) bool {
+			got := payload.ReadNative(0, off, k.Size())
+			if k == model.KindDouble {
+				// Encoded as float bits of float64(v); compare bits.
+				want := int64(float64bits(float64(e)))
+				if got != want {
+					t.Logf("seed %d: %s = %#x, want %#x", seed, name, got, want)
+					return false
+				}
+				return true
+			}
+			if got != e {
+				t.Logf("seed %d: %s = %d, want %d", seed, name, got, e)
+				return false
+			}
+			return true
+		}
+
+		for i, fd := range leafFields {
+			if i == arrayAt {
+				continue
+			}
+			off := leafBase + leafL.FieldOff[fd.Name].Eval(payload, leafBase)
+			if !check("leaf."+fd.Name, expect["leaf."+fd.Name], off, fd.Type.Kind) {
+				return false
+			}
+		}
+		if !check("pre", preV, topL.FieldOff["pre"].Eval(payload, 0), model.KindLong) {
+			return false
+		}
+		if !check("post", postV, topL.FieldOff["post"].Eval(payload, 0), model.KindInt) {
+			return false
+		}
+		// The top-level size expression (when linear) must equal the
+		// actual payload length.
+		if topL.Size != nil {
+			if got := topL.Size.Eval(payload, 0); got != int64(len(payload)) {
+				t.Logf("seed %d: size expr %d != payload %d", seed, got, len(payload))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func float64bits(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,288 @@
+package dsa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// fakeNative lets tests evaluate symbolic offsets against hand-built
+// inlined bytes.
+type fakeNative []byte
+
+func (f fakeNative) ReadNative(base, off int64, sz int) int64 {
+	m := f[base+off:]
+	switch sz {
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(m)))
+	case 8:
+		return int64(binary.LittleEndian.Uint64(m))
+	}
+	panic("bad size")
+}
+
+func TestPaperExampleClassC(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "C", Fields: []model.FieldDef{
+		{Name: "a", Type: model.Prim(model.KindInt)},
+		{Name: "b", Type: model.ArrayOf(model.Prim(model.KindLong))},
+		{Name: "c", Type: model.Prim(model.KindDouble)},
+	}})
+	res := Analyze(reg, []string{"C"})
+	if !res.IsAccepted("C") {
+		t.Fatalf("C rejected: %v", res.Rejected)
+	}
+	l := res.Layout("C")
+	if got := l.FieldOff["a"]; !got.IsConst() || got.ConstValue() != 0 {
+		t.Errorf("off(a) = %s", got)
+	}
+	if got := l.FieldOff["b"]; !got.IsConst() || got.ConstValue() != 4 {
+		t.Errorf("off(b) = %s", got)
+	}
+	// offset(c) = 4 + 4 + 8*readNative(BASE, 4, 4)
+	wantC := expr.Konst(8).Add(expr.ReadNative(8, expr.Konst(4), 4))
+	if got := l.FieldOff["c"]; !got.Equal(wantC) {
+		t.Errorf("off(c) = %s, want %s", got, wantC)
+	}
+	// size(C) = 16 + 8*readNative(BASE, 4, 4)
+	wantSize := expr.Konst(16).Add(expr.ReadNative(8, expr.Konst(4), 4))
+	if !l.Size.Equal(wantSize) {
+		t.Errorf("size(C) = %s, want %s", l.Size, wantSize)
+	}
+	if l.Fixed {
+		t.Errorf("C misreported as fixed size")
+	}
+
+	// Evaluate against concrete bytes with b.len = 5.
+	buf := make(fakeNative, 4+4+40+8)
+	binary.LittleEndian.PutUint32(buf[4:], 5)
+	if got := l.FieldOff["c"].Eval(buf, 0); got != 48 {
+		t.Errorf("eval off(c) = %d, want 48", got)
+	}
+	if got := l.Size.Eval(buf, 0); got != 56 {
+		t.Errorf("eval size(C) = %d, want 56", got)
+	}
+}
+
+func TestFixedSizeClass(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Pt", Fields: []model.FieldDef{
+		{Name: "x", Type: model.Prim(model.KindDouble)},
+		{Name: "y", Type: model.Prim(model.KindDouble)},
+	}})
+	res := Analyze(reg, []string{"Pt"})
+	l := res.Layout("Pt")
+	if !l.Fixed || l.Size.ConstValue() != 16 {
+		t.Errorf("Pt layout: fixed=%v size=%s", l.Fixed, l.Size)
+	}
+}
+
+// TestLabeledPoint mirrors the paper's LR data type (Figure 3): a
+// LabeledPoint holding a label and a DenseVector of doubles.
+func TestLabeledPoint(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "DenseVector", Fields: []model.FieldDef{
+		{Name: "size", Type: model.Prim(model.KindInt)},
+		{Name: "values", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	reg.Define(model.ClassDef{Name: "LabeledPoint", Fields: []model.FieldDef{
+		{Name: "label", Type: model.Prim(model.KindDouble)},
+		{Name: "features", Type: model.Object("DenseVector")},
+	}})
+	res := Analyze(reg, []string{"LabeledPoint"})
+	if !res.IsAccepted("LabeledPoint") {
+		t.Fatalf("rejected: %v", res.Rejected)
+	}
+	lp := res.Layout("LabeledPoint")
+	if got := lp.FieldOff["features"]; !got.IsConst() || got.ConstValue() != 8 {
+		t.Errorf("off(features) = %s", got)
+	}
+	// size(LabeledPoint) = 8 (label) + 4 (size) + 4 (len) + 8*len
+	// with the len slot at offset 12.
+	want := expr.Konst(16).Add(expr.ReadNative(8, expr.Konst(12), 4))
+	if !lp.Size.Equal(want) {
+		t.Errorf("size = %s, want %s", lp.Size, want)
+	}
+	// Concrete: 3 features -> 16 + 24 = 40 bytes.
+	buf := make(fakeNative, 64)
+	binary.LittleEndian.PutUint32(buf[12:], 3)
+	if got := lp.Size.Eval(buf, 0); got != 40 {
+		t.Errorf("eval size = %d, want 40", got)
+	}
+	// The DenseVector sub-layout must also be present.
+	if res.Layout("DenseVector") == nil {
+		t.Errorf("DenseVector layout missing")
+	}
+}
+
+func TestStringTreatedAsCharArray(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Post", Fields: []model.FieldDef{
+		{Name: "id", Type: model.Prim(model.KindLong)},
+		{Name: "body", Type: model.Object(model.StringClassName)},
+		{Name: "score", Type: model.Prim(model.KindInt)},
+	}})
+	res := Analyze(reg, []string{"Post"})
+	if !res.IsAccepted("Post") {
+		t.Fatalf("rejected: %v", res.Rejected)
+	}
+	l := res.Layout("Post")
+	// score = 8 + 4 + 2*len, len slot at offset 8.
+	want := expr.Konst(12).Add(expr.ReadNative(2, expr.Konst(8), 4))
+	if got := l.FieldOff["score"]; !got.Equal(want) {
+		t.Errorf("off(score) = %s, want %s", got, want)
+	}
+}
+
+func TestRecursiveClassRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Node", Fields: []model.FieldDef{
+		{Name: "val", Type: model.Prim(model.KindLong)},
+		{Name: "next", Type: model.Object("Node")},
+	}})
+	res := Analyze(reg, []string{"Node"})
+	if res.IsAccepted("Node") {
+		t.Fatalf("recursive class accepted")
+	}
+	if !strings.Contains(res.Rejected["Node"], "not a tree") {
+		t.Errorf("reason = %q", res.Rejected["Node"])
+	}
+}
+
+func TestMutuallyRecursiveRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "A", Fields: []model.FieldDef{{Name: "b", Type: model.Object("B")}}})
+	reg.Define(model.ClassDef{Name: "B", Fields: []model.FieldDef{{Name: "a", Type: model.Object("A")}}})
+	res := Analyze(reg, []string{"A"})
+	if res.IsAccepted("A") {
+		t.Fatalf("mutually recursive classes accepted")
+	}
+}
+
+func TestVariableElemArrayTailAllowed(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Account", Fields: []model.FieldDef{
+		{Name: "userId", Type: model.Prim(model.KindLong)},
+		{Name: "posts", Type: model.ArrayOf(model.Object(model.StringClassName))},
+	}})
+	res := Analyze(reg, []string{"Account"})
+	if !res.IsAccepted("Account") {
+		t.Fatalf("rejected: %v", res.Rejected)
+	}
+	l := res.Layout("Account")
+	if l.Size != nil {
+		t.Errorf("Account size should be non-linear (nil), got %s", l.Size)
+	}
+	if got := l.FieldOff["posts"]; !got.IsConst() || got.ConstValue() != 8 {
+		t.Errorf("off(posts) = %s", got)
+	}
+}
+
+func TestVariableElemArrayMidRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Bad", Fields: []model.FieldDef{
+		{Name: "posts", Type: model.ArrayOf(model.Object(model.StringClassName))},
+		{Name: "tail", Type: model.Prim(model.KindInt)},
+	}})
+	res := Analyze(reg, []string{"Bad"})
+	if res.IsAccepted("Bad") {
+		t.Fatalf("mid-record variable-size-element array accepted")
+	}
+}
+
+func TestFixedElemRefArray(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Pt", Fields: []model.FieldDef{
+		{Name: "x", Type: model.Prim(model.KindDouble)},
+	}})
+	reg.Define(model.ClassDef{Name: "Poly", Fields: []model.FieldDef{
+		{Name: "pts", Type: model.ArrayOf(model.Object("Pt"))},
+		{Name: "area", Type: model.Prim(model.KindDouble)},
+	}})
+	res := Analyze(reg, []string{"Poly"})
+	if !res.IsAccepted("Poly") {
+		t.Fatalf("rejected: %v", res.Rejected)
+	}
+	l := res.Layout("Poly")
+	// area offset = 4 + 8*len, len slot at 0.
+	want := expr.Konst(4).Add(expr.ReadNative(8, expr.Konst(0), 4))
+	if got := l.FieldOff["area"]; !got.Equal(want) {
+		t.Errorf("off(area) = %s, want %s", got, want)
+	}
+}
+
+func TestArrayOfArraysRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "M", Fields: []model.FieldDef{
+		{Name: "rows", Type: model.ArrayOf(model.ArrayOf(model.Prim(model.KindDouble)))},
+	}})
+	res := Analyze(reg, []string{"M"})
+	if res.IsAccepted("M") {
+		t.Fatalf("array of arrays accepted")
+	}
+}
+
+func TestRebaseNestedSymbolic(t *testing.T) {
+	// Outer { int pre; Inner in; } with Inner { int[] xs; long tail; }:
+	// tail's offset within Outer = 4 (pre) + 4 (xs len) + 4*len, where the
+	// len slot itself is at outer offset 4.
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Inner", Fields: []model.FieldDef{
+		{Name: "xs", Type: model.ArrayOf(model.Prim(model.KindInt))},
+		{Name: "tail", Type: model.Prim(model.KindLong)},
+	}})
+	reg.Define(model.ClassDef{Name: "Outer", Fields: []model.FieldDef{
+		{Name: "pre", Type: model.Prim(model.KindInt)},
+		{Name: "in", Type: model.Object("Inner")},
+		{Name: "post", Type: model.Prim(model.KindInt)},
+	}})
+	res := Analyze(reg, []string{"Outer"})
+	if !res.IsAccepted("Outer") {
+		t.Fatalf("rejected: %v", res.Rejected)
+	}
+	l := res.Layout("Outer")
+	inOff := l.FieldOff["in"]
+	if !inOff.IsConst() || inOff.ConstValue() != 4 {
+		t.Fatalf("off(in) = %s", inOff)
+	}
+	// post = 4 + size(Inner rebased) = 4 + (12 + 4*readNative(BASE+4,4))
+	post := l.FieldOff["post"]
+	buf := make(fakeNative, 64)
+	binary.LittleEndian.PutUint32(buf[4:], 7) // xs.len = 7
+	if got := post.Eval(buf, 0); got != 4+4+28+8 {
+		t.Errorf("eval off(post) = %d, want 44", got)
+	}
+	// Inner's own tail offset evaluated at the sub-record base must agree.
+	tailInInner, _ := res.FieldOffsetIn("Inner", "tail")
+	if got := tailInInner.Eval(buf, 4); got != 4+28 {
+		t.Errorf("eval inner tail = %d, want 32", got)
+	}
+}
+
+func TestRejectedDoesNotPoisonOthers(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Node", Fields: []model.FieldDef{
+		{Name: "next", Type: model.Object("Node")},
+	}})
+	reg.Define(model.ClassDef{Name: "Ok", Fields: []model.FieldDef{
+		{Name: "v", Type: model.Prim(model.KindLong)},
+	}})
+	res := Analyze(reg, []string{"Node", "Ok"})
+	if !res.IsAccepted("Ok") || res.IsAccepted("Node") {
+		t.Errorf("accepted = %v, rejected = %v", res.Accepted, res.Rejected)
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	res := Analyze(reg, []string{"Ghost"})
+	if res.IsAccepted("Ghost") {
+		t.Fatalf("unknown class accepted")
+	}
+}

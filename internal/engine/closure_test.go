@@ -1,0 +1,13 @@
+package engine
+
+import "testing"
+
+func TestSimulateClosureCosts(t *testing.T) {
+	ser, deser := simulateClosure(8 << 10)
+	if ser <= 0 || deser <= 0 {
+		t.Errorf("closure costs not measured: %v %v", ser, deser)
+	}
+	if s, d := simulateClosure(0); s != 0 || d != 0 {
+		t.Errorf("zero closure should be free")
+	}
+}

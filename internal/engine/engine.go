@@ -1,0 +1,353 @@
+// Package engine implements the Gerenuk runtime's execution layer: task
+// executors that run SER drivers speculatively over native buffers and
+// fall back to the untransformed heap path on abort (paper sections 3.6
+// and 1, "third challenge").
+//
+// An executor is deliberately stateless across tasks: every task attempt
+// gets a fresh simulated heap and a fresh arena, so aborting a task is
+// exactly the paper's "terminate the current executor, launch a new one
+// with the same input buffers" — the input wire bytes are owned by the
+// caller and are immutable (enforced by the statically inserted
+// mutate-input aborts), so re-execution always sees pristine input.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"errors"
+
+	"repro/internal/analysis"
+	"repro/internal/arena"
+	"repro/internal/dsa"
+	"repro/internal/heap"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+	"repro/internal/transform"
+)
+
+// Mode selects baseline or Gerenuk execution for a job.
+type Mode int
+
+// Execution modes.
+const (
+	Baseline Mode = iota
+	Gerenuk
+)
+
+func (m Mode) String() string {
+	if m == Gerenuk {
+		return "gerenuk"
+	}
+	return "baseline"
+}
+
+// Compiled is a program plus everything the Gerenuk compiler derived from
+// it: inline layouts, the codec, and per-driver SER analyses and
+// transformed functions.
+type Compiled struct {
+	Prog    *ir.Program
+	Layouts *dsa.Result
+	Codec   *serde.Codec
+
+	SERs    map[string]*analysis.SER
+	Natives map[string]*ir.Func
+	XStats  map[string]transform.Stats
+}
+
+// Compile runs the data structure analyzer over the program's top types
+// and prepares the compiled container. Drivers are compiled on demand by
+// CompileDriver.
+func Compile(prog *ir.Program) *Compiled {
+	layouts := dsa.Analyze(prog.Reg, prog.TopTypes)
+	return &Compiled{
+		Prog:    prog,
+		Layouts: layouts,
+		Codec:   serde.NewCodec(prog.Reg, layouts),
+		SERs:    make(map[string]*analysis.SER),
+		Natives: make(map[string]*ir.Func),
+		XStats:  make(map[string]transform.Stats),
+	}
+}
+
+// CompileDriver runs the SER analyzer and Algorithm 1 on one driver
+// function, caching the result. Untransformable SERs are recorded (the
+// job then stays on the heap path) rather than failing.
+func (c *Compiled) CompileDriver(entry string) error {
+	if _, done := c.SERs[entry]; done {
+		return nil
+	}
+	ser, err := analysis.AnalyzeSER(c.Prog, c.Layouts, entry)
+	if err != nil {
+		return err
+	}
+	c.SERs[entry] = ser
+	c.Prog.ResolveProgram(entry)
+	if !ser.Transformable {
+		return nil
+	}
+	out, err := transform.Transform(c.Prog, c.Layouts, ser)
+	if err != nil {
+		return err
+	}
+	c.Natives[entry] = out.Native
+	c.XStats[entry] = out.Stats
+	return nil
+}
+
+// CanRunNative reports whether a compiled native version exists.
+func (c *Compiled) CanRunNative(entry string) bool { return c.Natives[entry] != nil }
+
+// Input is one bound source of a task invocation: wire records in Buf.
+// If Offs is non-nil it lists the record start offsets to read (e.g. one
+// key group of a shuffle partition); otherwise the whole buffer is
+// scanned sequentially.
+type Input struct {
+	Class string
+	Buf   []byte
+	Offs  []int
+}
+
+// TaskSpec describes one task: a driver run once per invocation (map
+// tasks have a single invocation over a split; reduce tasks have one
+// invocation per key group).
+type TaskSpec struct {
+	Name   string
+	Driver string
+	// Invocations bind source names to inputs, once per driver run.
+	Invocations []map[string]Input
+	// Args passes extra scalar arguments to the driver after no
+	// parameters (drivers normally take none).
+	Args []int64
+	// ClosureBytes simulates shipping the serialized closure/task binary
+	// to the executor; both modes pay it (the paper's residual serde).
+	ClosureBytes int
+	// EpochPerInvocation wraps each invocation in a Yak epoch
+	// (PolicyRegion heaps only).
+	EpochPerInvocation bool
+	// AbortAfterRecords forces a speculative abort after N records, for
+	// the Figure 10(b) experiment.
+	AbortAfterRecords int64
+}
+
+// TaskResult is the outcome of one task.
+type TaskResult struct {
+	Out   []byte // output wire records
+	Stats metrics.Breakdown
+}
+
+// Executor runs tasks. Safe for use by one goroutine at a time; create
+// one per worker.
+type Executor struct {
+	C       *Compiled
+	Mode    Mode
+	HeapCfg heap.Config
+}
+
+// RunTask executes the task, speculatively when the executor is in
+// Gerenuk mode and the driver has a native version. On abort, the
+// attempt's executor state is discarded and the original driver re-runs
+// on the heap path over the same inputs.
+func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
+	start := time.Now()
+	var bd metrics.Breakdown
+
+	// Closure shipping: serialize on the "driver", deserialize here.
+	serT, deserT := simulateClosure(spec.ClosureBytes)
+	bd.Ser += serT
+	bd.Deser += deserT
+
+	if e.Mode == Gerenuk && e.C.CanRunNative(spec.Driver) {
+		out, attempt, err := e.runNativeAttempt(spec)
+		bd.Add(attempt)
+		if err == nil {
+			bd.Total = time.Since(start)
+			return TaskResult{Out: out, Stats: bd}, nil
+		}
+		if !errors.Is(err, interp.ErrAbort) {
+			return TaskResult{}, fmt.Errorf("task %s: %w", spec.Name, err)
+		}
+		// Abort: discard the attempt (heap, arena and partial output all
+		// die with it) and fall through to the slow path.
+		bd.Aborts++
+	}
+
+	out, slow, err := e.runHeapAttempt(spec)
+	bd.Add(slow)
+	if err != nil {
+		return TaskResult{}, fmt.Errorf("task %s: %w", spec.Name, err)
+	}
+	bd.Total = time.Since(start)
+	return TaskResult{Out: out, Stats: bd}, nil
+}
+
+// runHeapAttempt executes the original driver over the simulated heap.
+func (e *Executor) runHeapAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	h := heap.New(e.C.Prog.Reg, e.HeapCfg)
+	sink := &collectSink{}
+	fn := e.C.Prog.Fn(spec.Driver)
+
+	for _, inv := range spec.Invocations {
+		sources := make(map[string]interp.Source, len(inv))
+		for name, in := range inv {
+			sources[name] = newWireSource(in)
+		}
+		env := &interp.Env{
+			Mode: interp.ModeHeap, Prog: e.C.Prog, Heap: h, Codec: e.C.Codec,
+			Layouts: e.C.Layouts, Sources: sources, Sink: sink,
+		}
+		if spec.EpochPerInvocation {
+			h.EpochStart()
+		}
+		_, err := interp.New(env).Run(fn, spec.Args...)
+		bd.Ser += env.SerTime
+		bd.Deser += env.DeserTime
+		if err != nil {
+			return nil, bd, err
+		}
+		if spec.EpochPerInvocation {
+			if err := h.EpochEnd(); err != nil {
+				return nil, bd, err
+			}
+		}
+	}
+	st := h.Stats()
+	bd.GC += st.GCTime
+	bd.MinorGCs += st.MinorGCs
+	bd.MajorGCs += st.MajorGCs
+	bd.AllocObjects += st.AllocObjects
+	bd.AllocBytes += st.AllocBytes
+	if st.PeakUsedBytes > bd.PeakHeapBytes {
+		bd.PeakHeapBytes = st.PeakUsedBytes
+	}
+	// The serialized shuffle-output buffer is process memory too (the
+	// Gerenuk path's equivalent lives inside its arena regions and is
+	// already counted there).
+	if out := int64(len(sink.out)); out > bd.PeakNativeBytes {
+		bd.PeakNativeBytes = out
+	}
+	bd.Records += countRecords(spec)
+	return sink.out, bd, nil
+}
+
+// runNativeAttempt executes the transformed driver over arena regions.
+func (e *Executor) runNativeAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	a := arena.New()
+	// A Gerenuk executor keeps a small control heap; data never touches it.
+	h := heap.New(e.C.Prog.Reg, heap.Config{
+		YoungSize: e.HeapCfg.YoungSize / 4, OldSize: e.HeapCfg.OldSize / 4,
+	})
+	out := a.NewRegion("task-out")
+	sink := &nativeSink{a: a}
+	fn := e.C.Natives[spec.Driver]
+
+	// Adopt each distinct input buffer once.
+	regions := make(map[*byte]*arena.Region)
+	regionFor := func(buf []byte) *arena.Region {
+		if len(buf) == 0 {
+			return a.NewRegion("empty")
+		}
+		key := &buf[0]
+		if r, ok := regions[key]; ok {
+			return r
+		}
+		r := a.AdoptBytes("task-in", buf)
+		regions[key] = r
+		return r
+	}
+
+	var aborted error
+	for _, inv := range spec.Invocations {
+		sources := make(map[string]interp.NativeSource, len(inv))
+		for name, in := range inv {
+			sources[name] = newRegionSource(a, regionFor(in.Buf), in)
+		}
+		env := &interp.Env{
+			Mode: interp.ModeNative, Prog: e.C.Prog, Heap: h, Arena: a,
+			Layouts: e.C.Layouts, Out: out,
+			NativeSources: sources, NativeSink: sink,
+			AbortAfterRecords: spec.AbortAfterRecords,
+		}
+		_, err := interp.New(env).Run(fn, spec.Args...)
+		bd.Ser += env.SerTime
+		bd.Deser += env.DeserTime
+		if err != nil {
+			aborted = err
+			break
+		}
+	}
+	hst := h.Stats()
+	bd.GC += hst.GCTime
+	bd.MinorGCs += hst.MinorGCs
+	bd.MajorGCs += hst.MajorGCs
+	bd.AllocObjects += hst.AllocObjects
+	bd.AllocBytes += hst.AllocBytes
+	peak := hst.PeakUsedBytes
+	if peak > bd.PeakHeapBytes {
+		bd.PeakHeapBytes = peak
+	}
+	if ast := a.Stats(); ast.PeakBytes > bd.PeakNativeBytes {
+		bd.PeakNativeBytes = ast.PeakBytes
+	}
+	if aborted != nil {
+		return nil, bd, aborted
+	}
+	bd.Records += countRecords(spec)
+	// Copy output bytes out, then free all regions wholesale — the
+	// region-based reclamation the confinement guarantee enables.
+	result := append([]byte(nil), sink.Bytes()...)
+	return result, bd, nil
+}
+
+func countRecords(spec TaskSpec) int64 {
+	var n int64
+	for _, inv := range spec.Invocations {
+		for _, in := range inv {
+			if in.Offs != nil {
+				n += int64(len(in.Offs))
+			} else {
+				for off := 0; off < len(in.Buf); off += serde.RecordSize(in.Buf, off) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// simulateClosure models serializing and deserializing the task closure
+// (lambda + captured state). It does real byte work so it shows up in
+// measurements the way the paper's residual serde does.
+func simulateClosure(n int) (ser, deser time.Duration) {
+	if n <= 0 {
+		return 0, 0
+	}
+	t0 := time.Now()
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	ser = time.Since(t0)
+	t1 := time.Now()
+	var sum uint64
+	for _, b := range buf {
+		sum = sum*131 + uint64(b)
+	}
+	_ = sum
+	deser = time.Since(t1)
+	return ser, deser
+}
+
+// RunNativeDebug exposes the native attempt for tests diagnosing abort
+// reasons.
+func (e *Executor) RunNativeDebug(spec TaskSpec) ([]byte, error) {
+	out, _, err := e.runNativeAttempt(spec)
+	return out, err
+}

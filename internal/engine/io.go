@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/arena"
+	"repro/internal/dsa"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serde"
+)
+
+// wireSource iterates size-prefixed records in a byte buffer, optionally
+// restricted to explicit record offsets (one shuffle key group).
+type wireSource struct {
+	in  Input
+	pos int // sequential scan offset, or index into Offs
+}
+
+func newWireSource(in Input) *wireSource { return &wireSource{in: in} }
+
+func (s *wireSource) NextWire() ([]byte, int, bool) {
+	if s.in.Offs != nil {
+		if s.pos >= len(s.in.Offs) {
+			return nil, 0, false
+		}
+		off := s.in.Offs[s.pos]
+		s.pos++
+		return s.in.Buf, off, true
+	}
+	if s.pos >= len(s.in.Buf) {
+		return nil, 0, false
+	}
+	off := s.pos
+	s.pos += serde.RecordSize(s.in.Buf, s.pos)
+	return s.in.Buf, off, true
+}
+
+func (s *wireSource) Class() string { return s.in.Class }
+
+// regionSource iterates the same records as native addresses within an
+// adopted region.
+type regionSource struct {
+	a      *arena.Arena
+	region *arena.Region
+	in     Input
+	pos    int
+}
+
+func newRegionSource(a *arena.Arena, r *arena.Region, in Input) *regionSource {
+	return &regionSource{a: a, region: r, in: in}
+}
+
+func (s *regionSource) NextAddr() (int64, bool) {
+	if s.in.Offs != nil {
+		if s.pos >= len(s.in.Offs) {
+			return 0, false
+		}
+		addr := s.region.AddrOf(s.in.Offs[s.pos] + serde.SizePrefixBytes)
+		s.pos++
+		return addr, true
+	}
+	if s.pos >= s.region.Len() {
+		return 0, false
+	}
+	size := s.a.ReadNative(s.region.AddrOf(s.pos), 0, 4)
+	addr := s.region.AddrOf(s.pos + serde.SizePrefixBytes)
+	s.pos += serde.SizePrefixBytes + int(size)
+	return addr, true
+}
+
+func (s *regionSource) Class() string { return s.in.Class }
+
+// collectSink accumulates output wire records (heap mode).
+type collectSink struct{ out []byte }
+
+func (s *collectSink) WriteWire(rec []byte, class string) error {
+	s.out = append(s.out, rec...)
+	return nil
+}
+
+// nativeSink accumulates sealed native records as wire bytes by
+// referencing their region storage (prefix included).
+type nativeSink struct {
+	a   *arena.Arena
+	out []byte
+}
+
+func (s *nativeSink) WriteRecord(addr int64, size int, class string) error {
+	s.out = append(s.out, s.a.Slice(addr-serde.SizePrefixBytes, serde.SizePrefixBytes+size)...)
+	return nil
+}
+
+func (s *nativeSink) Bytes() []byte { return s.out }
+
+// ---- record/key utilities over wire bytes ----
+
+// byteReader adapts a record payload (no prefix) to expr.NativeReader
+// with base interpreted as an offset into the slice.
+type byteReader []byte
+
+func (b byteReader) ReadNative(base, off int64, sz int) int64 {
+	m := b[base+off:]
+	switch sz {
+	case 1:
+		return int64(int8(m[0]))
+	case 2:
+		return int64(int16(binary.LittleEndian.Uint16(m)))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(m)))
+	case 8:
+		return int64(binary.LittleEndian.Uint64(m))
+	default:
+		panic(fmt.Sprintf("engine: read of size %d", sz))
+	}
+}
+
+// KeyOf extracts the canonical key bytes of the named field from a wire
+// record (size prefix at rec[off:]). Both execution modes use the same
+// function, mirroring how shuffle partitioning operates on serialized
+// data in real systems; the inlined format makes key bytes canonical.
+func KeyOf(layouts *dsa.Result, class, field string, buf []byte, off int) ([]byte, error) {
+	l := layouts.Layout(class)
+	if l == nil {
+		return nil, fmt.Errorf("engine: no layout for %s", class)
+	}
+	fOff, ok := l.FieldOff[field]
+	if !ok {
+		return nil, fmt.Errorf("engine: no field %s.%s", class, field)
+	}
+	payload := buf[off+serde.SizePrefixBytes:]
+	fo := fOff.Eval(byteReader(payload), 0)
+	f, _ := l.Class.Field(field)
+	switch {
+	case !f.Type.IsRef():
+		return payload[fo : fo+int64(f.Type.Kind.Size())], nil
+	case f.Type.Class == model.StringClassName:
+		n := byteReader(payload).ReadNative(fo, 0, 4)
+		return payload[fo : fo+4+2*n], nil
+	default:
+		return nil, fmt.Errorf("engine: key field %s.%s has unsupported type %s", class, field, f.Type)
+	}
+}
+
+// HashKey hashes canonical key bytes (FNV-1a).
+func HashKey(key []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RecordOffsets lists the start offsets of all records in a buffer.
+func RecordOffsets(buf []byte) []int {
+	var offs []int
+	for off := 0; off < len(buf); off += serde.RecordSize(buf, off) {
+		offs = append(offs, off)
+	}
+	return offs
+}
+
+// GroupByKey partitions the records of buf into groups keyed by the
+// canonical bytes of the key field, preserving first-seen key order.
+// This is the engine-side shuffle-read grouping; it never deserializes.
+func GroupByKey(layouts *dsa.Result, class, field string, buf []byte) (keys [][]byte, groups [][]int, err error) {
+	index := make(map[string]int)
+	for off := 0; off < len(buf); off += serde.RecordSize(buf, off) {
+		key, err := KeyOf(layouts, class, field, buf, off)
+		if err != nil {
+			return nil, nil, err
+		}
+		i, seen := index[string(key)]
+		if !seen {
+			i = len(keys)
+			index[string(key)] = i
+			keys = append(keys, append([]byte(nil), key...))
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], off)
+	}
+	return keys, groups, nil
+}
+
+// Partition splits records of buf into n hash partitions by key field.
+func Partition(layouts *dsa.Result, class, field string, buf []byte, n int) ([][]byte, error) {
+	parts := make([][]byte, n)
+	for off := 0; off < len(buf); off += serde.RecordSize(buf, off) {
+		key, err := KeyOf(layouts, class, field, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		p := int(HashKey(key) % uint64(n))
+		parts[p] = append(parts[p], buf[off:off+serde.RecordSize(buf, off)]...)
+	}
+	return parts, nil
+}
+
+// ---- worker pool ----
+
+// Pool runs tasks across a fixed set of worker executors, mirroring the
+// multi-executor worker nodes of the paper's cluster.
+type Pool struct {
+	Workers int
+}
+
+// JobResult aggregates a set of task results.
+type JobResult struct {
+	Outputs [][]byte
+	Stats   metrics.Breakdown // summed across tasks; peaks summed across workers
+	Wall    metrics.Breakdown // wall-clock Total only
+}
+
+// Run executes all tasks on w workers, each task on a fresh executor
+// state. Task outputs are returned in task order.
+func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	type outcome struct {
+		res TaskResult
+		err error
+	}
+	results := make([]outcome, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	workerPeaks := make([]metrics.Breakdown, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := exec()
+			for i := range next {
+				res, err := e.RunTask(specs[i])
+				results[i] = outcome{res, err}
+				if res.Stats.PeakHeapBytes > workerPeaks[w].PeakHeapBytes {
+					workerPeaks[w].PeakHeapBytes = res.Stats.PeakHeapBytes
+				}
+				if res.Stats.PeakNativeBytes > workerPeaks[w].PeakNativeBytes {
+					workerPeaks[w].PeakNativeBytes = res.Stats.PeakNativeBytes
+				}
+			}
+		}(w)
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	job := &JobResult{}
+	for i, o := range results {
+		if o.err != nil {
+			return nil, o.err
+		}
+		job.Outputs = append(job.Outputs, o.res.Out)
+		s := o.res.Stats
+		// Peaks are handled below per worker; zero them for the sum.
+		s.PeakHeapBytes, s.PeakNativeBytes = 0, 0
+		job.Stats.Add(s)
+		_ = i
+	}
+	// Process-level peak: concurrent workers' peaks coexist.
+	for _, wp := range workerPeaks {
+		job.Stats.PeakHeapBytes += wp.PeakHeapBytes
+		job.Stats.PeakNativeBytes += wp.PeakNativeBytes
+	}
+	return job, nil
+}

@@ -1,0 +1,120 @@
+// Package expr implements the symbolic size and offset expressions used
+// by the data structure analyzer (paper section 3.3).
+//
+// A class that directly or transitively contains a variable-length array
+// has no statically decidable inlined size; its size and the offsets of
+// fields laid out after the array are linear expressions over the array
+// lengths stored in the inlined bytes. The paper's example
+//
+//	class C { int a; long[] b; double c; }
+//
+// yields offset(c) = 4 + 4 + 8*readNative(BASE_C, 4, 4) and
+// size(C) = 16 + 8*readNative(BASE_C, 4, 4).
+//
+// An Expr is a constant plus a sum of scaled ReadNative terms. Each term's
+// offset argument is itself an Expr, because an array's length slot can
+// sit behind an earlier variable-length array. Terms are resolved at run
+// time against a NativeReader (the arena), which is precisely the
+// resolveOffset auxiliary function of Algorithm 1.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NativeReader reads sz bytes at base+off from native memory, returning
+// the value zero-extended to int64. The Gerenuk arena implements it.
+type NativeReader interface {
+	ReadNative(base int64, off int64, sz int) int64
+}
+
+// Term is one scaled readNative occurrence: Scale * readNative(BASE+Off, Size).
+type Term struct {
+	Scale int64
+	Off   *Expr // offset of the length slot, relative to the record base
+	Size  int   // bytes of the length slot (always 4 in practice)
+}
+
+// Expr is Const + sum(Terms). The zero value is the constant 0.
+type Expr struct {
+	Const int64
+	Terms []Term
+}
+
+// Konst returns a constant expression.
+func Konst(c int64) *Expr { return &Expr{Const: c} }
+
+// ReadNative returns the expression Scale*readNative(BASE+off, size).
+func ReadNative(scale int64, off *Expr, size int) *Expr {
+	return &Expr{Terms: []Term{{Scale: scale, Off: off, Size: size}}}
+}
+
+// IsConst reports whether the expression has no symbolic terms.
+func (e *Expr) IsConst() bool { return len(e.Terms) == 0 }
+
+// ConstValue returns the constant value; it panics if the expression is
+// symbolic, which indicates a compiler bug (the transformation must route
+// symbolic offsets through resolveOffset).
+func (e *Expr) ConstValue() int64 {
+	if !e.IsConst() {
+		panic("expr: ConstValue on symbolic expression " + e.String())
+	}
+	return e.Const
+}
+
+// Add returns e + o as a new expression.
+func (e *Expr) Add(o *Expr) *Expr {
+	out := &Expr{Const: e.Const + o.Const}
+	out.Terms = append(out.Terms, e.Terms...)
+	out.Terms = append(out.Terms, o.Terms...)
+	return out
+}
+
+// AddConst returns e + c as a new expression.
+func (e *Expr) AddConst(c int64) *Expr { return e.Add(Konst(c)) }
+
+// Scale returns e * k as a new expression.
+func (e *Expr) Scale(k int64) *Expr {
+	out := &Expr{Const: e.Const * k}
+	for _, t := range e.Terms {
+		out.Terms = append(out.Terms, Term{Scale: t.Scale * k, Off: t.Off, Size: t.Size})
+	}
+	return out
+}
+
+// Eval resolves the expression against a concrete record base address,
+// reading array-length slots through r. This is resolveOffset from
+// Algorithm 1.
+func (e *Expr) Eval(r NativeReader, base int64) int64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		off := t.Off.Eval(r, base)
+		v += t.Scale * r.ReadNative(base, off, t.Size)
+	}
+	return v
+}
+
+// String renders the expression in the paper's notation.
+func (e *Expr) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d", e.Const)
+	for _, t := range e.Terms {
+		fmt.Fprintf(&b, " + %d*readNative(BASE+%s, %d)", t.Scale, t.Off.String(), t.Size)
+	}
+	return b.String()
+}
+
+// Equal reports structural equality of two expressions.
+func (e *Expr) Equal(o *Expr) bool {
+	if e.Const != o.Const || len(e.Terms) != len(o.Terms) {
+		return false
+	}
+	for i, t := range e.Terms {
+		u := o.Terms[i]
+		if t.Scale != u.Scale || t.Size != u.Size || !t.Off.Equal(u.Off) {
+			return false
+		}
+	}
+	return true
+}

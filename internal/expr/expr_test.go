@@ -1,0 +1,141 @@
+package expr
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// fakeNative is a flat byte buffer implementing NativeReader, standing in
+// for the arena in unit tests.
+type fakeNative []byte
+
+func (f fakeNative) ReadNative(base, off int64, sz int) int64 {
+	m := f[base+off:]
+	switch sz {
+	case 1:
+		return int64(m[0])
+	case 2:
+		return int64(binary.LittleEndian.Uint16(m))
+	case 4:
+		return int64(int32(binary.LittleEndian.Uint32(m)))
+	case 8:
+		return int64(binary.LittleEndian.Uint64(m))
+	}
+	panic("bad size")
+}
+
+func TestConstArithmetic(t *testing.T) {
+	e := Konst(4).AddConst(4).Add(Konst(8))
+	if !e.IsConst() {
+		t.Fatalf("expected const")
+	}
+	if got := e.ConstValue(); got != 16 {
+		t.Errorf("ConstValue = %d, want 16", got)
+	}
+	if got := e.Scale(3).ConstValue(); got != 48 {
+		t.Errorf("Scale = %d, want 48", got)
+	}
+}
+
+// TestPaperExample checks the exact expression from paper section 3.3:
+// class C { int a; long[] b; double c; } in the *inlined* layout has
+// offset(a)=0, offset(b)=4 (its length slot), and
+// offset(c) = 4 + 4 + 8*readNative(BASE, 4, 4);
+// size(C) = 16 + 8*readNative(BASE, 4, 4).
+func TestPaperExample(t *testing.T) {
+	lenB := ReadNative(1, Konst(4), 4)
+	offC := Konst(4 + 4).Add(lenB.Scale(8))
+	sizeC := Konst(16).Add(lenB.Scale(8))
+
+	// Build a record with b.len = 5: [a:4][len:4][5 longs][c:8]
+	buf := make(fakeNative, 4+4+5*8+8)
+	binary.LittleEndian.PutUint32(buf[0:], 7)                      // a
+	binary.LittleEndian.PutUint32(buf[4:], 5)                      // b.len
+	binary.LittleEndian.PutUint64(buf[8+5*8:], 0x4045000000000000) // c = 42.0
+
+	if got := offC.Eval(buf, 0); got != 48 {
+		t.Errorf("offset(c) = %d, want 48", got)
+	}
+	if got := sizeC.Eval(buf, 0); got != 56 {
+		t.Errorf("size(C) = %d, want 56", got)
+	}
+	if got := offC.String(); got != "8 + 8*readNative(BASE+4, 4)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNestedSymbolicOffset(t *testing.T) {
+	// Two consecutive arrays: [len1:4][len1 bytes][len2:4][len2 * 8] — the
+	// second length slot's offset depends on the first array's length.
+	len1 := ReadNative(1, Konst(0), 4)
+	off2 := Konst(4).Add(len1) // offset of len2
+	total := off2.AddConst(4).Add(ReadNative(8, off2, 4))
+
+	buf := make(fakeNative, 64)
+	binary.LittleEndian.PutUint32(buf[0:], 8)  // len1 = 8
+	binary.LittleEndian.PutUint32(buf[12:], 3) // len2 = 3 at offset 4+8
+	if got := off2.Eval(buf, 0); got != 12 {
+		t.Errorf("off2 = %d, want 12", got)
+	}
+	if got := total.Eval(buf, 0); got != 12+4+24 {
+		t.Errorf("total = %d, want 40", got)
+	}
+}
+
+func TestEvalWithNonzeroBase(t *testing.T) {
+	lenB := ReadNative(2, Konst(4), 4)
+	buf := make(fakeNative, 128)
+	binary.LittleEndian.PutUint32(buf[100+4:], 6)
+	if got := lenB.Eval(buf, 100); got != 12 {
+		t.Errorf("Eval(base=100) = %d, want 12", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Konst(8).Add(ReadNative(8, Konst(4), 4))
+	b := Konst(8).Add(ReadNative(8, Konst(4), 4))
+	c := Konst(8).Add(ReadNative(4, Konst(4), 4))
+	if !a.Equal(b) {
+		t.Errorf("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Errorf("a should not equal c (different scale)")
+	}
+	if a.Equal(Konst(8)) {
+		t.Errorf("a should not equal a constant")
+	}
+}
+
+func TestConstValuePanicsOnSymbolic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("ConstValue on symbolic expression did not panic")
+		}
+	}()
+	ReadNative(1, Konst(0), 4).ConstValue()
+}
+
+// Property: Add and Scale behave like linear algebra over the evaluated
+// values: (a+b).Eval = a.Eval + b.Eval and (a*k).Eval = k*a.Eval.
+func TestLinearityProperty(t *testing.T) {
+	buf := make(fakeNative, 64)
+	binary.LittleEndian.PutUint32(buf[0:], 3)
+	binary.LittleEndian.PutUint32(buf[4:], 11)
+	mk := func(c int64, s1, s2 int64) *Expr {
+		return Konst(c).Add(ReadNative(s1, Konst(0), 4)).Add(ReadNative(s2, Konst(4), 4))
+	}
+	f := func(c1, c2 int32, s1, s2, k int8) bool {
+		a := mk(int64(c1), int64(s1), int64(s2))
+		b := mk(int64(c2), int64(s2), int64(s1))
+		sum := a.Add(b)
+		if sum.Eval(buf, 0) != a.Eval(buf, 0)+b.Eval(buf, 0) {
+			return false
+		}
+		sc := a.Scale(int64(k))
+		return sc.Eval(buf, 0) == int64(k)*a.Eval(buf, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

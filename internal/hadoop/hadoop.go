@@ -1,0 +1,258 @@
+// Package hadoop implements an in-process MapReduce engine over the
+// Gerenuk execution layer: map tasks over input splits, map-side sort
+// and optional combining (the paper's IMC workload), a hash partition to
+// reducers, and reduce tasks that fold key groups.
+//
+// As in internal/spark, each task is one speculative execution region:
+// the map driver spans WritableDeserializer.deserialize (the paper's
+// Hadoop deserialization point) to the shuffle write, and the reduce
+// driver spans the shuffle read to IFile.append.
+package hadoop
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/heap"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+)
+
+// JobConf configures one MapReduce job.
+type JobConf struct {
+	Name string
+	// MapDriver reads records of InClass from source "in" and emits
+	// MapOutClass records.
+	MapDriver string
+	// CombineDriver, if set, folds each key group of the map output
+	// before the shuffle (in-map combining). Must be a reduce-style
+	// driver over MapOutClass.
+	CombineDriver string
+	// ReduceDriver folds each key group on the reduce side, emitting
+	// OutClass records.
+	ReduceDriver string
+
+	InClass     string
+	MapOutClass string
+	OutClass    string
+	KeyField    string
+
+	Reducers int
+	Workers  int
+	Mode     engine.Mode
+	// MapHeap and ReduceHeap size the per-task heaps (the paper gives
+	// mappers and reducers different heaps).
+	MapHeap    heap.Config
+	ReduceHeap heap.Config
+	// EpochPerTask wraps each task invocation in a Yak epoch (the
+	// epoch_start/epoch_end in setup()/cleanup() of section 4.3).
+	EpochPerTask bool
+	ClosureBytes int
+}
+
+func (c JobConf) withDefaults() JobConf {
+	if c.Reducers <= 0 {
+		c.Reducers = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MapHeap.YoungSize == 0 {
+		c.MapHeap = heap.Config{YoungSize: 128 << 10, OldSize: 2 << 20}
+	}
+	if c.ReduceHeap.YoungSize == 0 {
+		c.ReduceHeap = heap.Config{YoungSize: 128 << 10, OldSize: 3 << 20}
+	}
+	if c.ClosureBytes == 0 {
+		c.ClosureBytes = 4 << 10
+	}
+	if c.EpochPerTask {
+		c.MapHeap.Policy = heap.PolicyRegion
+		c.ReduceHeap.Policy = heap.PolicyRegion
+	}
+	return c
+}
+
+// Result is the outcome of a job.
+type Result struct {
+	Out         []byte
+	Stats       metrics.Breakdown
+	Wall        time.Duration
+	MapTasks    int
+	ReduceTasks int
+	// ShuffleBytes is the volume transferred from mappers to reducers
+	// (after map-side combining, if any).
+	ShuffleBytes int64
+}
+
+// Run executes the job over the given input splits.
+func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
+	conf = conf.withDefaults()
+	res := &Result{}
+	start := time.Now()
+
+	for _, d := range []string{conf.MapDriver, conf.CombineDriver, conf.ReduceDriver} {
+		if d == "" {
+			continue
+		}
+		if err := c.CompileDriver(d); err != nil {
+			return nil, fmt.Errorf("hadoop: compiling %s: %w", d, err)
+		}
+	}
+
+	// ---- map phase ----
+	mapSpecs := make([]engine.TaskSpec, len(splits))
+	for i, split := range splits {
+		mapSpecs[i] = engine.TaskSpec{
+			Name:   fmt.Sprintf("%s-map%d", conf.Name, i),
+			Driver: conf.MapDriver,
+			Invocations: []map[string]engine.Input{
+				{"in": {Class: conf.InClass, Buf: split}},
+			},
+			ClosureBytes:       conf.ClosureBytes,
+			EpochPerInvocation: conf.EpochPerTask,
+		}
+	}
+	pool := &engine.Pool{Workers: conf.Workers}
+	mapExec := func() *engine.Executor {
+		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap}
+	}
+	mapJob, err := pool.Run(mapExec, mapSpecs)
+	if err != nil {
+		return nil, fmt.Errorf("hadoop: map phase: %w", err)
+	}
+	res.Stats.Add(mapJob.Stats)
+	res.MapTasks = len(mapSpecs)
+
+	// ---- map-side sort (+ optional combine) ----
+	// Sorting serialized key-value pairs is framework work both modes
+	// pay identically (Gerenuk does not change Hadoop's byte-level
+	// sort); it is measured into the total like any other computation.
+	sortStart := time.Now()
+	mapOuts := mapJob.Outputs
+	for i, out := range mapOuts {
+		sorted := SortByKey(c, conf.MapOutClass, conf.KeyField, out)
+		mapOuts[i] = sorted
+	}
+	res.Stats.Total += time.Since(sortStart)
+	if conf.CombineDriver != "" {
+		combined, job, err := foldGroups(c, conf, pool, conf.CombineDriver,
+			conf.MapOutClass, mapOuts, conf.MapHeap, "combine")
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Add(job.Stats)
+		mapOuts = combined
+	}
+
+	// ---- shuffle: partition every map output to reducers ----
+	shufStart := time.Now()
+	blocks := make([][]byte, conf.Reducers)
+	for _, out := range mapOuts {
+		parts, err := engine.Partition(c.Layouts, conf.MapOutClass, conf.KeyField, out, conf.Reducers)
+		if err != nil {
+			return nil, fmt.Errorf("hadoop: shuffle: %w", err)
+		}
+		for i, p := range parts {
+			blocks[i] = append(blocks[i], p...)
+		}
+	}
+	res.Stats.Total += time.Since(shufStart)
+
+	for _, b := range blocks {
+		res.ShuffleBytes += int64(len(b))
+	}
+
+	// ---- reduce phase: merge-sort each reducer's blocks and fold ----
+	mergeStart := time.Now()
+	for i := range blocks {
+		blocks[i] = SortByKey(c, conf.MapOutClass, conf.KeyField, blocks[i])
+	}
+	res.Stats.Total += time.Since(mergeStart)
+	outs, job, err := foldGroups(c, conf, pool, conf.ReduceDriver,
+		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce")
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Add(job.Stats)
+	res.ReduceTasks = len(blocks)
+	for _, o := range outs {
+		res.Out = append(res.Out, o...)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// foldGroups runs a reduce-style driver once per key group of each block.
+func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, class string,
+	blocks [][]byte, heapCfg heap.Config, phase string) ([][]byte, *engine.JobResult, error) {
+	var specs []engine.TaskSpec
+	var blockOf []int
+	for i, block := range blocks {
+		if len(block) == 0 {
+			continue
+		}
+		_, groups, err := engine.GroupByKey(c.Layouts, class, conf.KeyField, block)
+		if err != nil {
+			return nil, nil, fmt.Errorf("hadoop: %s grouping: %w", phase, err)
+		}
+		invocations := make([]map[string]engine.Input, 0, len(groups))
+		for _, offs := range groups {
+			invocations = append(invocations, map[string]engine.Input{
+				"in": {Class: class, Buf: block, Offs: offs},
+			})
+		}
+		specs = append(specs, engine.TaskSpec{
+			Name:               fmt.Sprintf("%s-%s%d", conf.Name, phase, i),
+			Driver:             driver,
+			Invocations:        invocations,
+			ClosureBytes:       conf.ClosureBytes,
+			EpochPerInvocation: conf.EpochPerTask,
+		})
+		blockOf = append(blockOf, i)
+	}
+	outs := make([][]byte, len(blocks))
+	if len(specs) == 0 {
+		return outs, &engine.JobResult{}, nil
+	}
+	exec := func() *engine.Executor {
+		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg}
+	}
+	job, err := pool.Run(exec, specs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("hadoop: %s phase: %w", phase, err)
+	}
+	for k, out := range job.Outputs {
+		outs[blockOf[k]] = out
+	}
+	return outs, job, nil
+}
+
+// SortByKey rebuilds buf with its records sorted by canonical key bytes —
+// the map-side sort both modes pay, mirroring Hadoop's in-memory sort of
+// serialized key-value pairs.
+func SortByKey(c *engine.Compiled, class, field string, buf []byte) []byte {
+	offs := engine.RecordOffsets(buf)
+	keys := make([]string, len(offs))
+	for i, off := range offs {
+		k, err := engine.KeyOf(c.Layouts, class, field, buf, off)
+		if err != nil {
+			// Sorting is engine machinery; schema errors here are bugs.
+			panic(fmt.Sprintf("hadoop: SortByKey: %v", err))
+		}
+		keys[i] = string(k)
+	}
+	idx := make([]int, len(offs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]byte, 0, len(buf))
+	for _, i := range idx {
+		off := offs[i]
+		out = append(out, buf[off:off+serde.RecordSize(buf, off)]...)
+	}
+	return out
+}

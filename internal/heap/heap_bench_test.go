@@ -1,0 +1,95 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func benchRegistry() (*model.Registry, *model.Class) {
+	reg := model.NewRegistry()
+	c := reg.Define(model.ClassDef{Name: "Rec", Fields: []model.FieldDef{
+		{Name: "a", Type: model.Prim(model.KindLong)},
+		{Name: "b", Type: model.Prim(model.KindDouble)},
+		{Name: "next", Type: model.Object("Rec")},
+	}})
+	return reg, c
+}
+
+// BenchmarkAllocGarbage measures allocation throughput with everything
+// dying young — the scavenger's best case.
+func BenchmarkAllocGarbage(b *testing.B) {
+	reg, cls := benchRegistry()
+	h := New(reg, Config{YoungSize: 256 << 10, OldSize: 4 << 20})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.AllocObject(cls); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(h.Stats().MinorGCs), "minorGCs")
+}
+
+// BenchmarkAllocSurvivors measures allocation with a rooted window of
+// live objects, forcing copying and promotion.
+func BenchmarkAllocSurvivors(b *testing.B) {
+	reg, cls := benchRegistry()
+	h := New(reg, Config{YoungSize: 128 << 10, OldSize: 16 << 20})
+	const window = 512
+	roots := make([]Addr, window)
+	remove := h.AddRoots(RootFunc(func(visit func(*Addr)) {
+		for i := range roots {
+			visit(&roots[i])
+		}
+	}))
+	defer remove()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := h.AllocObject(cls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots[i%window] = a
+	}
+	st := h.Stats()
+	b.ReportMetric(float64(st.MinorGCs), "minorGCs")
+	b.ReportMetric(float64(st.PromotedBytes)/float64(b.N+1), "promotedB/op")
+}
+
+// BenchmarkFieldAccess measures header-relative loads/stores, the
+// baseline path's per-access cost.
+func BenchmarkFieldAccess(b *testing.B) {
+	reg, cls := benchRegistry()
+	h := New(reg, Config{})
+	a, err := h.AllocObject(cls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := a
+	defer h.AddRoots(RootFunc(func(visit func(*Addr)) { visit(&root) }))()
+	fa := cls.MustField("a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SetPrim(root, fa.Offset, model.KindLong, uint64(i))
+		if got := h.GetPrim(root, fa.Offset, model.KindLong); got != uint64(i) {
+			b.Fatal("readback mismatch")
+		}
+	}
+}
+
+// BenchmarkWriteBarrier measures the reference-store barrier the paper
+// charges to baseline computation.
+func BenchmarkWriteBarrier(b *testing.B) {
+	reg, cls := benchRegistry()
+	h := New(reg, Config{YoungSize: 1 << 20, OldSize: 8 << 20})
+	x, _ := h.AllocObject(cls)
+	y, _ := h.AllocObject(cls)
+	rx, ry := x, y
+	defer h.AddRoots(RootFunc(func(visit func(*Addr)) { visit(&rx); visit(&ry) }))()
+	next := cls.MustField("next")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.SetRef(rx, next.Offset, ry)
+	}
+}

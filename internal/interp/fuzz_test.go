@@ -1,0 +1,254 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/dsa"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/transform"
+)
+
+// TestDifferentialRandomUDFs is the speculation-safety property from
+// DESIGN.md: for randomly generated record-processing UDFs — including
+// out-of-order record construction, which exercises the section 3.6
+// deferred-offset machinery — the transformed native execution either
+// produces byte-identical output to the heap execution or aborts. It
+// must never produce a *wrong* answer.
+func TestDifferentialRandomUDFs(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+
+		reg := model.NewRegistry()
+		reg.Define(model.ClassDef{Name: "In", Fields: []model.FieldDef{
+			{Name: "a", Type: model.Prim(model.KindLong)},
+			{Name: "xs", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+			{Name: "b", Type: model.Prim(model.KindDouble)},
+		}})
+		reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
+			{Name: "p", Type: model.Prim(model.KindLong)},
+			{Name: "ys", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+			{Name: "q", Type: model.Prim(model.KindDouble)},
+		}})
+		layouts := dsa.Analyze(reg, []string{"In", "Out"})
+		codec := serde.NewCodec(reg, layouts)
+		prog := ir.NewProgram(reg)
+		prog.TopTypes = []string{"In", "Out"}
+
+		// Random UDF: compute values from the input, then construct Out
+		// with a randomly permuted store order (p, q, ys creation, ys
+		// element writes in random positions relative to each other).
+		b := ir.NewFuncBuilder(prog, "udf", model.Type{})
+		rec := b.Param("rec", model.Object("In"))
+		a := b.Load(rec, "a")
+		bf := b.Load(rec, "b")
+		xs := b.Load(rec, "xs")
+		n := b.Len(xs)
+		af := b.Un(ir.OpI2D, a)
+		sum := b.Local("sum", model.Prim(model.KindDouble))
+		b.Emit(&ir.ConstFloat{Dst: sum, Val: 0})
+		b.For(n, func(i *ir.Var) {
+			x := b.Elem(xs, i)
+			b.BinTo(sum, ir.OpAdd, sum, x)
+		})
+		q := b.Bin(ir.OpMul, sum, bf)
+		p := b.Un(ir.OpD2I, af)
+
+		out := b.New("Out")
+		var arr *ir.Var
+		mkArr := func() {
+			arr = b.NewArr(model.Prim(model.KindDouble), n)
+			b.For(n, func(i *ir.Var) {
+				x := b.Elem(xs, i)
+				d := b.Bin(ir.OpAdd, x, q)
+				b.SetElem(arr, i, d)
+			})
+		}
+		steps := []func(){
+			func() { b.Store(out, "p", p) },
+			func() { b.Store(out, "q", q) },
+			mkArr,
+		}
+		r.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+		for _, s := range steps {
+			s()
+		}
+		b.Store(out, "ys", arr)
+		b.EmitRecord(out)
+		b.Ret(nil)
+		b.Done()
+
+		// Driver.
+		db := ir.NewFuncBuilder(prog, "driver", model.Type{})
+		zero := db.IConst(0)
+		drec := db.Local("rec", model.Object("In"))
+		db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
+		db.While(ir.CmpNE, drec, zero, func() {
+			db.CallV("udf", drec)
+			db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
+		})
+		db.Ret(nil)
+		db.Done()
+
+		// Random input records.
+		var input []byte
+		var err error
+		for i := 0; i < 1+r.Intn(5); i++ {
+			m := r.Intn(4)
+			xsv := make([]float64, m)
+			for j := range xsv {
+				xsv[j] = float64(r.Intn(50)) / 2
+			}
+			input, err = codec.Encode("In", serde.Obj{
+				"a": int64(r.Intn(100)), "b": float64(r.Intn(10)), "xs": xsv,
+			}, input)
+			if err != nil {
+				t.Logf("seed %d: encode: %v", seed, err)
+				return false
+			}
+		}
+
+		heapOut := runHeap(t, prog, layouts, codec, prog.Fn("driver"), input, "In")
+
+		ser, err := analysis.AnalyzeSER(prog, layouts, "driver")
+		if err != nil || !ser.Transformable {
+			t.Logf("seed %d: analysis: %v / %v", seed, err, ser)
+			return false
+		}
+		xf, err := transform.Transform(prog, layouts, ser)
+		if err != nil {
+			t.Logf("seed %d: transform: %v", seed, err)
+			return false
+		}
+		nativeOut, err := runNative(t, prog, layouts, xf.Native, input, "In")
+		if err != nil {
+			if errors.Is(err, ErrAbort) {
+				return true // aborting is always a safe outcome
+			}
+			t.Logf("seed %d: native error: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(heapOut, nativeOut) {
+			t.Logf("seed %d: outputs differ\nheap   %x\nnative %x", seed, heapOut, nativeOut)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterpOperators pins down arithmetic and comparison semantics.
+func TestInterpOperators(t *testing.T) {
+	reg := model.NewRegistry()
+	prog := ir.NewProgram(reg)
+	long := model.Prim(model.KindLong)
+	dbl := model.Prim(model.KindDouble)
+
+	cases := []struct {
+		name  string
+		build func(b *ir.FB) *ir.Var
+		want  int64
+	}{
+		{"add", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpAdd, b.IConst(3), b.IConst(4)) }, 7},
+		{"sub", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpSub, b.IConst(3), b.IConst(4)) }, -1},
+		{"mul", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpMul, b.IConst(-3), b.IConst(4)) }, -12},
+		{"div", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpDiv, b.IConst(9), b.IConst(2)) }, 4},
+		{"rem", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpRem, b.IConst(9), b.IConst(4)) }, 1},
+		{"min", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpMin, b.IConst(9), b.IConst(4)) }, 4},
+		{"max", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpMax, b.IConst(9), b.IConst(4)) }, 9},
+		{"and", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpAnd, b.IConst(6), b.IConst(3)) }, 2},
+		{"or", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpOr, b.IConst(6), b.IConst(3)) }, 7},
+		{"xor", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpXor, b.IConst(6), b.IConst(3)) }, 5},
+		{"shl", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpShl, b.IConst(3), b.IConst(2)) }, 12},
+		{"shr", func(b *ir.FB) *ir.Var { return b.Bin(ir.OpShr, b.IConst(12), b.IConst(2)) }, 3},
+		{"neg", func(b *ir.FB) *ir.Var { return b.Un(ir.OpNeg, b.IConst(5)) }, -5},
+		{"not", func(b *ir.FB) *ir.Var { return b.Un(ir.OpNot, b.IConst(0)) }, -1},
+		{"d2i", func(b *ir.FB) *ir.Var { return b.Un(ir.OpD2I, b.FConst(3.99)) }, 3},
+		{"i2d->d2i", func(b *ir.FB) *ir.Var { return b.Un(ir.OpD2I, b.Un(ir.OpI2D, b.IConst(42))) }, 42},
+		{"fdiv->d2i", func(b *ir.FB) *ir.Var {
+			d := b.Bin(ir.OpDiv, b.FConst(7), b.FConst(2))
+			return b.Un(ir.OpD2I, d)
+		}, 3},
+		{"sqrt", func(b *ir.FB) *ir.Var { return b.Un(ir.OpD2I, b.Un(ir.OpSqrt, b.FConst(16))) }, 4},
+	}
+	for i, c := range cases {
+		name := fmt.Sprintf("op%d_%s", i, c.name)
+		b := ir.NewFuncBuilder(prog, name, long)
+		v := c.build(b)
+		b.Ret(v)
+		fn := b.Done()
+		env := &Env{Mode: ModeHeap, Prog: prog}
+		got, err := New(env).Run(fn)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	_ = dbl
+}
+
+func TestInterpDivisionByZero(t *testing.T) {
+	reg := model.NewRegistry()
+	prog := ir.NewProgram(reg)
+	b := ir.NewFuncBuilder(prog, "crash", model.Prim(model.KindLong))
+	z := b.IConst(0)
+	one := b.IConst(1)
+	v := b.Bin(ir.OpDiv, one, z)
+	b.Ret(v)
+	fn := b.Done()
+	if _, err := New(&Env{Mode: ModeHeap, Prog: prog}).Run(fn); err == nil {
+		t.Fatalf("integer division by zero did not error")
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	reg := model.NewRegistry()
+	prog := ir.NewProgram(reg)
+	b := ir.NewFuncBuilder(prog, "spin", model.Type{})
+	one := b.IConst(1)
+	two := b.IConst(2)
+	b.While(ir.CmpLT, one, two, func() {
+		b.IConst(0) // body keeps the loop condition true forever
+	})
+	b.Ret(nil)
+	fn := b.Done()
+	env := &Env{Mode: ModeHeap, Prog: prog, MaxSteps: 1000}
+	if _, err := New(env).Run(fn); err == nil {
+		t.Fatalf("infinite loop not caught by step limit")
+	}
+}
+
+func TestInterpComparisonSemantics(t *testing.T) {
+	reg := model.NewRegistry()
+	prog := ir.NewProgram(reg)
+	long := model.Prim(model.KindLong)
+	// result = (a < b) ? 1 : 0 over doubles including negatives.
+	b := ir.NewFuncBuilder(prog, "cmp", long)
+	x := b.FConst(-1.5)
+	y := b.FConst(-1.0)
+	res := b.Local("res", long)
+	zero := b.IConst(0)
+	one := b.IConst(1)
+	b.Assign(res, zero)
+	b.If(ir.CmpLT, x, y, func() { b.Assign(res, one) }, nil)
+	b.Ret(res)
+	fn := b.Done()
+	got, err := New(&Env{Mode: ModeHeap, Prog: prog}).Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("-1.5 < -1.0 evaluated false")
+	}
+}

@@ -1,0 +1,588 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/arena"
+	"repro/internal/dsa"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/transform"
+)
+
+// ---- test harness: sources and sinks ----
+
+// wireSource iterates size-prefixed records in a byte buffer (heap mode).
+type wireSource struct {
+	buf   []byte
+	off   int
+	class string
+}
+
+func (s *wireSource) NextWire() ([]byte, int, bool) {
+	if s.off >= len(s.buf) {
+		return nil, 0, false
+	}
+	off := s.off
+	s.off += serde.RecordSize(s.buf, s.off)
+	return s.buf, off, true
+}
+func (s *wireSource) Class() string { return s.class }
+
+// regionSource iterates records adopted into an arena region (native).
+type regionSource struct {
+	a      *arena.Arena
+	region *arena.Region
+	off    int
+	class  string
+}
+
+func (s *regionSource) NextAddr() (int64, bool) {
+	if s.off >= s.region.Len() {
+		return 0, false
+	}
+	size := s.a.ReadNative(s.region.AddrOf(s.off), 0, 4)
+	addr := s.region.AddrOf(s.off + serde.SizePrefixBytes)
+	s.off += serde.SizePrefixBytes + int(size)
+	return addr, true
+}
+func (s *regionSource) Class() string { return s.class }
+
+// collectSink gathers output wire bytes (heap mode).
+type collectSink struct{ out []byte }
+
+func (s *collectSink) WriteWire(rec []byte, class string) error {
+	s.out = append(s.out, rec...)
+	return nil
+}
+
+// nativeCollectSink gathers sealed records back into wire form.
+type nativeCollectSink struct {
+	a   *arena.Arena
+	out []byte
+}
+
+func (s *nativeCollectSink) WriteRecord(addr int64, size int, class string) error {
+	s.out = append(s.out, s.a.Slice(addr-serde.SizePrefixBytes, serde.SizePrefixBytes+size)...)
+	return nil
+}
+
+// ---- program construction ----
+
+func lrProgram(t *testing.T) (*ir.Program, *dsa.Result, *serde.Codec) {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "DenseVector", Fields: []model.FieldDef{
+		{Name: "size", Type: model.Prim(model.KindInt)},
+		{Name: "values", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	reg.Define(model.ClassDef{Name: "LabeledPoint", Fields: []model.FieldDef{
+		{Name: "label", Type: model.Prim(model.KindDouble)},
+		{Name: "features", Type: model.Object("DenseVector")},
+	}})
+	reg.Define(model.ClassDef{Name: "Pair", Fields: []model.FieldDef{
+		{Name: "key", Type: model.Prim(model.KindLong)},
+		{Name: "value", Type: model.Prim(model.KindDouble)},
+	}})
+	layouts := dsa.Analyze(reg, []string{"LabeledPoint", "Pair"})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"LabeledPoint", "Pair"}
+	return prog, layouts, serde.NewCodec(reg, layouts)
+}
+
+// buildSumDriver builds the canonical task loop: for each LabeledPoint,
+// emit Pair{key: round(label), value: sum(values)+label}.
+func buildSumDriver(prog *ir.Program) *ir.Func {
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LabeledPoint"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		label := b.Load(rec, "label")
+		vec := b.Load(rec, "features")
+		vals := b.Load(vec, "values")
+		sum := b.Local("sum", model.Prim(model.KindDouble))
+		b.Emit(&ir.ConstFloat{Dst: sum, Val: 0})
+		n := b.Len(vals)
+		b.For(n, func(i *ir.Var) {
+			x := b.Elem(vals, i)
+			b.BinTo(sum, ir.OpAdd, sum, x)
+		})
+		total := b.Bin(ir.OpAdd, sum, label)
+		out := b.New("Pair")
+		k := b.Un(ir.OpD2I, label)
+		b.Store(out, "key", k)
+		b.Store(out, "value", total)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	return b.Done()
+}
+
+func encodeLPs(t *testing.T, c *serde.Codec, pts [][]float64) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for i, vals := range pts {
+		buf, err = c.Encode("LabeledPoint", serde.Obj{
+			"label": float64(i + 1),
+			"features": serde.Obj{
+				"size":   int64(len(vals)),
+				"values": vals,
+			},
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf
+}
+
+func runHeap(t *testing.T, prog *ir.Program, layouts *dsa.Result, c *serde.Codec, fn *ir.Func, input []byte, inClass string) []byte {
+	t.Helper()
+	h := heap.New(prog.Reg, heap.Config{YoungSize: 256 << 10, OldSize: 8 << 20})
+	sink := &collectSink{}
+	env := &Env{
+		Mode: ModeHeap, Prog: prog, Heap: h, Codec: c, Layouts: layouts,
+		Sources: map[string]Source{"in": &wireSource{buf: input, class: inClass}},
+		Sink:    sink,
+	}
+	if _, err := New(env).Run(fn); err != nil {
+		t.Fatalf("heap run: %v", err)
+	}
+	return sink.out
+}
+
+func runNative(t *testing.T, prog *ir.Program, layouts *dsa.Result, fn *ir.Func, input []byte, inClass string) ([]byte, error) {
+	t.Helper()
+	a := arena.New()
+	in := a.AdoptBytes("input", input)
+	out := a.NewRegion("output")
+	sink := &nativeCollectSink{a: a}
+	// Gerenuk executors keep a (small) heap for control-path objects.
+	h := heap.New(prog.Reg, heap.Config{YoungSize: 64 << 10, OldSize: 1 << 20})
+	env := &Env{
+		Mode: ModeNative, Prog: prog, Heap: h, Arena: a, Layouts: layouts, Out: out,
+		NativeSources: map[string]NativeSource{"in": &regionSource{a: a, region: in, class: inClass}},
+		NativeSink:    sink,
+	}
+	_, err := New(env).Run(fn)
+	return sink.out, err
+}
+
+func gerenukTransform(t *testing.T, prog *ir.Program, layouts *dsa.Result, entry string) *ir.Func {
+	t.Helper()
+	ser, err := analysis.AnalyzeSER(prog, layouts, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ser.Transformable {
+		t.Fatalf("SER not transformable: %s", ser.Reason)
+	}
+	out, err := transform.Transform(prog, layouts, ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Native
+}
+
+// TestHeapVsNativeIdenticalOutput is the core end-to-end check: the same
+// program produces byte-identical output wire records on the baseline
+// heap path and on the Gerenuk-transformed native path.
+func TestHeapVsNativeIdenticalOutput(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	driver := buildSumDriver(prog)
+	input := encodeLPs(t, c, [][]float64{
+		{1, 2, 3},
+		{0.5, -0.25},
+		{},
+		{10},
+	})
+
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "LabeledPoint")
+	native := gerenukTransform(t, prog, layouts, "driver")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "LabeledPoint")
+	if err != nil {
+		t.Fatalf("native run: %v", err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("outputs differ:\n heap   %x\n native %x", heapOut, nativeOut)
+	}
+	// And the values must be right: record 0 is Pair{1, 1+6}.
+	v, _, err := c.Decode("Pair", heapOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.(serde.Obj)
+	if p["key"] != int64(1) || p["value"] != 7.0 {
+		t.Errorf("first pair = %v", p)
+	}
+}
+
+// TestNativeSkipsSerde verifies the native path never invokes the codec:
+// deser/ser time must be zero while the heap path pays both.
+func TestNativeSkipsSerde(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	driver := buildSumDriver(prog)
+	input := encodeLPs(t, c, [][]float64{{1, 2, 3, 4, 5}})
+
+	h := heap.New(prog.Reg, heap.Config{YoungSize: 256 << 10, OldSize: 8 << 20})
+	heapEnv := &Env{
+		Mode: ModeHeap, Prog: prog, Heap: h, Codec: c, Layouts: layouts,
+		Sources: map[string]Source{"in": &wireSource{buf: input, class: "LabeledPoint"}},
+		Sink:    &collectSink{},
+	}
+	if _, err := New(heapEnv).Run(driver); err != nil {
+		t.Fatal(err)
+	}
+	if heapEnv.DeserTime == 0 || heapEnv.SerTime == 0 {
+		t.Errorf("heap path should pay serde: deser=%v ser=%v", heapEnv.DeserTime, heapEnv.SerTime)
+	}
+
+	native := gerenukTransform(t, prog, layouts, "driver")
+	a := arena.New()
+	inRegion := a.AdoptBytes("input", input)
+	outRegion := a.NewRegion("out")
+	natEnv := &Env{
+		Mode: ModeNative, Prog: prog, Arena: a, Layouts: layouts, Out: outRegion,
+		NativeSources: map[string]NativeSource{"in": &regionSource{a: a, region: inRegion, class: "LabeledPoint"}},
+		NativeSink:    &nativeCollectSink{a: a},
+	}
+	if _, err := New(natEnv).Run(native); err != nil {
+		t.Fatal(err)
+	}
+	if natEnv.DeserTime != 0 || natEnv.SerTime != 0 {
+		t.Errorf("native path paid serde: deser=%v ser=%v", natEnv.DeserTime, natEnv.SerTime)
+	}
+	if h.Stats().AllocObjects == 0 {
+		t.Errorf("heap path allocated nothing")
+	}
+}
+
+// TestPassThroughRecord checks gWriteObject on an unmodified input
+// record: a pure byte copy that preserves the record exactly.
+func TestPassThroughRecord(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	b := ir.NewFuncBuilder(prog, "ident", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LabeledPoint"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	driver := b.Done()
+
+	input := encodeLPs(t, c, [][]float64{{3, 1, 4}, {1, 5}})
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "LabeledPoint")
+	native := gerenukTransform(t, prog, layouts, "ident")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "LabeledPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, input) {
+		t.Errorf("heap pass-through altered records")
+	}
+	if !reflect.DeepEqual(nativeOut, input) {
+		t.Errorf("native pass-through altered records")
+	}
+}
+
+// TestAbortRaisedOnViolation: a transformed program containing a
+// statically detected violation aborts at run time when it reaches the
+// violation point.
+func TestAbortRaisedOnViolation(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	prog.Reg.Define(model.ClassDef{Name: "Stash", Fields: []model.FieldDef{
+		{Name: "v", Type: model.Object("DenseVector")},
+	}})
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LabeledPoint"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		vec := b.Load(rec, "features")
+		stash := b.New("Stash")
+		b.Store(stash, "v", vec) // load-and-escape
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	input := encodeLPs(t, c, [][]float64{{1}})
+	native := gerenukTransform(t, prog, layouts, "driver")
+	_, err := runNative(t, prog, layouts, native, input, "LabeledPoint")
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+}
+
+// TestSymbolicOffsetFieldAccess exercises a field laid out after a
+// variable-length array (resolveOffset at run time) in both modes.
+func TestSymbolicOffsetFieldAccess(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "C", Fields: []model.FieldDef{
+		{Name: "a", Type: model.Prim(model.KindInt)},
+		{Name: "b", Type: model.ArrayOf(model.Prim(model.KindLong))},
+		{Name: "c", Type: model.Prim(model.KindDouble)},
+	}})
+	reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
+		{Name: "v", Type: model.Prim(model.KindDouble)},
+	}})
+	layouts := dsa.Analyze(reg, []string{"C", "Out"})
+	c := serde.NewCodec(reg, layouts)
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"C", "Out"}
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("C"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		cv := b.Load(rec, "c") // symbolic offset: behind array b
+		out := b.New("Out")
+		b.Store(out, "v", cv)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	driver := b.Done()
+
+	var input []byte
+	var err error
+	for i := 0; i < 3; i++ {
+		input, err = c.Encode("C", serde.Obj{
+			"a": int64(i), "b": make([]int64, i*2+1), "c": float64(i) + 0.5,
+		}, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "C")
+	native := gerenukTransform(t, prog, layouts, "driver")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("outputs differ:\n heap   %x\n native %x", heapOut, nativeOut)
+	}
+	v, _, err := c.Decode("Out", nativeOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(serde.Obj)["v"] != 0.5 {
+		t.Errorf("first out = %v", v)
+	}
+}
+
+// TestConstructedVariableRecord builds an output record containing an
+// array whose length varies per input, in both modes.
+func TestConstructedVariableRecord(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	b := ir.NewFuncBuilder(prog, "scale", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LabeledPoint"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		label := b.Load(rec, "label")
+		vec := b.Load(rec, "features")
+		vals := b.Load(vec, "values")
+		n := b.Len(vals)
+		// out = LabeledPoint{label*2, 2*values}
+		out := b.New("LabeledPoint")
+		two := b.FConst(2)
+		l2 := b.Bin(ir.OpMul, label, two)
+		b.Store(out, "label", l2)
+		nv := b.New("DenseVector")
+		nInt := b.Temp(model.Prim(model.KindLong))
+		b.Assign(nInt, n)
+		b.Store(nv, "size", nInt)
+		arr := b.NewArr(model.Prim(model.KindDouble), n)
+		b.For(n, func(i *ir.Var) {
+			x := b.Elem(vals, i)
+			x2 := b.Bin(ir.OpMul, x, two)
+			b.SetElem(arr, i, x2)
+		})
+		b.Store(nv, "values", arr)
+		b.Store(out, "features", nv)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	driver := b.Done()
+
+	input := encodeLPs(t, c, [][]float64{{1, 2}, {5}, {0.5, 0.25, 0.125}})
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "LabeledPoint")
+	native := gerenukTransform(t, prog, layouts, "scale")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "LabeledPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("outputs differ:\n heap   %x\n native %x", heapOut, nativeOut)
+	}
+	v, _, err := c.Decode("LabeledPoint", nativeOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(serde.Obj)["features"].(serde.Obj)["values"].([]float64)
+	if !reflect.DeepEqual(got, []float64{2, 4}) {
+		t.Errorf("scaled values = %v", got)
+	}
+}
+
+// TestInlinedHelperCall: a UDF helper called with data arguments is
+// inlined (Case 9) and the transformed program still matches the heap
+// output.
+func TestInlinedHelperCall(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+
+	hb := ir.NewFuncBuilder(prog, "sumVec", model.Prim(model.KindDouble))
+	v := hb.Param("v", model.Object("DenseVector"))
+	vals := hb.Load(v, "values")
+	sum := hb.Local("sum", model.Prim(model.KindDouble))
+	hb.Emit(&ir.ConstFloat{Dst: sum, Val: 0})
+	n := hb.Len(vals)
+	hb.For(n, func(i *ir.Var) {
+		x := hb.Elem(vals, i)
+		hb.BinTo(sum, ir.OpAdd, sum, x)
+	})
+	hb.Ret(sum)
+	hb.Done()
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LabeledPoint"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		vec := b.Load(rec, "features")
+		s := b.Call("sumVec", model.Prim(model.KindDouble), vec)
+		out := b.New("Pair")
+		one := b.IConst(1)
+		b.Store(out, "key", one)
+		b.Store(out, "value", s)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	driver := b.Done()
+
+	input := encodeLPs(t, c, [][]float64{{1, 2, 3}, {4, 4}})
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "LabeledPoint")
+	native := gerenukTransform(t, prog, layouts, "driver")
+	// The native function must contain no Call statements on the data path.
+	callCount := 0
+	ir.Walk(native.Body, func(s ir.Stmt) {
+		if _, isCall := s.(*ir.Call); isCall {
+			callCount++
+		}
+	})
+	if callCount != 0 {
+		t.Errorf("native fn still has %d calls (inlining failed)", callCount)
+	}
+	nativeOut, err := runNative(t, prog, layouts, native, input, "LabeledPoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("outputs differ")
+	}
+}
+
+// TestForcedAbort: the AbortAfterRecords knob fires a forced abort, the
+// mechanism behind Figure 10(b).
+func TestForcedAbort(t *testing.T) {
+	prog, layouts, c := lrProgram(t)
+	buildSumDriver(prog)
+	native := gerenukTransform(t, prog, layouts, "driver")
+	input := encodeLPs(t, c, [][]float64{{1}, {2}, {3}})
+
+	a := arena.New()
+	inRegion := a.AdoptBytes("input", input)
+	outRegion := a.NewRegion("out")
+	env := &Env{
+		Mode: ModeNative, Prog: prog, Arena: a, Layouts: layouts, Out: outRegion,
+		NativeSources:     map[string]NativeSource{"in": &regionSource{a: a, region: inRegion, class: "LabeledPoint"}},
+		NativeSink:        &nativeCollectSink{a: a},
+		AbortAfterRecords: 2,
+	}
+	_, err := New(env).Run(native)
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("expected forced abort, got %v", err)
+	}
+}
+
+// TestNativeStringOps: whitelisted native methods (length, charAt,
+// hashCode) agree across modes.
+func TestNativeStringOps(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Doc", Fields: []model.FieldDef{
+		{Name: "text", Type: model.Object(model.StringClassName)},
+	}})
+	reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
+		{Name: "len", Type: model.Prim(model.KindLong)},
+		{Name: "first", Type: model.Prim(model.KindLong)},
+		{Name: "hash", Type: model.Prim(model.KindLong)},
+	}})
+	layouts := dsa.Analyze(reg, []string{"Doc", "Out"})
+	c := serde.NewCodec(reg, layouts)
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Doc", "Out"}
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("Doc"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		s := b.Load(rec, "text")
+		n := b.Native("length", model.Prim(model.KindLong), s)
+		z := b.IConst(0)
+		ch := b.Native("charAt", model.Prim(model.KindLong), s, z)
+		hc := b.Native("hashCode", model.Prim(model.KindLong), s)
+		out := b.New("Out")
+		b.Store(out, "len", n)
+		b.Store(out, "first", ch)
+		b.Store(out, "hash", hc)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	driver := b.Done()
+
+	var input []byte
+	var err error
+	for _, s := range []string{"hello world", "x", "göphers"} {
+		input, err = c.Encode("Doc", serde.Obj{"text": s}, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	heapOut := runHeap(t, prog, layouts, c, driver, input, "Doc")
+	native := gerenukTransform(t, prog, layouts, "driver")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "Doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("string ops disagree between modes")
+	}
+	v, _, err := c.Decode("Out", heapOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := v.(serde.Obj)
+	if o["len"] != int64(11) || o["first"] != int64('h') {
+		t.Errorf("out = %v", o)
+	}
+}

@@ -1,0 +1,365 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+)
+
+// resolveOffset is Algorithm 1's resolveOffset auxiliary function:
+// evaluate a (possibly symbolic) offset expression against a concrete
+// record base. During record construction the open builder's deferred
+// view is consulted so that offsets behind not-yet-created arrays are
+// reported as unresolvable instead of reading garbage.
+func (in *Interp) resolveOffset(base int64, off *expr.Expr) (int64, error) {
+	if off.IsConst() {
+		return off.Const, nil
+	}
+	if in.env.builder != nil && in.inOpenRecord(base) {
+		if v, ok := in.env.builder.b.TryResolve(base, off); ok {
+			return v, nil
+		}
+		return 0, &AbortError{Reason: "offset depends on an array not yet created"}
+	}
+	return off.Eval(in.env.Arena, base), nil
+}
+
+func (in *Interp) inOpenRecord(addr int64) bool {
+	return in.env.builder != nil && in.env.builder.b.Covers(addr)
+}
+
+// nativeBounds checks an inlined array access. The transformed code
+// eliminated the *managed-runtime* bounds check; this check guards the
+// speculation itself (a genuinely out-of-range index would read another
+// record's bytes) and aborts rather than crashing.
+func (in *Interp) nativeBounds(base, idx int64) error {
+	n := in.env.Arena.ReadNative(base, 0, 4)
+	if idx < 0 || idx >= n {
+		return &AbortError{Reason: fmt.Sprintf("native index %d out of bounds for length %d", idx, n)}
+	}
+	return nil
+}
+
+// constPrefix returns the leading bytes of a class layout whose offsets
+// are compile-time constants and primitive-valued — the part AppendRecord
+// reserves eagerly. Arrays and sub-records reserve their own storage when
+// they are created (sequential construction protocol).
+func (in *Interp) constPrefix(class string) int {
+	l := in.env.Layouts.Layout(class)
+	if l == nil {
+		return 0
+	}
+	end := 0
+	for _, f := range l.Class.Fields {
+		off, ok := l.FieldOff[f.Name]
+		if !ok || !off.IsConst() {
+			break
+		}
+		if f.Type.IsRef() {
+			break // array length slot or sub-record: created explicitly
+		}
+		end = int(off.ConstValue()) + f.Type.Kind.Size()
+	}
+	return end
+}
+
+func (in *Interp) isTopLevel(class string) bool {
+	for _, t := range in.env.Prog.TopTypes {
+		if t == class {
+			return true
+		}
+	}
+	return false
+}
+
+// appendRecord implements appendToBuffer (Case 6). A top-level class
+// opens a new record (with its 4-byte size prefix); a lower-level class
+// continues the open record at its current end, which is its layout
+// position under in-order construction.
+func (in *Interp) appendRecord(class string) (int64, error) {
+	if in.env.Out == nil {
+		return 0, fmt.Errorf("interp: no output region for appendToBuffer")
+	}
+	if in.isTopLevel(class) {
+		// An unsealed previous record was constructed but never emitted
+		// (e.g. filtered out); abandon its bytes, as the real appender
+		// would.
+		prefixOff := in.env.Out.Len()
+		in.env.Out.Append(serde.SizePrefixBytes)
+		b := in.env.Out.NewRecord()
+		in.env.builder = &openRecord{b: b, class: class, prefixOff: prefixOff}
+		b.Reserve(in.constPrefix(class))
+		return b.Base(), nil
+	}
+	if in.env.builder == nil {
+		return 0, &AbortError{Reason: fmt.Sprintf("sub-record %s allocated outside record construction", class)}
+	}
+	addr := in.env.builder.b.End()
+	in.env.builder.b.Reserve(in.constPrefix(class))
+	return addr, nil
+}
+
+// appendArray implements array creation inside a record: the length slot
+// and payload are appended at the current end and the array-creation
+// event fires (section 3.6).
+func (in *Interp) appendArray(elem model.Type, n int64) (int64, error) {
+	if in.env.builder == nil {
+		return 0, &AbortError{Reason: "array allocated outside record construction"}
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("interp: negative array length %d", n)
+	}
+	elemSize := 0
+	if !elem.IsRef() {
+		elemSize = elem.Kind.Size()
+	} else if !elem.Array && elem.Class != "" {
+		if sz := in.env.Layouts.SizeOf(elem.Class); sz != nil && sz.IsConst() {
+			// Fixed-stride element records could be pre-reserved, but the
+			// sequential protocol appends them one by one; reserving here
+			// would displace them. Keep elemSize 0.
+			elemSize = 0
+		}
+	}
+	return in.env.builder.b.AppendArray(elemSize, int(n)), nil
+}
+
+// appendString appends a string literal as an inlined char array.
+func (in *Interp) appendString(s string) (int64, error) {
+	if in.env.builder == nil {
+		return 0, &AbortError{Reason: "string constant outside record construction"}
+	}
+	runes := []rune(s)
+	slot := in.env.builder.b.AppendArray(2, len(runes))
+	for i, r := range runes {
+		in.env.Arena.WriteNative(slot, 4+int64(i*2), 2, int64(uint16(r)))
+	}
+	return slot, nil
+}
+
+// gWrite implements gWriteObject/gEmit (Case 8): a sealed record is
+// handed to the sink; a pass-through input record is block-copied into
+// the output region — a memcpy, not a serialization walk.
+func (in *Interp) gWrite(srcType model.Type, addr int64) error {
+	return in.gWriteClass(in.recordClass(srcType), addr)
+}
+
+func (in *Interp) recordClass(t model.Type) string {
+	if t.IsRef() && !t.Array {
+		return t.Class
+	}
+	return ""
+}
+
+func (in *Interp) gWriteClass(class string, addr int64) error {
+	if in.env.NativeSink == nil {
+		return fmt.Errorf("interp: no native sink configured")
+	}
+	if in.env.builder != nil && addr == in.env.builder.b.Base() {
+		// Seal the record under construction.
+		or := in.env.builder
+		base, size, err := or.b.Seal()
+		if err != nil {
+			return &AbortError{Reason: err.Error()}
+		}
+		// Speculation guard: when the layout size is expressible, the
+		// built size must match it exactly.
+		if class == "" {
+			class = or.class
+		}
+		if l := in.env.Layouts.Layout(or.class); l != nil && l.Size != nil {
+			if want := l.Size.Eval(in.env.Arena, base); want != int64(size) {
+				return &AbortError{Reason: fmt.Sprintf(
+					"record %s built %d bytes, layout expects %d (construction order mismatch)",
+					or.class, size, want)}
+			}
+		}
+		// Patch the size prefix.
+		in.env.Arena.WriteNative(in.env.Out.AddrOf(or.prefixOff), 0, 4, int64(size))
+		in.env.builder = nil
+		return in.env.NativeSink.WriteRecord(base, size, or.class)
+	}
+	// Pass-through of an existing record: its size prefix sits 4 bytes
+	// before the payload base.
+	size := in.env.Arena.ReadNative(addr-serde.SizePrefixBytes, 0, 4)
+	if size < 0 {
+		return &AbortError{Reason: "pass-through record has corrupt size prefix"}
+	}
+	na := in.env.Out.CopyRecord(addr-serde.SizePrefixBytes, serde.SizePrefixBytes+int(size))
+	return in.env.NativeSink.WriteRecord(na+serde.SizePrefixBytes, int(size), class)
+}
+
+// scanElem computes the address of element idx in an inlined array of
+// variable-size records by walking element size expressions — the
+// schema-guided scan that replaces pointer dereferences for tail arrays.
+// A per-array cursor makes the common sequential access pattern O(1)
+// amortized (records are immutable, so cached positions stay valid).
+func (in *Interp) scanElem(base, idx int64, class string) (int64, error) {
+	if err := in.nativeBounds(base, idx); err != nil {
+		return 0, err
+	}
+	if in.env.scanCur == nil {
+		in.env.scanCur = make(map[int64]scanCursor)
+	}
+	k, pos := int64(0), base+4
+	if cur, ok := in.env.scanCur[base]; ok && cur.idx <= idx {
+		k, pos = cur.idx, cur.pos
+	}
+	for ; k < idx; k++ {
+		sz, err := in.recordSizeAt(class, pos)
+		if err != nil {
+			return 0, err
+		}
+		pos += sz
+	}
+	in.env.scanCur[base] = scanCursor{idx: idx, pos: pos}
+	return pos, nil
+}
+
+// recordSizeAt computes the inlined size of a record of the given class
+// at addr, using the layout's size expression when linear and a schema
+// walk otherwise.
+func (in *Interp) recordSizeAt(class string, addr int64) (int64, error) {
+	if class == model.StringClassName {
+		return 4 + 2*in.env.Arena.ReadNative(addr, 0, 4), nil
+	}
+	l := in.env.Layouts.Layout(class)
+	if l == nil {
+		return 0, fmt.Errorf("interp: no layout for %s in scan", class)
+	}
+	if l.Size != nil {
+		return l.Size.Eval(in.env.Arena, addr), nil
+	}
+	// Schema walk for non-linear layouts.
+	pos := addr
+	for _, f := range l.Class.Fields {
+		t := f.Type
+		switch {
+		case !t.IsRef():
+			pos += int64(t.Kind.Size())
+		case t.Array && !t.Elem.IsRef():
+			n := in.env.Arena.ReadNative(pos, 0, 4)
+			pos += 4 + n*int64(t.Elem.Kind.Size())
+		case t.Array:
+			n := in.env.Arena.ReadNative(pos, 0, 4)
+			pos += 4
+			for k := int64(0); k < n; k++ {
+				sz, err := in.recordSizeAt(t.Elem.Class, pos)
+				if err != nil {
+					return 0, err
+				}
+				pos += sz
+			}
+		case t.Class == model.StringClassName:
+			n := in.env.Arena.ReadNative(pos, 0, 4)
+			pos += 4 + 2*n
+		default:
+			sz, err := in.recordSizeAt(t.Class, pos)
+			if err != nil {
+				return 0, err
+			}
+			pos += sz
+		}
+	}
+	return pos - addr, nil
+}
+
+// nativeCallNative implements the whitelisted native methods over
+// inlined bytes — Gerenuk's customized implementations.
+func (in *Interp) nativeCallNative(t *ir.NativeCall, f *frame, recv int64) (int64, error) {
+	switch t.Name {
+	case "clone":
+		return recv, nil // immutable records: alias (see heap impl)
+	case "length":
+		return in.env.Arena.ReadNative(recv, 0, 4), nil
+	case "charAt":
+		if len(t.Args) != 1 {
+			return 0, fmt.Errorf("interp: charAt expects 1 arg")
+		}
+		i := f.get(t.Args[0])
+		if err := in.nativeBounds(recv, i); err != nil {
+			return 0, err
+		}
+		return in.env.Arena.ReadNative(recv, 4+2*i, 2), nil
+	case "hashCode":
+		sz, err := in.recordSizeAt(in.classOrString(t.RecvClass), recv)
+		if err != nil {
+			return 0, err
+		}
+		return hashBytes(in.env.Arena.Slice(recv, int(sz))), nil
+	case "equals":
+		if len(t.Args) != 1 {
+			return 0, fmt.Errorf("interp: equals expects 1 arg")
+		}
+		other := f.get(t.Args[0])
+		cls := in.classOrString(t.RecvClass)
+		s1, err := in.recordSizeAt(cls, recv)
+		if err != nil {
+			return 0, err
+		}
+		s2, err := in.recordSizeAt(cls, other)
+		if err != nil {
+			return 0, err
+		}
+		if s1 == s2 && string(in.env.Arena.Slice(recv, int(s1))) == string(in.env.Arena.Slice(other, int(s2))) {
+			return 1, nil
+		}
+		return 0, nil
+	case "splitToWordCounts":
+		return 0, in.splitToWordCounts(recv)
+	default:
+		return 0, &AbortError{Reason: "native method " + t.Name + " over inlined bytes"}
+	}
+}
+
+// splitToWordCounts is the fused Tungsten tokenizer (Figure 8(b)): one
+// pass over the inlined string bytes of recv, emitting a
+// WordCount{word, 1} record per space-delimited word with bulk byte
+// copies instead of per-character interpreted loops — the "string
+// optimizations" the paper credits for Tungsten's WordCount win.
+func (in *Interp) splitToWordCounts(recv int64) error {
+	const cls = "WordCount"
+	layout := in.env.Layouts.Layout(cls)
+	if layout == nil {
+		return fmt.Errorf("interp: splitToWordCounts requires a %s layout", cls)
+	}
+	nOff, ok := layout.FieldOff["n"]
+	if !ok {
+		return fmt.Errorf("interp: %s has no field n", cls)
+	}
+	n := in.env.Arena.ReadNative(recv, 0, 4)
+	chars := in.env.Arena.Slice(recv+4, int(2*n))
+	emit := func(start, end int64) error {
+		if end <= start {
+			return nil
+		}
+		base, err := in.appendRecord(cls)
+		if err != nil {
+			return err
+		}
+		wlen := int(end - start)
+		slot := in.env.builder.b.AppendArray(2, wlen)
+		copy(in.env.Arena.Slice(slot+4, 2*wlen), chars[2*start:2*end])
+		in.env.builder.b.WriteAt(base, nOff, 8, 1)
+		return in.gWriteClass(cls, base)
+	}
+	var start int64
+	for i := int64(0); i <= n; i++ {
+		if i == n || (chars[2*i] == ' ' && chars[2*i+1] == 0) {
+			if err := emit(start, i); err != nil {
+				return err
+			}
+			start = i + 1
+		}
+	}
+	return nil
+}
+
+func (in *Interp) classOrString(cls string) string {
+	if cls == "" {
+		return model.StringClassName
+	}
+	return cls
+}

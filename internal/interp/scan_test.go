@@ -1,0 +1,176 @@
+package interp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/dsa"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+)
+
+// accountProgram builds a schema with a variable-size-element tail array
+// (Account.posts, String elements) to exercise ScanElem and the schema
+// walk for non-linear record sizes.
+func accountProgram(t *testing.T) (*ir.Program, *dsa.Result, *serde.Codec) {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Account", Fields: []model.FieldDef{
+		{Name: "user", Type: model.Prim(model.KindLong)},
+		{Name: "posts", Type: model.ArrayOf(model.Object(model.StringClassName))},
+	}})
+	reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
+		{Name: "user", Type: model.Prim(model.KindLong)},
+		{Name: "lenLast", Type: model.Prim(model.KindLong)},
+		{Name: "firstEqLast", Type: model.Prim(model.KindLong)},
+		{Name: "hash", Type: model.Prim(model.KindLong)},
+	}})
+	layouts := dsa.Analyze(reg, []string{"Account", "Out"})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Account", "Out"}
+	return prog, layouts, serde.NewCodec(reg, layouts)
+}
+
+// TestScanElemAndNativesAgreeAcrossModes drives random access into a
+// variable-size-element array (ScanElem with the sequential cursor) plus
+// the whitelisted natives (length, equals, hashCode, clone) and compares
+// both modes.
+func TestScanElemAndNativesAgreeAcrossModes(t *testing.T) {
+	prog, layouts, c := accountProgram(t)
+	long := model.Prim(model.KindLong)
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("Account"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		user := b.Load(rec, "user")
+		posts := b.Load(rec, "posts")
+		n := b.Len(posts)
+		one := b.IConst(1)
+		lastIdx := b.Bin(ir.OpSub, n, one)
+		first := b.Elem(posts, zero)
+		last := b.Elem(posts, lastIdx) // ScanElem walks the tail array
+		firstC := b.Native("clone", model.Object(model.StringClassName), first)
+		lenLast := b.Native("length", long, last)
+		eq := b.Native("equals", long, firstC, last)
+		h := b.Native("hashCode", long, last)
+		out := b.New("Out")
+		b.Store(out, "user", user)
+		b.Store(out, "lenLast", lenLast)
+		b.Store(out, "firstEqLast", eq)
+		b.Store(out, "hash", h)
+		b.WriteRecord("out", out)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	var input []byte
+	var err error
+	for _, posts := range [][]string{
+		{"alpha", "beta", "gamma-longer"},
+		{"same", "same"},
+		{"solo"},
+	} {
+		input, err = c.Encode("Account", serde.Obj{"user": int64(len(posts)), "posts": posts}, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	heapOut := runHeap(t, prog, layouts, c, prog.Fn("driver"), input, "Account")
+	native := gerenukTransform(t, prog, layouts, "driver")
+	nativeOut, err := runNative(t, prog, layouts, native, input, "Account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(heapOut, nativeOut) {
+		t.Fatalf("scan/native results differ:\n heap   %x\n native %x", heapOut, nativeOut)
+	}
+	v, _, err := c.Decode("Out", heapOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := v.(serde.Obj)
+	if o["lenLast"] != int64(len("gamma-longer")) {
+		t.Errorf("lenLast = %v", o["lenLast"])
+	}
+	if o["firstEqLast"] != int64(0) {
+		t.Errorf("alpha == gamma-longer reported true")
+	}
+	// Record 2: identical first/last strings.
+	v2, _, err := c.Decode("Out", heapOut, serde.RecordSize(heapOut, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(serde.Obj)["firstEqLast"] != int64(1) {
+		t.Errorf("same == same reported false")
+	}
+}
+
+// TestPassThroughVariableSizeRecord exercises gWriteObject's byte-copy on
+// records whose size is only known from the prefix.
+func TestPassThroughVariableSizeRecord(t *testing.T) {
+	prog, layouts, c := accountProgram(t)
+	b := ir.NewFuncBuilder(prog, "ident", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("Account"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	var input []byte
+	var err error
+	input, err = c.Encode("Account", serde.Obj{"user": int64(9), "posts": []string{"x", "yy", "zzz"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := gerenukTransform(t, prog, layouts, "ident")
+	out, err := runNative(t, prog, layouts, native, input, "Account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, input) {
+		t.Fatalf("pass-through altered a variable-size record")
+	}
+}
+
+// TestScanElemOutOfBoundsAborts: a genuinely bad index aborts the
+// speculation instead of reading a neighboring record's bytes.
+func TestScanElemOutOfBoundsAborts(t *testing.T) {
+	prog, layouts, c := accountProgram(t)
+	long := model.Prim(model.KindLong)
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("Account"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		posts := b.Load(rec, "posts")
+		bad := b.IConst(99)
+		s := b.Elem(posts, bad)
+		n := b.Native("length", long, s)
+		_ = n
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	input, err := c.Encode("Account", serde.Obj{"user": int64(1), "posts": []string{"a"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := gerenukTransform(t, prog, layouts, "driver")
+	_, err = runNative(t, prog, layouts, native, input, "Account")
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("out-of-bounds scan did not abort: %v", err)
+	}
+}

@@ -1,0 +1,138 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// allKindsFunc builds a function containing every statement kind the IR
+// defines, native forms included.
+func allKindsFunc() (*Program, *Func) {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "P", Fields: []model.FieldDef{
+		{Name: "x", Type: model.Prim(model.KindLong)},
+		{Name: "ys", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	prog := NewProgram(reg)
+	f := &Func{Name: "all"}
+	long := model.Prim(model.KindLong)
+	dbl := model.Prim(model.KindDouble)
+	obj := model.Object("P")
+	arrT := model.ArrayOf(dbl)
+
+	v := func(n string, t model.Type) *Var { return f.NewVar(n, t) }
+	a, b2, c := v("a", long), v("b", long), v("c", dbl)
+	o, o2 := v("o", obj), v("o2", obj)
+	arr := v("arr", arrT)
+	s := v("s", model.Object(model.StringClassName))
+	off := expr.Konst(8).Add(expr.ReadNative(8, expr.Konst(4), 4))
+
+	f.Body = []Stmt{
+		&ConstInt{Dst: a, Val: 1},
+		&ConstFloat{Dst: c, Val: 2.5},
+		&ConstString{Dst: s, Val: "hi"},
+		&Assign{Dst: b2, Src: a},
+		&BinOp{Dst: a, Op: OpAdd, L: a, R: b2},
+		&UnOp{Dst: c, Op: OpNeg, X: c},
+		&New{Dst: o, Class: "P"},
+		&NewArray{Dst: arr, Elem: dbl, Len: a},
+		&FieldLoad{Dst: a, Obj: o, Class: "P", Field: "x"},
+		&FieldStore{Obj: o, Class: "P", Field: "x", Src: a},
+		&ArrayLoad{Dst: c, Arr: arr, Idx: a},
+		&ArrayStore{Arr: arr, Idx: a, Src: c},
+		&ArrayLen{Dst: a, Arr: arr},
+		&Call{Dst: a, Fn: "g", Args: []*Var{b2}},
+		&NativeCall{Dst: a, Name: "hashCode", Recv: o, RecvClass: "P"},
+		&MonitorEnter{Obj: o},
+		&MonitorExit{Obj: o},
+		&If{Cond: Cond{Op: CmpLT, L: a, R: b2},
+			Then: []Stmt{&ConstInt{Dst: a, Val: 2}},
+			Else: []Stmt{&ConstInt{Dst: a, Val: 3}}},
+		&While{Cond: Cond{Op: CmpGT, L: a, R: b2},
+			Body: []Stmt{&BinOp{Dst: a, Op: OpSub, L: a, R: b2}}},
+		&Deserialize{Dst: o, Source: "in"},
+		&Serialize{Src: o, Sink: "out"},
+		&Emit{Src: o},
+		&GetAddress{Dst: a, Source: "in"},
+		&ReadNative{Dst: a, Base: b2, Off: off, Size: 8, Kind: model.KindLong},
+		&WriteNative{Base: b2, Off: off, Size: 8, Src: a},
+		&AddrOf{Dst: a, Base: b2, Off: off},
+		&ScanElem{Dst: a, Base: b2, Idx: a, Class: "P"},
+		&AppendRecord{Dst: a, Class: "P"},
+		&AppendArray{Dst: a, Elem: dbl, Len: b2},
+		&ReadNativeElem{Dst: a, Base: b2, Idx: a, Kind: model.KindDouble},
+		&WriteNativeElem{Base: b2, Idx: a, Kind: model.KindDouble, Src: c},
+		&AddrElem{Dst: a, Base: b2, Idx: a, Stride: 16},
+		&CheckInline{Base: b2, Off: off, Sub: a},
+		&GConstString{Dst: a, Val: "w"},
+		&GWriteObject{Src: a, Sink: "out", Class: "P"},
+		&GEmit{Src: a, Class: "P"},
+		&Abort{Reason: "test"},
+		&Return{Val: a},
+	}
+	_ = o2
+	return prog, f
+}
+
+// TestCloneBodyCoversEveryStatement clones a function containing every
+// statement kind and checks the copies are structurally equal but
+// variable-remapped.
+func TestCloneBodyCoversEveryStatement(t *testing.T) {
+	_, f := allKindsFunc()
+	vmap := make(map[*Var]*Var, len(f.Locals))
+	nf := &Func{Name: "copy"}
+	for _, v := range f.Locals {
+		vmap[v] = nf.NewVar(v.Name, v.Type)
+	}
+	out := CloneBody(f.Body, vmap)
+	if len(out) != len(f.Body) {
+		t.Fatalf("clone lost statements: %d vs %d", len(out), len(f.Body))
+	}
+	for i := range out {
+		if out[i] == f.Body[i] {
+			t.Errorf("statement %d aliased", i)
+		}
+		if out[i].String() != f.Body[i].String() {
+			t.Errorf("statement %d differs:\n %s\n %s", i, out[i], f.Body[i])
+		}
+	}
+	// The clone's defs must be the remapped variables, never originals.
+	orig := map[*Var]bool{}
+	for _, v := range f.Locals {
+		orig[v] = true
+	}
+	for _, s := range out {
+		if d := Defs(s); d != nil && orig[d] {
+			t.Errorf("clone defines an original variable: %s", s)
+		}
+		for _, u := range Uses(s) {
+			if u != nil && orig[u] {
+				t.Errorf("clone uses an original variable: %s", s)
+			}
+		}
+	}
+}
+
+// TestEveryStatementHasString smoke-tests the printers (gerenukc -dump).
+func TestEveryStatementHasString(t *testing.T) {
+	_, f := allKindsFunc()
+	Walk(f.Body, func(s Stmt) {
+		if s.String() == "" {
+			t.Errorf("empty String() for %T", s)
+		}
+	})
+}
+
+// TestWalkVisitsNestedBlocks counts statements including block interiors.
+func TestWalkVisitsNestedBlocks(t *testing.T) {
+	_, f := allKindsFunc()
+	n := 0
+	Walk(f.Body, func(Stmt) { n++ })
+	// Top-level count + 2 (If branches) + 1 (While body).
+	if n != len(f.Body)+3 {
+		t.Errorf("walk visited %d, want %d", n, len(f.Body)+3)
+	}
+}

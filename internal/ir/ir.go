@@ -1,0 +1,849 @@
+// Package ir defines the statement-level intermediate representation that
+// stands in for JVM bytecode in this reproduction.
+//
+// The Gerenuk compiler operates on statements (paper section 3.5,
+// Algorithm 1 lists nine statement cases), so the IR is three-address
+// structured code: every operand is a typed local variable, heap accesses
+// are explicit FieldLoad/FieldStore/ArrayLoad/ArrayStore statements,
+// allocation is explicit, and the SER boundaries appear as Deserialize
+// (readObject) and Serialize (writeObject) statements. Control flow is
+// structured (If/While) because the analyses are flow-insensitive — the
+// paper's taint analysis does not track control dependence (section 3.2).
+//
+// Both system code (the dataflow engines' per-task record loops) and user
+// code (map/reduce UDFs) are expressed in this IR, so the SER code
+// analyzer sees the same mixed control/data statements a JVM system
+// presents. The interpreter (internal/interp) executes the IR against the
+// simulated managed heap; after the Gerenuk transformation, the rewritten
+// IR contains native statements (ReadNative, WriteNative, AppendRecord,
+// GetAddress, GWriteObject, Abort) executed against arena buffers.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// Var is a typed local variable (or parameter) of a function.
+type Var struct {
+	Name string
+	Type model.Type
+	// Slot is the frame index assigned by the owning function.
+	Slot int
+}
+
+func (v *Var) String() string {
+	if v == nil {
+		return "_"
+	}
+	return v.Name
+}
+
+// BinKind enumerates binary arithmetic/logic operators. Integer vs
+// floating-point behavior is selected by the destination variable's kind.
+type BinKind uint8
+
+// Binary operators.
+const (
+	OpAdd BinKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpMin
+	OpMax
+)
+
+var binNames = [...]string{"add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr", "min", "max"}
+
+func (b BinKind) String() string { return binNames[b] }
+
+// UnKind enumerates unary operators, including numeric conversions.
+type UnKind uint8
+
+// Unary operators.
+const (
+	OpNeg UnKind = iota
+	OpNot
+	OpI2D // int64 -> double
+	OpD2I // double -> int64 (truncating)
+	OpAbs
+	OpSqrt
+	OpExp
+	OpLog
+)
+
+var unNames = [...]string{"neg", "not", "i2d", "d2i", "abs", "sqrt", "exp", "log"}
+
+func (u UnKind) String() string { return unNames[u] }
+
+// CmpKind enumerates comparison operators for conditions.
+type CmpKind uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+var cmpNames = [...]string{"==", "!=", "<", "<=", ">", ">="}
+
+func (c CmpKind) String() string { return cmpNames[c] }
+
+// Cond is a comparison between two locals. Floating-point comparison is
+// selected by the kind of L.
+type Cond struct {
+	Op   CmpKind
+	L, R *Var
+}
+
+func (c Cond) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// Stmt is the interface implemented by all IR statements.
+type Stmt interface {
+	fmt.Stringer
+	stmt()
+}
+
+// ---- ordinary statements ----
+
+// ConstInt assigns an integer constant: dst = val.
+type ConstInt struct {
+	Dst *Var
+	Val int64
+}
+
+// ConstFloat assigns a floating constant: dst = val.
+type ConstFloat struct {
+	Dst *Var
+	Val float64
+}
+
+// ConstString assigns a string literal: dst = "val". In heap mode it
+// allocates a String object with a char array.
+type ConstString struct {
+	Dst *Var
+	Val string
+}
+
+// Assign copies a local: dst = src (Algorithm 1 Case 2; parameter passing
+// is Case 3 and is represented the same way at call sites).
+type Assign struct {
+	Dst, Src *Var
+}
+
+// BinOp computes dst = l op r.
+type BinOp struct {
+	Dst  *Var
+	Op   BinKind
+	L, R *Var
+}
+
+// UnOp computes dst = op x.
+type UnOp struct {
+	Dst *Var
+	Op  UnKind
+	X   *Var
+}
+
+// FieldLoad reads an object field: dst = obj.field (Case 5).
+type FieldLoad struct {
+	Dst   *Var
+	Obj   *Var
+	Class string // static class of obj
+	Field string
+	// R caches the resolved field (filled once by the compile-time
+	// resolve pass, mirroring JVM constant-pool resolution).
+	R *model.Field
+}
+
+// FieldStore writes an object field: obj.field = src (Case 4).
+type FieldStore struct {
+	Obj   *Var
+	Class string
+	Field string
+	Src   *Var
+	// R caches the resolved field (see FieldLoad.R).
+	R *model.Field
+}
+
+// ArrayLoad reads an element: dst = arr[idx].
+type ArrayLoad struct {
+	Dst, Arr, Idx *Var
+}
+
+// ArrayStore writes an element: arr[idx] = src.
+type ArrayStore struct {
+	Arr, Idx, Src *Var
+}
+
+// ArrayLen reads the length: dst = arr.length.
+type ArrayLen struct {
+	Dst, Arr *Var
+}
+
+// New allocates an object: dst = new Class() (Case 6).
+type New struct {
+	Dst   *Var
+	Class string
+	// R caches the resolved class.
+	R *model.Class
+}
+
+// NewArray allocates an array: dst = new Elem[len].
+type NewArray struct {
+	Dst  *Var
+	Elem model.Type
+	Len  *Var
+}
+
+// Call invokes another IR function: dst = fn(args...). Calls made on
+// data objects are inlined and transformed by the compiler (Case 9).
+type Call struct {
+	Dst  *Var // nil for void calls
+	Fn   string
+	Args []*Var
+}
+
+// NativeCall invokes a runtime-native method on a receiver:
+// dst = recv.name(args...). Native methods are violation condition #3
+// unless whitelisted (clone, hashCode, toString, arrayCopy).
+type NativeCall struct {
+	Dst  *Var
+	Name string
+	Recv *Var
+	Args []*Var
+	// RecvClass is the receiver's static class, preserved across the
+	// transformation (which retypes data variables to long).
+	RecvClass string
+}
+
+// MonitorEnter models `synchronized(obj) {` — using an object's metadata
+// as a lock, violation condition #4.
+type MonitorEnter struct {
+	Obj *Var
+}
+
+// MonitorExit closes a MonitorEnter.
+type MonitorExit struct {
+	Obj *Var
+}
+
+// If is structured two-way branching.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a structured loop.
+type While struct {
+	Cond Cond
+	Body []Stmt
+}
+
+// Return exits the function, optionally yielding a value.
+type Return struct {
+	Val *Var // nil for void
+}
+
+// Deserialize is the SER source: dst = readObject() (the start of the
+// data flow in Figure 1). The engine binds Source to a concrete input
+// iterator at run time.
+type Deserialize struct {
+	Dst    *Var
+	Source string
+}
+
+// Serialize is the SER sink: writeObject(src).
+type Serialize struct {
+	Src  *Var
+	Sink string
+}
+
+// Emit hands a record to the engine's output collector (e.g. Hadoop's
+// context.write or the iterator feeding a shuffle writer). The engine
+// lowers Emit into Serialize at task-build time, so for the analyses it
+// is also a sink.
+type Emit struct {
+	Src *Var
+}
+
+// ---- statements introduced by the Gerenuk transformation ----
+
+// GetAddress replaces a Deserialize: dst = getAddress() returns the
+// native address of the next top-level record (Case 1).
+type GetAddress struct {
+	Dst    *Var
+	Source string
+}
+
+// ReadNative reads Size bytes at Base+Off: dst = readNative(base, off, sz)
+// (Case 5 lowering). Kind selects sign/float interpretation.
+type ReadNative struct {
+	Dst  *Var
+	Base *Var
+	Off  *expr.Expr
+	Size int
+	Kind model.Kind
+}
+
+// WriteNative writes Size bytes at Base+Off (Case 4 lowering).
+type WriteNative struct {
+	Base *Var
+	Off  *expr.Expr
+	Size int
+	Src  *Var
+}
+
+// AddrOf computes an inlined sub-record address: dst = base + off.
+// Produced when a reference-typed field load is transformed: in the
+// inlined representation the "reference" is just an interior offset.
+type AddrOf struct {
+	Dst  *Var
+	Base *Var
+	Off  *expr.Expr
+}
+
+// ScanElem computes the address of element idx of an inlined array of
+// variable-size records: dst = walk(base, idx). Fixed-stride arrays use
+// AddrOf with a symbolic multiply instead; variable-size element classes
+// require walking size expressions element by element.
+type ScanElem struct {
+	Dst   *Var
+	Base  *Var // address of the array length slot
+	Idx   *Var
+	Class string // element class (its size expression drives the walk)
+}
+
+// AppendRecord replaces an allocation (Case 6): it opens or continues the
+// current record under construction in the task output region, reserving
+// the class's fixed prefix.
+type AppendRecord struct {
+	Dst   *Var
+	Class string
+}
+
+// AppendArray replaces a NewArray inside a record: the array's 4-byte
+// length slot and zeroed payload are appended at the current end of the
+// record under construction — which is the array's layout position when
+// construction order matches declaration order — and the length slot is
+// registered with the builder, firing the array-creation event of
+// section 3.6 that releases any parked symbolic-offset writes.
+type AppendArray struct {
+	Dst  *Var // receives the address of the length slot
+	Elem model.Type
+	Len  *Var
+}
+
+// GWriteObject replaces a Serialize (Case 8): the record's inlined bytes
+// are copied to the output stream as-is, with no serialization walk.
+// Class records the record's static type, which the address-typed Src no
+// longer carries after transformation.
+type GWriteObject struct {
+	Src   *Var
+	Sink  string
+	Class string
+}
+
+// GEmit replaces an Emit on the native path.
+type GEmit struct {
+	Src   *Var
+	Class string
+}
+
+// Abort terminates the speculative execution (Case 7). The runtime
+// discards the task and re-executes the untransformed version.
+type Abort struct {
+	Reason string
+}
+
+func (*ConstInt) stmt()     {}
+func (*ConstFloat) stmt()   {}
+func (*ConstString) stmt()  {}
+func (*Assign) stmt()       {}
+func (*BinOp) stmt()        {}
+func (*UnOp) stmt()         {}
+func (*FieldLoad) stmt()    {}
+func (*FieldStore) stmt()   {}
+func (*ArrayLoad) stmt()    {}
+func (*ArrayStore) stmt()   {}
+func (*ArrayLen) stmt()     {}
+func (*New) stmt()          {}
+func (*NewArray) stmt()     {}
+func (*Call) stmt()         {}
+func (*NativeCall) stmt()   {}
+func (*MonitorEnter) stmt() {}
+func (*MonitorExit) stmt()  {}
+func (*If) stmt()           {}
+func (*While) stmt()        {}
+func (*Return) stmt()       {}
+func (*Deserialize) stmt()  {}
+func (*Serialize) stmt()    {}
+func (*Emit) stmt()         {}
+func (*GetAddress) stmt()   {}
+func (*ReadNative) stmt()   {}
+func (*WriteNative) stmt()  {}
+func (*AddrOf) stmt()       {}
+func (*ScanElem) stmt()     {}
+func (*AppendRecord) stmt() {}
+func (*AppendArray) stmt()  {}
+func (*GWriteObject) stmt() {}
+func (*GEmit) stmt()        {}
+func (*Abort) stmt()        {}
+
+func (s *ConstInt) String() string    { return fmt.Sprintf("%s = %d", s.Dst, s.Val) }
+func (s *ConstFloat) String() string  { return fmt.Sprintf("%s = %g", s.Dst, s.Val) }
+func (s *ConstString) String() string { return fmt.Sprintf("%s = %q", s.Dst, s.Val) }
+func (s *Assign) String() string      { return fmt.Sprintf("%s = %s", s.Dst, s.Src) }
+func (s *BinOp) String() string {
+	return fmt.Sprintf("%s = %s %s %s", s.Dst, s.L, s.Op, s.R)
+}
+func (s *UnOp) String() string { return fmt.Sprintf("%s = %s %s", s.Dst, s.Op, s.X) }
+func (s *FieldLoad) String() string {
+	return fmt.Sprintf("%s = %s.%s", s.Dst, s.Obj, s.Field)
+}
+func (s *FieldStore) String() string {
+	return fmt.Sprintf("%s.%s = %s", s.Obj, s.Field, s.Src)
+}
+func (s *ArrayLoad) String() string  { return fmt.Sprintf("%s = %s[%s]", s.Dst, s.Arr, s.Idx) }
+func (s *ArrayStore) String() string { return fmt.Sprintf("%s[%s] = %s", s.Arr, s.Idx, s.Src) }
+func (s *ArrayLen) String() string   { return fmt.Sprintf("%s = %s.length", s.Dst, s.Arr) }
+func (s *New) String() string        { return fmt.Sprintf("%s = new %s()", s.Dst, s.Class) }
+func (s *NewArray) String() string {
+	return fmt.Sprintf("%s = new %s[%s]", s.Dst, s.Elem, s.Len)
+}
+func (s *Call) String() string {
+	if s.Dst != nil {
+		return fmt.Sprintf("%s = %s(%s)", s.Dst, s.Fn, varList(s.Args))
+	}
+	return fmt.Sprintf("%s(%s)", s.Fn, varList(s.Args))
+}
+func (s *NativeCall) String() string {
+	if s.Dst != nil {
+		return fmt.Sprintf("%s = %s.%s(%s) [native]", s.Dst, s.Recv, s.Name, varList(s.Args))
+	}
+	return fmt.Sprintf("%s.%s(%s) [native]", s.Recv, s.Name, varList(s.Args))
+}
+func (s *MonitorEnter) String() string { return fmt.Sprintf("monitorenter %s", s.Obj) }
+func (s *MonitorExit) String() string  { return fmt.Sprintf("monitorexit %s", s.Obj) }
+func (s *If) String() string           { return fmt.Sprintf("if %s {...}", s.Cond) }
+func (s *While) String() string        { return fmt.Sprintf("while %s {...}", s.Cond) }
+func (s *Return) String() string {
+	if s.Val != nil {
+		return fmt.Sprintf("return %s", s.Val)
+	}
+	return "return"
+}
+func (s *Deserialize) String() string { return fmt.Sprintf("%s = readObject() <%s>", s.Dst, s.Source) }
+func (s *Serialize) String() string   { return fmt.Sprintf("writeObject(%s) <%s>", s.Src, s.Sink) }
+func (s *Emit) String() string        { return fmt.Sprintf("emit(%s)", s.Src) }
+func (s *GetAddress) String() string  { return fmt.Sprintf("%s = getAddress() <%s>", s.Dst, s.Source) }
+func (s *ReadNative) String() string {
+	return fmt.Sprintf("%s = readNative(%s, %s, %d)", s.Dst, s.Base, s.Off, s.Size)
+}
+func (s *WriteNative) String() string {
+	return fmt.Sprintf("writeNative(%s, %s, %d, %s)", s.Base, s.Off, s.Size, s.Src)
+}
+func (s *AddrOf) String() string { return fmt.Sprintf("%s = %s + (%s)", s.Dst, s.Base, s.Off) }
+func (s *ScanElem) String() string {
+	return fmt.Sprintf("%s = scanElem(%s, %s) <%s>", s.Dst, s.Base, s.Idx, s.Class)
+}
+func (s *AppendRecord) String() string {
+	return fmt.Sprintf("%s = appendToBuffer(<%s>)", s.Dst, s.Class)
+}
+func (s *AppendArray) String() string {
+	return fmt.Sprintf("%s = appendArray(%s[%s])", s.Dst, s.Elem, s.Len)
+}
+func (s *GWriteObject) String() string { return fmt.Sprintf("gWriteObject(%s) <%s>", s.Src, s.Sink) }
+func (s *GEmit) String() string        { return fmt.Sprintf("gEmit(%s)", s.Src) }
+func (s *Abort) String() string        { return fmt.Sprintf("ABORT(%s)", s.Reason) }
+
+func varList(vs []*Var) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += ", "
+		}
+		out += v.String()
+	}
+	return out
+}
+
+// Func is an IR function: named, with typed parameters and locals.
+type Func struct {
+	Name   string
+	Params []*Var
+	// Locals holds every variable of the function including parameters
+	// (params occupy the first slots).
+	Locals []*Var
+	Body   []Stmt
+	// Ret is the declared return type; zero Type for void.
+	Ret model.Type
+}
+
+// NumSlots returns the frame size.
+func (f *Func) NumSlots() int { return len(f.Locals) }
+
+// NewVar appends a fresh local to the function.
+func (f *Func) NewVar(name string, t model.Type) *Var {
+	v := &Var{Name: name, Type: t, Slot: len(f.Locals)}
+	f.Locals = append(f.Locals, v)
+	return v
+}
+
+// Program is a set of functions plus the schema information the Gerenuk
+// compiler needs: which classes are top-level data types (the user
+// annotation of section 3.1) and the class registry.
+type Program struct {
+	Reg   *model.Registry
+	Funcs map[string]*Func
+	// TopTypes are the user-annotated top-level data types T (e.g. the
+	// RDD element classes).
+	TopTypes []string
+}
+
+// NewProgram returns an empty program over the registry.
+func NewProgram(reg *model.Registry) *Program {
+	return &Program{Reg: reg, Funcs: make(map[string]*Func)}
+}
+
+// Add registers a function, panicking on duplicates (program construction
+// is static).
+func (p *Program) Add(f *Func) *Func {
+	if _, dup := p.Funcs[f.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", f.Name))
+	}
+	p.Funcs[f.Name] = f
+	return f
+}
+
+// Fn returns the named function, panicking if missing.
+func (p *Program) Fn(name string) *Func {
+	f, ok := p.Funcs[name]
+	if !ok {
+		panic(fmt.Sprintf("ir: unknown function %q", name))
+	}
+	return f
+}
+
+// Walk visits every statement in the body, recursing into If/While blocks
+// in order.
+func Walk(body []Stmt, visit func(Stmt)) {
+	for _, s := range body {
+		visit(s)
+		switch t := s.(type) {
+		case *If:
+			Walk(t.Then, visit)
+			Walk(t.Else, visit)
+		case *While:
+			Walk(t.Body, visit)
+		}
+	}
+}
+
+// Rewrite maps every statement through f, which returns the replacement
+// statement list (possibly the original, possibly several statements —
+// the EMIT+REPLACE pattern of Algorithm 1). Block statements have their
+// bodies rewritten first, then the block itself is passed to f.
+func Rewrite(body []Stmt, f func(Stmt) []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range body {
+		switch t := s.(type) {
+		case *If:
+			t.Then = Rewrite(t.Then, f)
+			t.Else = Rewrite(t.Else, f)
+		case *While:
+			t.Body = Rewrite(t.Body, f)
+		}
+		out = append(out, f(s)...)
+	}
+	return out
+}
+
+// CloneBody deep-copies a statement list, remapping variables through
+// vmap (identity if a variable is absent). Used to inline functions and
+// to keep the original SER for slow-path re-execution.
+func CloneBody(body []Stmt, vmap map[*Var]*Var) []Stmt {
+	mv := func(v *Var) *Var {
+		if v == nil {
+			return nil
+		}
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	mvs := func(vs []*Var) []*Var {
+		out := make([]*Var, len(vs))
+		for i, v := range vs {
+			out[i] = mv(v)
+		}
+		return out
+	}
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		switch t := s.(type) {
+		case *ConstInt:
+			out = append(out, &ConstInt{Dst: mv(t.Dst), Val: t.Val})
+		case *ConstFloat:
+			out = append(out, &ConstFloat{Dst: mv(t.Dst), Val: t.Val})
+		case *ConstString:
+			out = append(out, &ConstString{Dst: mv(t.Dst), Val: t.Val})
+		case *Assign:
+			out = append(out, &Assign{Dst: mv(t.Dst), Src: mv(t.Src)})
+		case *BinOp:
+			out = append(out, &BinOp{Dst: mv(t.Dst), Op: t.Op, L: mv(t.L), R: mv(t.R)})
+		case *UnOp:
+			out = append(out, &UnOp{Dst: mv(t.Dst), Op: t.Op, X: mv(t.X)})
+		case *FieldLoad:
+			out = append(out, &FieldLoad{Dst: mv(t.Dst), Obj: mv(t.Obj), Class: t.Class, Field: t.Field, R: t.R})
+		case *FieldStore:
+			out = append(out, &FieldStore{Obj: mv(t.Obj), Class: t.Class, Field: t.Field, Src: mv(t.Src), R: t.R})
+		case *ArrayLoad:
+			out = append(out, &ArrayLoad{Dst: mv(t.Dst), Arr: mv(t.Arr), Idx: mv(t.Idx)})
+		case *ArrayStore:
+			out = append(out, &ArrayStore{Arr: mv(t.Arr), Idx: mv(t.Idx), Src: mv(t.Src)})
+		case *ArrayLen:
+			out = append(out, &ArrayLen{Dst: mv(t.Dst), Arr: mv(t.Arr)})
+		case *New:
+			out = append(out, &New{Dst: mv(t.Dst), Class: t.Class, R: t.R})
+		case *NewArray:
+			out = append(out, &NewArray{Dst: mv(t.Dst), Elem: t.Elem, Len: mv(t.Len)})
+		case *Call:
+			out = append(out, &Call{Dst: mv(t.Dst), Fn: t.Fn, Args: mvs(t.Args)})
+		case *NativeCall:
+			out = append(out, &NativeCall{Dst: mv(t.Dst), Name: t.Name, Recv: mv(t.Recv), Args: mvs(t.Args), RecvClass: t.RecvClass})
+		case *MonitorEnter:
+			out = append(out, &MonitorEnter{Obj: mv(t.Obj)})
+		case *MonitorExit:
+			out = append(out, &MonitorExit{Obj: mv(t.Obj)})
+		case *If:
+			out = append(out, &If{
+				Cond: Cond{Op: t.Cond.Op, L: mv(t.Cond.L), R: mv(t.Cond.R)},
+				Then: CloneBody(t.Then, vmap),
+				Else: CloneBody(t.Else, vmap),
+			})
+		case *While:
+			out = append(out, &While{
+				Cond: Cond{Op: t.Cond.Op, L: mv(t.Cond.L), R: mv(t.Cond.R)},
+				Body: CloneBody(t.Body, vmap),
+			})
+		case *Return:
+			out = append(out, &Return{Val: mv(t.Val)})
+		case *Deserialize:
+			out = append(out, &Deserialize{Dst: mv(t.Dst), Source: t.Source})
+		case *Serialize:
+			out = append(out, &Serialize{Src: mv(t.Src), Sink: t.Sink})
+		case *Emit:
+			out = append(out, &Emit{Src: mv(t.Src)})
+		case *GetAddress:
+			out = append(out, &GetAddress{Dst: mv(t.Dst), Source: t.Source})
+		case *ReadNative:
+			out = append(out, &ReadNative{Dst: mv(t.Dst), Base: mv(t.Base), Off: t.Off, Size: t.Size, Kind: t.Kind})
+		case *WriteNative:
+			out = append(out, &WriteNative{Base: mv(t.Base), Off: t.Off, Size: t.Size, Src: mv(t.Src)})
+		case *AddrOf:
+			out = append(out, &AddrOf{Dst: mv(t.Dst), Base: mv(t.Base), Off: t.Off})
+		case *ScanElem:
+			out = append(out, &ScanElem{Dst: mv(t.Dst), Base: mv(t.Base), Idx: mv(t.Idx), Class: t.Class})
+		case *AppendRecord:
+			out = append(out, &AppendRecord{Dst: mv(t.Dst), Class: t.Class})
+		case *AppendArray:
+			out = append(out, &AppendArray{Dst: mv(t.Dst), Elem: t.Elem, Len: mv(t.Len)})
+		case *ReadNativeElem:
+			out = append(out, &ReadNativeElem{Dst: mv(t.Dst), Base: mv(t.Base), Idx: mv(t.Idx), Kind: t.Kind})
+		case *WriteNativeElem:
+			out = append(out, &WriteNativeElem{Base: mv(t.Base), Idx: mv(t.Idx), Kind: t.Kind, Src: mv(t.Src)})
+		case *AddrElem:
+			out = append(out, &AddrElem{Dst: mv(t.Dst), Base: mv(t.Base), Idx: mv(t.Idx), Stride: t.Stride})
+		case *CheckInline:
+			out = append(out, &CheckInline{Base: mv(t.Base), Off: t.Off, Sub: mv(t.Sub)})
+		case *GConstString:
+			out = append(out, &GConstString{Dst: mv(t.Dst), Val: t.Val})
+		case *GWriteObject:
+			out = append(out, &GWriteObject{Src: mv(t.Src), Sink: t.Sink, Class: t.Class})
+		case *GEmit:
+			out = append(out, &GEmit{Src: mv(t.Src), Class: t.Class})
+		case *Abort:
+			out = append(out, &Abort{Reason: t.Reason})
+		default:
+			panic(fmt.Sprintf("ir: CloneBody of unknown statement %T", s))
+		}
+	}
+	return out
+}
+
+// CloneFunc deep-copies a function, producing fresh variables.
+func CloneFunc(f *Func, newName string) *Func {
+	nf := &Func{Name: newName, Ret: f.Ret}
+	vmap := make(map[*Var]*Var, len(f.Locals))
+	for _, v := range f.Locals {
+		nv := &Var{Name: v.Name, Type: v.Type, Slot: v.Slot}
+		vmap[v] = nv
+		nf.Locals = append(nf.Locals, nv)
+	}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, vmap[p])
+	}
+	nf.Body = CloneBody(f.Body, vmap)
+	return nf
+}
+
+// Defs returns the variable a statement defines (nil if none).
+func Defs(s Stmt) *Var {
+	switch t := s.(type) {
+	case *ConstInt:
+		return t.Dst
+	case *ConstFloat:
+		return t.Dst
+	case *ConstString:
+		return t.Dst
+	case *Assign:
+		return t.Dst
+	case *BinOp:
+		return t.Dst
+	case *UnOp:
+		return t.Dst
+	case *FieldLoad:
+		return t.Dst
+	case *ArrayLoad:
+		return t.Dst
+	case *ArrayLen:
+		return t.Dst
+	case *New:
+		return t.Dst
+	case *NewArray:
+		return t.Dst
+	case *Call:
+		return t.Dst
+	case *NativeCall:
+		return t.Dst
+	case *Deserialize:
+		return t.Dst
+	case *GetAddress:
+		return t.Dst
+	case *ReadNative:
+		return t.Dst
+	case *AddrOf:
+		return t.Dst
+	case *ScanElem:
+		return t.Dst
+	case *AppendRecord:
+		return t.Dst
+	case *AppendArray:
+		return t.Dst
+	case *ReadNativeElem:
+		return t.Dst
+	case *AddrElem:
+		return t.Dst
+	case *GConstString:
+		return t.Dst
+	}
+	return nil
+}
+
+// Uses returns the variables a statement reads.
+func Uses(s Stmt) []*Var {
+	switch t := s.(type) {
+	case *Assign:
+		return []*Var{t.Src}
+	case *BinOp:
+		return []*Var{t.L, t.R}
+	case *UnOp:
+		return []*Var{t.X}
+	case *FieldLoad:
+		return []*Var{t.Obj}
+	case *FieldStore:
+		return []*Var{t.Obj, t.Src}
+	case *ArrayLoad:
+		return []*Var{t.Arr, t.Idx}
+	case *ArrayStore:
+		return []*Var{t.Arr, t.Idx, t.Src}
+	case *ArrayLen:
+		return []*Var{t.Arr}
+	case *NewArray:
+		return []*Var{t.Len}
+	case *Call:
+		return t.Args
+	case *NativeCall:
+		return append([]*Var{t.Recv}, t.Args...)
+	case *MonitorEnter:
+		return []*Var{t.Obj}
+	case *MonitorExit:
+		return []*Var{t.Obj}
+	case *If:
+		return []*Var{t.Cond.L, t.Cond.R}
+	case *While:
+		return []*Var{t.Cond.L, t.Cond.R}
+	case *Return:
+		if t.Val != nil {
+			return []*Var{t.Val}
+		}
+	case *Serialize:
+		return []*Var{t.Src}
+	case *Emit:
+		return []*Var{t.Src}
+	}
+	return nil
+}
+
+// ResolveProgram fills the runtime resolution caches (field and class
+// lookups) of every function reachable from entry, mirroring the JVM's
+// one-time constant-pool resolution so interpreted field accesses do not
+// pay per-access map lookups. It must run before concurrent execution;
+// the interpreter only reads the caches.
+func (p *Program) ResolveProgram(entry string) {
+	seen := map[string]bool{}
+	var resolve func(name string)
+	resolve = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		fn, ok := p.Funcs[name]
+		if !ok {
+			return
+		}
+		Walk(fn.Body, func(s Stmt) {
+			switch t := s.(type) {
+			case *FieldLoad:
+				if t.R == nil {
+					if cls, ok := p.Reg.Lookup(t.Class); ok {
+						if f, ok := cls.Field(t.Field); ok {
+							t.R = &f
+						}
+					}
+				}
+			case *FieldStore:
+				if t.R == nil {
+					if cls, ok := p.Reg.Lookup(t.Class); ok {
+						if f, ok := cls.Field(t.Field); ok {
+							t.R = &f
+						}
+					}
+				}
+			case *New:
+				if t.R == nil {
+					if cls, ok := p.Reg.Lookup(t.Class); ok {
+						t.R = cls
+					}
+				}
+			case *Call:
+				resolve(t.Fn)
+			}
+		})
+	}
+	resolve(entry)
+}

@@ -1,0 +1,255 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func testProg() *Program {
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "P", Fields: []model.FieldDef{
+		{Name: "x", Type: model.Prim(model.KindLong)},
+		{Name: "ys", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	return NewProgram(reg)
+}
+
+func TestBuilderBasics(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "f", model.Prim(model.KindLong))
+	p := b.Param("p", model.Object("P"))
+	x := b.Load(p, "x")
+	one := b.IConst(1)
+	sum := b.Bin(OpAdd, x, one)
+	b.Ret(sum)
+	f := b.Done()
+
+	if prog.Fn("f") != f {
+		t.Fatalf("function not registered")
+	}
+	if len(f.Params) != 1 || f.Params[0] != p {
+		t.Errorf("params wrong")
+	}
+	if f.NumSlots() != len(f.Locals) {
+		t.Errorf("slot accounting wrong")
+	}
+	// Slots must be unique and dense.
+	seen := map[int]bool{}
+	for _, v := range f.Locals {
+		if seen[v.Slot] {
+			t.Errorf("duplicate slot %d", v.Slot)
+		}
+		seen[v.Slot] = true
+	}
+}
+
+func TestBuilderControlFlowNesting(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "g", model.Type{})
+	n := b.IConst(3)
+	zero := b.IConst(0)
+	b.If(CmpGT, n, zero, func() {
+		b.While(CmpGT, n, zero, func() {
+			one := b.IConst(1)
+			b.BinTo(n, OpSub, n, one)
+		})
+	}, func() {
+		b.Assign(n, zero)
+	})
+	b.Ret(nil)
+	g := b.Done()
+
+	var ifs, whiles int
+	Walk(g.Body, func(s Stmt) {
+		switch s.(type) {
+		case *If:
+			ifs++
+		case *While:
+			whiles++
+		}
+	})
+	if ifs != 1 || whiles != 1 {
+		t.Errorf("walk found %d ifs, %d whiles", ifs, whiles)
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	prog := testProg()
+	NewFuncBuilder(prog, "dup", model.Type{}).Done()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate function registration did not panic")
+		}
+	}()
+	NewFuncBuilder(prog, "dup", model.Type{}).Done()
+}
+
+func TestCloneFuncIndependence(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "h", model.Type{})
+	p := b.Param("p", model.Object("P"))
+	x := b.Load(p, "x")
+	two := b.IConst(2)
+	b.Bin(OpMul, x, two)
+	b.Ret(nil)
+	f := b.Done()
+
+	c := CloneFunc(f, "h2")
+	if c.Name != "h2" || len(c.Locals) != len(f.Locals) {
+		t.Fatalf("clone shape wrong")
+	}
+	for i := range c.Locals {
+		if c.Locals[i] == f.Locals[i] {
+			t.Errorf("clone shares variable %d", i)
+		}
+		if c.Locals[i].Slot != f.Locals[i].Slot {
+			t.Errorf("clone slot mismatch at %d", i)
+		}
+	}
+	// Mutating the clone body must not affect the original.
+	c.Body = append(c.Body, &Abort{Reason: "x"})
+	if len(c.Body) == len(f.Body) {
+		t.Errorf("bodies aliased")
+	}
+}
+
+func TestRewriteReplacesStatements(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "r", model.Type{})
+	v := b.IConst(5)
+	zero := b.IConst(0)
+	b.If(CmpGT, v, zero, func() {
+		b.IConst(7)
+	}, nil)
+	b.Ret(nil)
+	f := b.Done()
+
+	// Replace every ConstInt with two Aborts.
+	out := Rewrite(f.Body, func(s Stmt) []Stmt {
+		if _, ok := s.(*ConstInt); ok {
+			return []Stmt{&Abort{Reason: "a"}, &Abort{Reason: "b"}}
+		}
+		return []Stmt{s}
+	})
+	var aborts, consts int
+	Walk(out, func(s Stmt) {
+		switch s.(type) {
+		case *Abort:
+			aborts++
+		case *ConstInt:
+			consts++
+		}
+	})
+	if consts != 0 || aborts != 6 {
+		t.Errorf("rewrite left %d consts, made %d aborts", consts, aborts)
+	}
+}
+
+func TestDefsAndUses(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "du", model.Type{})
+	p := b.Param("p", model.Object("P"))
+	x := b.Load(p, "x")
+	one := b.IConst(1)
+	sum := b.Bin(OpAdd, x, one)
+	_ = sum
+	b.Ret(nil)
+	f := b.Done()
+
+	for _, s := range f.Body {
+		d := Defs(s)
+		us := Uses(s)
+		switch t2 := s.(type) {
+		case *FieldLoad:
+			if d != t2.Dst || len(us) != 1 || us[0] != t2.Obj {
+				t.Errorf("FieldLoad defs/uses wrong")
+			}
+		case *BinOp:
+			if d != t2.Dst || len(us) != 2 {
+				t.Errorf("BinOp defs/uses wrong")
+			}
+		}
+	}
+}
+
+func TestStringerOutput(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "s", model.Type{})
+	p := b.Param("p", model.Object("P"))
+	x := b.Load(p, "x")
+	_ = x
+	b.Ret(nil)
+	f := b.Done()
+	var sb strings.Builder
+	Walk(f.Body, func(s Stmt) { sb.WriteString(s.String() + "\n") })
+	out := sb.String()
+	for _, want := range []string{"p.x", "return"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResolveProgramFillsCaches(t *testing.T) {
+	prog := testProg()
+	hb := NewFuncBuilder(prog, "helper", model.Type{})
+	hp := hb.Param("p", model.Object("P"))
+	hb.Load(hp, "x")
+	hb.Ret(nil)
+	hb.Done()
+
+	b := NewFuncBuilder(prog, "main", model.Type{})
+	p := b.Param("p", model.Object("P"))
+	b.CallV("helper", p)
+	q := b.New("P")
+	_ = q
+	b.Ret(nil)
+	b.Done()
+
+	prog.ResolveProgram("main")
+	var resolved, allocs int
+	for _, name := range []string{"main", "helper"} {
+		Walk(prog.Fn(name).Body, func(s Stmt) {
+			switch t2 := s.(type) {
+			case *FieldLoad:
+				if t2.R != nil {
+					resolved++
+				}
+			case *New:
+				if t2.R != nil {
+					allocs++
+				}
+			}
+		})
+	}
+	if resolved == 0 || allocs == 0 {
+		t.Errorf("resolution caches not filled: fields=%d allocs=%d", resolved, allocs)
+	}
+}
+
+func TestForLoopSemantics(t *testing.T) {
+	prog := testProg()
+	b := NewFuncBuilder(prog, "loop", model.Prim(model.KindLong))
+	n := b.Param("n", model.Prim(model.KindLong))
+	sum := b.Local("sum", model.Prim(model.KindLong))
+	zero := b.IConst(0)
+	b.Assign(sum, zero)
+	b.For(n, func(i *Var) {
+		b.BinTo(sum, OpAdd, sum, i)
+	})
+	b.Ret(sum)
+	f := b.Done()
+	// Structure check: exactly one top-level While with an increment.
+	var whiles int
+	for _, s := range f.Body {
+		if _, ok := s.(*While); ok {
+			whiles++
+		}
+	}
+	if whiles != 1 {
+		t.Errorf("For emitted %d whiles", whiles)
+	}
+}

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/model"
+)
+
+// ReadNativeElem reads element Idx of an inlined primitive array whose
+// length slot is at Base: dst = readNative(base, 4 + idx*elemSize). The
+// dynamic index makes this a separate form from ReadNative, whose offset
+// is a static (possibly symbolic) expression.
+type ReadNativeElem struct {
+	Dst  *Var
+	Base *Var
+	Idx  *Var
+	Kind model.Kind
+}
+
+// WriteNativeElem writes element Idx of an inlined primitive array.
+type WriteNativeElem struct {
+	Base *Var
+	Idx  *Var
+	Kind model.Kind
+	Src  *Var
+}
+
+// AddrElem computes the address of element Idx of an inlined array of
+// fixed-size records: dst = base + 4 + idx*stride.
+type AddrElem struct {
+	Dst    *Var
+	Base   *Var
+	Idx    *Var
+	Stride int64
+}
+
+// CheckInline is the runtime guard emitted for a construction-order
+// reference store obj.field = sub: over inlined bytes the store is a
+// no-op because appendToBuffer already placed the sub-record, but only
+// if construction order matched the layout. The interpreter verifies
+// sub == base + resolveOffset(off) and aborts the SER otherwise.
+type CheckInline struct {
+	Base *Var
+	Off  *expr.Expr
+	Sub  *Var
+}
+
+// GConstString appends a string literal as an inlined char array to the
+// record under construction: dst = its address.
+type GConstString struct {
+	Dst *Var
+	Val string
+}
+
+func (*ReadNativeElem) stmt()  {}
+func (*WriteNativeElem) stmt() {}
+func (*AddrElem) stmt()        {}
+func (*CheckInline) stmt()     {}
+func (*GConstString) stmt()    {}
+
+func (s *ReadNativeElem) String() string {
+	return fmt.Sprintf("%s = readNativeElem(%s, %s, %s)", s.Dst, s.Base, s.Idx, s.Kind)
+}
+func (s *WriteNativeElem) String() string {
+	return fmt.Sprintf("writeNativeElem(%s, %s, %s, %s)", s.Base, s.Idx, s.Kind, s.Src)
+}
+func (s *AddrElem) String() string {
+	return fmt.Sprintf("%s = %s + 4 + %s*%d", s.Dst, s.Base, s.Idx, s.Stride)
+}
+func (s *CheckInline) String() string {
+	return fmt.Sprintf("checkInline(%s + (%s) == %s)", s.Base, s.Off, s.Sub)
+}
+func (s *GConstString) String() string {
+	return fmt.Sprintf("%s = appendString(%q)", s.Dst, s.Val)
+}

@@ -1,0 +1,189 @@
+// Package metrics defines the measurement containers and table formatting
+// used by the benchmark harness to regenerate the paper's figures: the
+// four-way runtime breakdown of Figure 6 (computation, GC, serialization,
+// deserialization), the peak-memory comparisons of Figure 7, and the
+// normalized summaries of Table 3.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Breakdown is the per-run cost breakdown. Compute is derived: total
+// minus the attributed GC/serialization/deserialization time.
+type Breakdown struct {
+	Total time.Duration
+	GC    time.Duration
+	Ser   time.Duration
+	Deser time.Duration
+
+	PeakHeapBytes   int64
+	PeakNativeBytes int64
+
+	Aborts       int64
+	MinorGCs     int64
+	MajorGCs     int64
+	AllocObjects int64
+	AllocBytes   int64
+	Records      int64
+}
+
+// Compute returns the non-GC, non-serde portion of the total.
+func (b Breakdown) Compute() time.Duration {
+	c := b.Total - b.GC - b.Ser - b.Deser
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// PeakBytes returns the combined peak process footprint (heap + native).
+func (b Breakdown) PeakBytes() int64 { return b.PeakHeapBytes + b.PeakNativeBytes }
+
+// Add accumulates another breakdown (e.g. across tasks). Peaks take the
+// max of concurrent components summed by the caller; here they add,
+// modeling tasks that coexist.
+func (b *Breakdown) Add(o Breakdown) {
+	b.Total += o.Total
+	b.GC += o.GC
+	b.Ser += o.Ser
+	b.Deser += o.Deser
+	b.Aborts += o.Aborts
+	b.MinorGCs += o.MinorGCs
+	b.MajorGCs += o.MajorGCs
+	b.AllocObjects += o.AllocObjects
+	b.AllocBytes += o.AllocBytes
+	b.Records += o.Records
+	if o.PeakHeapBytes > b.PeakHeapBytes {
+		b.PeakHeapBytes = o.PeakHeapBytes
+	}
+	if o.PeakNativeBytes > b.PeakNativeBytes {
+		b.PeakNativeBytes = o.PeakNativeBytes
+	}
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%v compute=%v gc=%v ser=%v deser=%v peak=%s aborts=%d",
+		b.Total.Round(time.Microsecond), b.Compute().Round(time.Microsecond),
+		b.GC.Round(time.Microsecond), b.Ser.Round(time.Microsecond),
+		b.Deser.Round(time.Microsecond), FmtBytes(b.PeakBytes()), b.Aborts)
+}
+
+// Ratio returns x/y guarding zero denominators.
+func Ratio(x, y float64) float64 {
+	if y == 0 {
+		return math.NaN()
+	}
+	return x / y
+}
+
+// GeoMean returns the geometric mean of positive values (NaN inputs are
+// skipped).
+func GeoMean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// MinMax returns the min and max of values, skipping NaNs.
+func MinMax(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// FmtBytes renders a byte count human-readably.
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Table is a simple fixed-width text table for harness output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// F formats a float with 2 decimals; NaN renders as "-".
+func F(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// D formats a duration rounded for display.
+func D(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }

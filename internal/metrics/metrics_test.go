@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBreakdownComputeDerivation(t *testing.T) {
+	b := Breakdown{Total: 100 * time.Millisecond, GC: 10 * time.Millisecond,
+		Ser: 5 * time.Millisecond, Deser: 15 * time.Millisecond}
+	if got := b.Compute(); got != 70*time.Millisecond {
+		t.Errorf("Compute = %v", got)
+	}
+	// Clamped at zero when attribution exceeds total (clock skew).
+	b2 := Breakdown{Total: time.Millisecond, GC: 2 * time.Millisecond}
+	if got := b2.Compute(); got != 0 {
+		t.Errorf("negative compute not clamped: %v", got)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{Total: time.Second, GC: time.Millisecond, PeakHeapBytes: 100, Aborts: 1}
+	b := Breakdown{Total: 2 * time.Second, Ser: time.Millisecond, PeakHeapBytes: 50, PeakNativeBytes: 200}
+	a.Add(b)
+	if a.Total != 3*time.Second || a.GC != time.Millisecond || a.Ser != time.Millisecond {
+		t.Errorf("durations wrong: %+v", a)
+	}
+	if a.PeakHeapBytes != 100 || a.PeakNativeBytes != 200 {
+		t.Errorf("peaks should take max: %+v", a)
+	}
+	if a.Aborts != 1 {
+		t.Errorf("aborts wrong")
+	}
+	if a.PeakBytes() != 300 {
+		t.Errorf("PeakBytes = %d", a.PeakBytes())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean([]float64{5}); got != 5 {
+		t.Errorf("GeoMean(5) = %v", got)
+	}
+	if got := GeoMean(nil); !math.IsNaN(got) {
+		t.Errorf("GeoMean(nil) = %v, want NaN", got)
+	}
+	// NaNs and non-positives are skipped.
+	if got := GeoMean([]float64{math.NaN(), 0, -1, 3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("GeoMean with junk = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, math.NaN(), 1, 7})
+	if lo != 1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != 2 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(1, 0); !math.IsNaN(got) {
+		t.Errorf("Ratio by zero = %v", got)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KB",
+		3 << 20: "3.00MB",
+		5 << 30: "5.00GB",
+	}
+	for n, want := range cases {
+		if got := FmtBytes(n); got != want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: both rows' second column starts at the same index.
+	r1 := strings.Index(lines[3], "1")
+	r2 := strings.Index(lines[4], "22")
+	if r1 != r2 {
+		t.Errorf("columns misaligned (%d vs %d):\n%s", r1, r2, out)
+	}
+}
+
+func TestFAndD(t *testing.T) {
+	if got := F(1.234); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+	if got := F(math.NaN()); got != "-" {
+		t.Errorf("F(NaN) = %q", got)
+	}
+	if got := D(1234567 * time.Nanosecond); got == "" {
+		t.Errorf("D empty")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Total: time.Second, GC: time.Millisecond, Aborts: 2, PeakHeapBytes: 1024}
+	s := b.String()
+	for _, want := range []string{"total=", "gc=", "aborts=2", "1.0KB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindSizes(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		size int
+	}{
+		{KindBool, 1}, {KindByte, 1}, {KindChar, 2}, {KindShort, 2},
+		{KindInt, 4}, {KindFloat, 4}, {KindLong, 8}, {KindDouble, 8},
+		{KindRef, 8}, {KindInvalid, 0},
+	}
+	for _, c := range cases {
+		if got := c.k.Size(); got != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.k, got, c.size)
+		}
+	}
+}
+
+func TestLayoutSimpleClass(t *testing.T) {
+	r := NewRegistry()
+	// The paper's section 3.3 example: class C { int a; long[] b; double c; }
+	c := r.Define(ClassDef{
+		Name: "C",
+		Fields: []FieldDef{
+			{Name: "a", Type: Prim(KindInt)},
+			{Name: "b", Type: ArrayOf(Prim(KindLong))},
+			{Name: "c", Type: Prim(KindDouble)},
+		},
+	})
+	a := c.MustField("a")
+	if a.Offset != HeaderSize {
+		t.Errorf("field a offset = %d, want %d", a.Offset, HeaderSize)
+	}
+	b := c.MustField("b")
+	if b.Offset != HeaderSize+8 { // aligned up from 20 to 24
+		t.Errorf("field b offset = %d, want %d", b.Offset, HeaderSize+8)
+	}
+	cc := c.MustField("c")
+	if cc.Offset != HeaderSize+16 {
+		t.Errorf("field c offset = %d, want %d", cc.Offset, HeaderSize+16)
+	}
+	if c.Size != HeaderSize+24 {
+		t.Errorf("class size = %d, want %d", c.Size, HeaderSize+24)
+	}
+}
+
+func TestLayoutPacksSmallFields(t *testing.T) {
+	r := NewRegistry()
+	c := r.Define(ClassDef{
+		Name: "P",
+		Fields: []FieldDef{
+			{Name: "b1", Type: Prim(KindByte)},
+			{Name: "b2", Type: Prim(KindByte)},
+			{Name: "s", Type: Prim(KindShort)},
+			{Name: "i", Type: Prim(KindInt)},
+		},
+	})
+	if got := c.MustField("b1").Offset; got != 16 {
+		t.Errorf("b1 offset = %d, want 16", got)
+	}
+	if got := c.MustField("b2").Offset; got != 17 {
+		t.Errorf("b2 offset = %d, want 17", got)
+	}
+	if got := c.MustField("s").Offset; got != 18 {
+		t.Errorf("s offset = %d, want 18", got)
+	}
+	if got := c.MustField("i").Offset; got != 20 {
+		t.Errorf("i offset = %d, want 20", got)
+	}
+	if c.Size != 24 {
+		t.Errorf("size = %d, want 24", c.Size)
+	}
+}
+
+func TestRegistryLookupAndIDs(t *testing.T) {
+	r := NewRegistry()
+	a := r.Define(ClassDef{Name: "A", Fields: []FieldDef{{Name: "x", Type: Prim(KindInt)}}})
+	b := r.Define(ClassDef{Name: "B", Fields: []FieldDef{{Name: "y", Type: Object("A")}}})
+	if a.ID == 0 || b.ID == 0 || a.ID == b.ID {
+		t.Fatalf("bad ids: %d %d", a.ID, b.ID)
+	}
+	if got := r.ByID(a.ID); got != a {
+		t.Errorf("ByID(A) mismatch")
+	}
+	if got, ok := r.Lookup("B"); !ok || got != b {
+		t.Errorf("Lookup(B) mismatch")
+	}
+	if r.ByID(0) != nil || r.ByID(99) != nil {
+		t.Errorf("ByID out of range should be nil")
+	}
+	if got := r.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestDefinePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		def  ClassDef
+	}{
+		{"empty name", ClassDef{}},
+		{"empty field name", ClassDef{Name: "X", Fields: []FieldDef{{Name: "", Type: Prim(KindInt)}}}},
+		{"invalid kind", ClassDef{Name: "Y", Fields: []FieldDef{{Name: "f", Type: Type{}}}}},
+		{"dup field", ClassDef{Name: "Z", Fields: []FieldDef{
+			{Name: "f", Type: Prim(KindInt)}, {Name: "f", Type: Prim(KindInt)}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Define(%q) did not panic", c.name)
+				}
+			}()
+			NewRegistry().Define(c.def)
+		})
+	}
+}
+
+func TestDefineDuplicateClassPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Define(ClassDef{Name: "D", Fields: []FieldDef{{Name: "f", Type: Prim(KindInt)}}})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("duplicate Define did not panic")
+		}
+	}()
+	r.Define(ClassDef{Name: "D", Fields: []FieldDef{{Name: "f", Type: Prim(KindInt)}}})
+}
+
+func TestArraySizes(t *testing.T) {
+	if got := ArraySize(KindDouble, 3); got != ArrayDataOffset+24 {
+		t.Errorf("ArraySize(double,3) = %d", got)
+	}
+	if got := ArraySize(KindByte, 1); got != ArrayDataOffset+8 { // aligned
+		t.Errorf("ArraySize(byte,1) = %d", got)
+	}
+	if got := ArrayRefSize(2); got != ArrayDataOffset+16 {
+		t.Errorf("ArrayRefSize(2) = %d", got)
+	}
+	if got := ArraySize(KindInt, 0); got != ArrayDataOffset {
+		t.Errorf("ArraySize(int,0) = %d", got)
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	arr := ArrayOf(Prim(KindDouble))
+	if !arr.IsRef() || !arr.IsPrimArray() || arr.IsRefArray() {
+		t.Errorf("double[] classification wrong: %+v", arr)
+	}
+	refArr := ArrayOf(Object("A"))
+	if !refArr.IsRefArray() || refArr.IsPrimArray() {
+		t.Errorf("A[] classification wrong")
+	}
+	if got := refArr.String(); got != "A[]" {
+		t.Errorf("String = %q", got)
+	}
+	nested := ArrayOf(ArrayOf(Prim(KindInt)))
+	if got := nested.String(); got != "int[][]" {
+		t.Errorf("String = %q", got)
+	}
+	if !nested.Equal(ArrayOf(ArrayOf(Prim(KindInt)))) {
+		t.Errorf("Equal failed for identical nested types")
+	}
+	if nested.Equal(arr) {
+		t.Errorf("Equal true for different types")
+	}
+}
+
+func TestDefineString(t *testing.T) {
+	r := NewRegistry()
+	s := r.DefineString()
+	f := s.MustField("chars")
+	if !f.Type.IsPrimArray() || f.Type.Elem.Kind != KindChar {
+		t.Errorf("string chars field wrong: %+v", f.Type)
+	}
+}
+
+// Property: field offsets never overlap and stay inside the object, for
+// arbitrary primitive field sequences.
+func TestLayoutNoOverlapProperty(t *testing.T) {
+	kinds := []Kind{KindBool, KindByte, KindChar, KindShort, KindInt, KindLong, KindFloat, KindDouble}
+	f := func(sel []uint8) bool {
+		if len(sel) == 0 || len(sel) > 30 {
+			return true
+		}
+		r := NewRegistry()
+		def := ClassDef{Name: "Q"}
+		for i, s := range sel {
+			def.Fields = append(def.Fields, FieldDef{
+				Name: string(rune('a'+i%26)) + string(rune('0'+i/26)),
+				Type: Prim(kinds[int(s)%len(kinds)]),
+			})
+		}
+		c := r.Define(def)
+		type span struct{ lo, hi int }
+		var spans []span
+		for _, fl := range c.Fields {
+			lo := fl.Offset
+			hi := lo + fl.Type.Kind.Size()
+			if lo < HeaderSize || hi > c.Size {
+				return false
+			}
+			if lo%fl.Type.Kind.Size() != 0 {
+				return false // misaligned
+			}
+			for _, sp := range spans {
+				if lo < sp.hi && sp.lo < hi {
+					return false // overlap
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		return c.Size%ObjectAlign == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

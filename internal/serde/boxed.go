@@ -1,0 +1,76 @@
+package serde
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// BoxedWireFootprint computes the heap bytes the record at buf[off:]
+// would occupy under the representation real JVM dataflow systems give
+// generic records: a Tuple/case-class object whose primitive fields are
+// *boxed* (java.lang.Long, java.lang.Double, ...), because generic
+// containers such as Scala's Tuple2 and GraphX's shuffle records erase
+// to Object fields.
+//
+// Our executable heap model stores primitives unboxed inside objects
+// (like specialized classes), which understates the paper's Figure 5
+// overhead; this function reproduces the paper's measurement — "the size
+// of data objects before serialization" as a JVM would hold them — from
+// the wire bytes and the schema alone.
+func (c *Codec) BoxedWireFootprint(class string, buf []byte, off int) (int64, error) {
+	total, _, err := c.boxedClass(class, buf, off+SizePrefixBytes, true)
+	return total, err
+}
+
+// boxedClass returns (heapBytes, nextOffset). topLevel boxing applies to
+// every class: each primitive field costs a reference plus a box object.
+func (c *Codec) boxedClass(class string, buf []byte, off int, _ bool) (int64, int, error) {
+	if class == model.StringClassName {
+		n := int(int32(binary.LittleEndian.Uint32(buf[off:])))
+		// String object + its char[] payload.
+		heapBytes := int64(model.HeaderSize + model.RefSize + model.ArraySize(model.KindChar, n))
+		return heapBytes, off + 4 + 2*n, nil
+	}
+	cls, ok := c.reg.Lookup(class)
+	if !ok {
+		return 0, 0, fmt.Errorf("serde: unknown class %s", class)
+	}
+	total := int64(model.HeaderSize)
+	for _, f := range cls.Fields {
+		t := f.Type
+		switch {
+		case !t.IsRef():
+			// Reference slot + box object (header + aligned payload).
+			total += model.RefSize + model.HeaderSize + int64(align8(t.Kind.Size()))
+			off += t.Kind.Size()
+		case t.Array && !t.Elem.IsRef():
+			n := int(int32(binary.LittleEndian.Uint32(buf[off:])))
+			total += model.RefSize + int64(model.ArraySize(t.Elem.Kind, n))
+			off += 4 + n*t.Elem.Kind.Size()
+		case t.Array:
+			n := int(int32(binary.LittleEndian.Uint32(buf[off:])))
+			off += 4
+			total += model.RefSize + int64(model.ArrayRefSize(n))
+			for i := 0; i < n; i++ {
+				sub, noff, err := c.boxedClass(t.Elem.Class, buf, off, false)
+				if err != nil {
+					return 0, 0, err
+				}
+				total += sub
+				off = noff
+			}
+		default:
+			sub, noff, err := c.boxedClass(t.Class, buf, off, false)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += model.RefSize + sub
+			off = noff
+		}
+	}
+	return total, off, nil
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }

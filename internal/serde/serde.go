@@ -1,0 +1,372 @@
+// Package serde implements the Gerenuk serializer (paper section 3.6): a
+// schema-driven codec between simulated-heap object graphs and the
+// inlined, pointer-free native format computed by the data structure
+// analyzer.
+//
+// The wire format of a top-level record is a 4-byte total-size prefix
+// followed by the payload laid out exactly as internal/dsa prescribes —
+// primitives raw, reference fields inlined recursively, arrays as a
+// 4-byte length plus back-to-back elements, strings as char arrays. The
+// size prefix is the "special field storing the size of the entire data
+// structure" the paper gives each top-level object; it lets buffers be
+// iterated record by record without consulting the schema.
+//
+// The baseline execution path pays this codec's full graph-walk cost on
+// every shuffle (serialize on write, deserialize-to-heap on read),
+// modeling Kryo. The Gerenuk path moves the same bytes without invoking
+// the codec at all.
+package serde
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dsa"
+	"repro/internal/heap"
+	"repro/internal/model"
+)
+
+// SizePrefixBytes is the length of the per-record total-size prefix.
+const SizePrefixBytes = 4
+
+// Codec serializes and deserializes records of the classes covered by a
+// DSA result.
+type Codec struct {
+	reg     *model.Registry
+	layouts *dsa.Result
+}
+
+// NewCodec returns a codec over the given registry and layouts.
+func NewCodec(reg *model.Registry, layouts *dsa.Result) *Codec {
+	return &Codec{reg: reg, layouts: layouts}
+}
+
+// Layouts returns the DSA result backing the codec.
+func (c *Codec) Layouts() *dsa.Result { return c.layouts }
+
+// Serialize appends the inlined form of the record rooted at heap object
+// a (of class top) to out, size prefix included, and returns the extended
+// slice. This is the object-graph walk whose cost the baseline pays.
+func (c *Codec) Serialize(h *heap.Heap, a heap.Addr, top string, out []byte) ([]byte, error) {
+	start := len(out)
+	out = append(out, 0, 0, 0, 0) // size prefix, patched below
+	out, err := c.serializeClass(h, a, top, out)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start-SizePrefixBytes))
+	return out, nil
+}
+
+func (c *Codec) serializeClass(h *heap.Heap, a heap.Addr, clsName string, out []byte) ([]byte, error) {
+	if a == 0 {
+		return nil, fmt.Errorf("serde: null reference serializing %s", clsName)
+	}
+	if clsName == model.StringClassName {
+		return c.serializeString(h, a, out)
+	}
+	cls, ok := c.reg.Lookup(clsName)
+	if !ok {
+		return nil, fmt.Errorf("serde: unknown class %s", clsName)
+	}
+	for _, f := range cls.Fields {
+		var err error
+		out, err = c.serializeField(h, a, f, out)
+		if err != nil {
+			return nil, fmt.Errorf("%w (field %s.%s)", err, clsName, f.Name)
+		}
+	}
+	return out, nil
+}
+
+func (c *Codec) serializeField(h *heap.Heap, a heap.Addr, f model.Field, out []byte) ([]byte, error) {
+	t := f.Type
+	switch {
+	case !t.IsRef():
+		return appendPrim(out, h.GetPrim(a, f.Offset, t.Kind), t.Kind.Size()), nil
+	case t.Array:
+		arr := h.GetRef(a, f.Offset)
+		return c.serializeArray(h, arr, *t.Elem, out)
+	default:
+		return c.serializeClass(h, h.GetRef(a, f.Offset), t.Class, out)
+	}
+}
+
+func (c *Codec) serializeArray(h *heap.Heap, arr heap.Addr, elem model.Type, out []byte) ([]byte, error) {
+	if arr == 0 {
+		return nil, fmt.Errorf("serde: null array reference")
+	}
+	n := h.ArrayLen(arr)
+	out = appendPrim(out, uint64(n), 4)
+	if !elem.IsRef() {
+		sz := elem.Kind.Size()
+		for i := 0; i < n; i++ {
+			out = appendPrim(out, h.ArrayGetPrim(arr, i, elem.Kind), sz)
+		}
+		return out, nil
+	}
+	if elem.Array {
+		return nil, fmt.Errorf("serde: array of arrays unsupported")
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		out, err = c.serializeClass(h, h.ArrayGetRef(arr, i), elem.Class, out)
+		if err != nil {
+			return nil, fmt.Errorf("%w (element %d)", err, i)
+		}
+	}
+	return out, nil
+}
+
+func (c *Codec) serializeString(h *heap.Heap, a heap.Addr, out []byte) ([]byte, error) {
+	strCls := c.reg.MustLookup(model.StringClassName)
+	chars := h.GetRef(a, strCls.MustField("chars").Offset)
+	if chars == 0 {
+		return nil, fmt.Errorf("serde: string with null char array")
+	}
+	n := h.ArrayLen(chars)
+	out = appendPrim(out, uint64(n), 4)
+	for i := 0; i < n; i++ {
+		out = appendPrim(out, h.ArrayGetPrim(chars, i, model.KindChar), 2)
+	}
+	return out, nil
+}
+
+func appendPrim(out []byte, bits uint64, sz int) []byte {
+	for i := 0; i < sz; i++ {
+		out = append(out, byte(bits>>(8*i)))
+	}
+	return out
+}
+
+// RecordSize reads the size prefix of the record starting at buf[off:],
+// returning the total record length including the prefix.
+func RecordSize(buf []byte, off int) int {
+	return SizePrefixBytes + int(binary.LittleEndian.Uint32(buf[off:]))
+}
+
+// deserializer carries a heap-rooted stack so partially built object
+// graphs survive collections triggered by their own allocations.
+type deserializer struct {
+	c     *Codec
+	h     *heap.Heap
+	buf   []byte
+	off   int
+	stack []heap.Addr
+}
+
+func (d *deserializer) VisitRoots(visit func(*heap.Addr)) {
+	for i := range d.stack {
+		visit(&d.stack[i])
+	}
+}
+
+// Deserialize reads one size-prefixed record of class top starting at
+// buf[off:], allocating the object graph on h, and returns the root
+// address and the offset just past the record. This is the expensive
+// bytes-to-objects conversion the baseline pays on every shuffle read
+// and that Gerenuk skips.
+func (c *Codec) Deserialize(h *heap.Heap, buf []byte, off int, top string) (heap.Addr, int, error) {
+	d := &deserializer{c: c, h: h, buf: buf, off: off + SizePrefixBytes}
+	remove := h.AddRoots(d)
+	defer remove()
+	payload := int(binary.LittleEndian.Uint32(buf[off:]))
+	a, err := d.class(top)
+	if err != nil {
+		return 0, 0, err
+	}
+	want := off + SizePrefixBytes + payload
+	if d.off != want {
+		return 0, 0, fmt.Errorf("serde: record of %s consumed %d bytes, prefix says %d",
+			top, d.off-off-SizePrefixBytes, payload)
+	}
+	return a, d.off, nil
+}
+
+// push roots an address and returns its stack index.
+func (d *deserializer) push(a heap.Addr) int {
+	d.stack = append(d.stack, a)
+	return len(d.stack) - 1
+}
+
+func (d *deserializer) pop() { d.stack = d.stack[:len(d.stack)-1] }
+
+func (d *deserializer) class(clsName string) (heap.Addr, error) {
+	if clsName == model.StringClassName {
+		return d.str()
+	}
+	cls, ok := d.c.reg.Lookup(clsName)
+	if !ok {
+		return 0, fmt.Errorf("serde: unknown class %s", clsName)
+	}
+	a, err := d.h.AllocObject(cls)
+	if err != nil {
+		return 0, err
+	}
+	self := d.push(a)
+	defer d.pop()
+	for _, f := range cls.Fields {
+		t := f.Type
+		switch {
+		case !t.IsRef():
+			bits, err := d.prim(t.Kind.Size())
+			if err != nil {
+				return 0, err
+			}
+			d.h.SetPrim(d.stack[self], f.Offset, t.Kind, bits)
+		case t.Array:
+			arr, err := d.array(*t.Elem)
+			if err != nil {
+				return 0, fmt.Errorf("%w (field %s.%s)", err, clsName, f.Name)
+			}
+			d.h.SetRef(d.stack[self], f.Offset, arr)
+		default:
+			sub, err := d.class(t.Class)
+			if err != nil {
+				return 0, fmt.Errorf("%w (field %s.%s)", err, clsName, f.Name)
+			}
+			d.h.SetRef(d.stack[self], f.Offset, sub)
+		}
+	}
+	return d.stack[self], nil
+}
+
+func (d *deserializer) array(elem model.Type) (heap.Addr, error) {
+	nBits, err := d.prim(4)
+	if err != nil {
+		return 0, err
+	}
+	n := int(int32(nBits))
+	if n < 0 {
+		return 0, fmt.Errorf("serde: negative array length %d", n)
+	}
+	if !elem.IsRef() {
+		arr, err := d.h.AllocArray(elem.Kind, n)
+		if err != nil {
+			return 0, err
+		}
+		self := d.push(arr)
+		sz := elem.Kind.Size()
+		for i := 0; i < n; i++ {
+			bits, err := d.prim(sz)
+			if err != nil {
+				d.pop()
+				return 0, err
+			}
+			d.h.ArraySetPrim(d.stack[self], i, elem.Kind, bits)
+		}
+		arr = d.stack[self]
+		d.pop()
+		return arr, nil
+	}
+	if elem.Array {
+		return 0, fmt.Errorf("serde: array of arrays unsupported")
+	}
+	arr, err := d.h.AllocArray(model.KindRef, n)
+	if err != nil {
+		return 0, err
+	}
+	self := d.push(arr)
+	for i := 0; i < n; i++ {
+		el, err := d.class(elem.Class)
+		if err != nil {
+			d.pop()
+			return 0, fmt.Errorf("%w (element %d)", err, i)
+		}
+		d.h.ArraySetRef(d.stack[self], i, el)
+	}
+	arr = d.stack[self]
+	d.pop()
+	return arr, nil
+}
+
+func (d *deserializer) str() (heap.Addr, error) {
+	nBits, err := d.prim(4)
+	if err != nil {
+		return 0, err
+	}
+	n := int(int32(nBits))
+	chars, err := d.h.AllocArray(model.KindChar, n)
+	if err != nil {
+		return 0, err
+	}
+	self := d.push(chars)
+	for i := 0; i < n; i++ {
+		bits, err := d.prim(2)
+		if err != nil {
+			d.pop()
+			return 0, err
+		}
+		d.h.ArraySetPrim(d.stack[self], i, model.KindChar, bits)
+	}
+	strCls := d.c.reg.MustLookup(model.StringClassName)
+	s, err := d.h.AllocObject(strCls)
+	if err != nil {
+		d.pop()
+		return 0, err
+	}
+	d.h.SetRef(s, strCls.MustField("chars").Offset, d.stack[self])
+	d.pop()
+	return s, nil
+}
+
+func (d *deserializer) prim(sz int) (uint64, error) {
+	if d.off+sz > len(d.buf) {
+		return 0, fmt.Errorf("serde: truncated input at offset %d (need %d of %d)",
+			d.off, sz, len(d.buf))
+	}
+	var v uint64
+	for i := 0; i < sz; i++ {
+		v |= uint64(d.buf[d.off+i]) << (8 * i)
+	}
+	d.off += sz
+	return v, nil
+}
+
+// HeapFootprint returns the total simulated-heap bytes of the object
+// graph rooted at a — headers, references, padding and all. Comparing it
+// with the serialized size reproduces the paper's Figure 5 ratios.
+func (c *Codec) HeapFootprint(h *heap.Heap, a heap.Addr, clsName string) (int64, error) {
+	if a == 0 {
+		return 0, fmt.Errorf("serde: null reference in footprint of %s", clsName)
+	}
+	if clsName == model.StringClassName {
+		strCls := c.reg.MustLookup(model.StringClassName)
+		chars := h.GetRef(a, strCls.MustField("chars").Offset)
+		return int64(strCls.Size + h.SizeOf(chars)), nil
+	}
+	cls, ok := c.reg.Lookup(clsName)
+	if !ok {
+		return 0, fmt.Errorf("serde: unknown class %s", clsName)
+	}
+	total := int64(cls.Size)
+	for _, f := range cls.Fields {
+		t := f.Type
+		switch {
+		case !t.IsRef():
+		case t.Array:
+			arr := h.GetRef(a, f.Offset)
+			if arr == 0 {
+				return 0, fmt.Errorf("serde: null array in footprint (%s.%s)", clsName, f.Name)
+			}
+			total += int64(h.SizeOf(arr))
+			if t.Elem.IsRef() && !t.Elem.Array {
+				for i, n := 0, h.ArrayLen(arr); i < n; i++ {
+					el := h.ArrayGetRef(arr, i)
+					sub, err := c.HeapFootprint(h, el, t.Elem.Class)
+					if err != nil {
+						return 0, err
+					}
+					total += sub
+				}
+			}
+		default:
+			sub, err := c.HeapFootprint(h, h.GetRef(a, f.Offset), t.Class)
+			if err != nil {
+				return 0, err
+			}
+			total += sub
+		}
+	}
+	return total, nil
+}

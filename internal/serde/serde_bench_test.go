@@ -1,0 +1,68 @@
+package serde
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// BenchmarkSerialize measures the object-graph walk baseline shuffles
+// pay on every write.
+func BenchmarkSerialize(b *testing.B) {
+	reg, layouts := lrSchema()
+	c := NewCodec(reg, layouts)
+	h := newTestHeap(reg)
+	a, err := c.Build(h, "LabeledPoint", lp(1.5, []float64{1, 2, 3, 4, 5, 6, 7, 8}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := a
+	defer h.AddRoots(heap.RootFunc(func(visit func(*heap.Addr)) { visit(&root) }))()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.Serialize(h, root, "LabeledPoint", buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// BenchmarkDeserialize measures the bytes-to-objects conversion baseline
+// shuffles pay on every read — the headline cost Gerenuk eliminates.
+func BenchmarkDeserialize(b *testing.B) {
+	reg, layouts := lrSchema()
+	c := NewCodec(reg, layouts)
+	wire, err := c.Encode("LabeledPoint", lp(1.5, []float64{1, 2, 3, 4, 5, 6, 7, 8}), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := newTestHeap(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Deserialize(h, wire, 0, "LabeledPoint"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(h.Stats().MinorGCs), "minorGCs")
+}
+
+// BenchmarkEncode measures the Go-value-to-wire generator path.
+func BenchmarkEncode(b *testing.B) {
+	reg, layouts := lrSchema()
+	c := NewCodec(reg, layouts)
+	obj := lp(1.5, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.Encode("LabeledPoint", obj, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}

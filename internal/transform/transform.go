@@ -1,0 +1,428 @@
+// Package transform implements Algorithm 1 of the paper: the speculative
+// rewriting of SER statements so they operate directly over inlined
+// native bytes.
+//
+// Given the SER code analyzer's result (which statements lie on data
+// flows, which are violation points) and the data structure analyzer's
+// layouts (field offsets, possibly symbolic), the transformer produces a
+// new version of the SER entry function in which
+//
+//   - deserialization points become getAddress (Case 1),
+//   - assignments between data variables become address copies (Case 2/3),
+//   - field stores/loads on data objects become writeNative/readNative
+//     with constant or symbolic offsets (Cases 4/5),
+//   - allocations become appendToBuffer (Case 6),
+//   - violation points get an abort emitted in front (Case 7),
+//   - serialization points become gWriteObject (Case 8), and
+//   - calls that carry data are inlined and transformed recursively
+//     (Case 9).
+//
+// The original function is left untouched — it is the slow path the
+// runtime re-executes after an abort.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/dsa"
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+// Stats reports what the transformation did, feeding the paper's static
+// statistics (55 classes, 126 violation points, ...).
+type Stats struct {
+	RewrittenStmts int
+	InsertedAborts int
+	InlinedCalls   int
+	DroppedStores  int // construction ref-stores that became no-ops
+	Classes        int
+}
+
+// Output is the result of transforming one SER.
+type Output struct {
+	// Native is the transformed entry function (with callees inlined),
+	// registered in the program under "<entry>$gerenuk".
+	Native *ir.Func
+	// Orig is the untouched entry function (the slow path).
+	Orig  *ir.Func
+	Stats Stats
+}
+
+const inlineDepthLimit = 32
+
+type xform struct {
+	prog    *ir.Program
+	layouts *dsa.Result
+	ser     *analysis.SER
+	out     *ir.Func
+	stats   Stats
+	depth   int
+}
+
+// Transform rewrites the SER rooted at ser.Entry. It fails only on
+// structural problems (unknown functions, unbounded inlining); statically
+// detected violations do not fail the transformation — they become abort
+// instructions, which is the whole point of speculation.
+func Transform(prog *ir.Program, layouts *dsa.Result, ser *analysis.SER) (*Output, error) {
+	if !ser.Transformable {
+		return nil, fmt.Errorf("transform: SER %q is not transformable: %s", ser.Entry, ser.Reason)
+	}
+	orig := prog.Fn(ser.Entry)
+	nf := &ir.Func{Name: ser.Entry + "$gerenuk", Ret: orig.Ret}
+	x := &xform{prog: prog, layouts: layouts, ser: ser, out: nf}
+
+	vmap := make(map[*ir.Var]*ir.Var, len(orig.Locals))
+	for _, v := range orig.Locals {
+		vmap[v] = x.cloneVar(v)
+	}
+	for _, p := range orig.Params {
+		nf.Params = append(nf.Params, vmap[p])
+	}
+	body, err := x.body(orig.Body, vmap)
+	if err != nil {
+		return nil, err
+	}
+	nf.Body = body
+	x.stats.Classes = len(ser.ClassesTouched)
+	if _, exists := prog.Funcs[nf.Name]; !exists {
+		prog.Add(nf)
+	}
+	return &Output{Native: nf, Orig: orig, Stats: x.stats}, nil
+}
+
+// cloneVar copies a variable into the output function, turning data
+// references into long address variables.
+func (x *xform) cloneVar(v *ir.Var) *ir.Var {
+	t := v.Type
+	if x.ser.DataVars[v] && t.IsRef() {
+		t = model.Prim(model.KindLong)
+	}
+	return x.out.NewVar(v.Name, t)
+}
+
+// body transforms a statement block, mapping original variables through
+// vmap into output-function variables.
+func (x *xform) body(stmts []ir.Stmt, vmap map[*ir.Var]*ir.Var) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for _, s := range stmts {
+		// Case 7: violation points get a preceding abort; the violating
+		// statement itself is unreachable and dropped.
+		if v, isViol := x.ser.ViolationAt(s); isViol {
+			out = append(out, &ir.Abort{Reason: v.Kind.String()})
+			x.stats.InsertedAborts++
+			continue
+		}
+		ns, err := x.stmt(s, vmap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ns...)
+	}
+	return out, nil
+}
+
+func (x *xform) mv(vmap map[*ir.Var]*ir.Var, v *ir.Var) *ir.Var {
+	if v == nil {
+		return nil
+	}
+	if nv, ok := vmap[v]; ok {
+		return nv
+	}
+	// Variable from an enclosing inline scope already mapped, or a bug.
+	panic(fmt.Sprintf("transform: unmapped variable %s", v))
+}
+
+func (x *xform) isData(v *ir.Var) bool { return v != nil && x.ser.DataVars[v] }
+
+func (x *xform) fieldOffset(class, field string) (*expr.Expr, model.Field, error) {
+	cls, ok := x.prog.Reg.Lookup(class)
+	if !ok {
+		return nil, model.Field{}, fmt.Errorf("transform: unknown class %s", class)
+	}
+	f, ok := cls.Field(field)
+	if !ok {
+		return nil, model.Field{}, fmt.Errorf("transform: unknown field %s.%s", class, field)
+	}
+	off, ok := x.layouts.FieldOffsetIn(class, field)
+	if !ok {
+		return nil, model.Field{}, fmt.Errorf("transform: no layout for %s.%s", class, field)
+	}
+	return off, f, nil
+}
+
+func (x *xform) stmt(s ir.Stmt, vmap map[*ir.Var]*ir.Var) ([]ir.Stmt, error) {
+	selected := x.ser.TransformStmts[s]
+	switch t := s.(type) {
+	case *ir.If:
+		nt := &ir.If{Cond: ir.Cond{Op: t.Cond.Op, L: x.mv(vmap, t.Cond.L), R: x.mv(vmap, t.Cond.R)}}
+		var err error
+		if nt.Then, err = x.body(t.Then, vmap); err != nil {
+			return nil, err
+		}
+		if nt.Else, err = x.body(t.Else, vmap); err != nil {
+			return nil, err
+		}
+		return []ir.Stmt{nt}, nil
+
+	case *ir.While:
+		nt := &ir.While{Cond: ir.Cond{Op: t.Cond.Op, L: x.mv(vmap, t.Cond.L), R: x.mv(vmap, t.Cond.R)}}
+		var err error
+		if nt.Body, err = x.body(t.Body, vmap); err != nil {
+			return nil, err
+		}
+		return []ir.Stmt{nt}, nil
+
+	case *ir.Deserialize:
+		if !selected {
+			break
+		}
+		// Case 1: a = readObject()  ==>  addr_a = getAddress().
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.GetAddress{Dst: x.mv(vmap, t.Dst), Source: t.Source}}, nil
+
+	case *ir.Serialize:
+		if !x.isData(t.Src) {
+			break
+		}
+		// Case 8: writeObject(a) ==> gWriteObject(addr_a).
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.GWriteObject{Src: x.mv(vmap, t.Src), Sink: t.Sink, Class: t.Src.Type.Class}}, nil
+
+	case *ir.Emit:
+		if !x.isData(t.Src) {
+			break
+		}
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.GEmit{Src: x.mv(vmap, t.Src), Class: t.Src.Type.Class}}, nil
+
+	case *ir.FieldLoad:
+		if !x.isData(t.Obj) {
+			break
+		}
+		off, f, err := x.fieldOffset(t.Class, t.Field)
+		if err != nil {
+			return nil, err
+		}
+		x.stats.RewrittenStmts++
+		dst, base := x.mv(vmap, t.Dst), x.mv(vmap, t.Obj)
+		if !f.Type.IsRef() {
+			// Case 5: primitive load becomes readNative.
+			return []ir.Stmt{&ir.ReadNative{
+				Dst: dst, Base: base, Off: off, Size: f.Type.Kind.Size(), Kind: f.Type.Kind,
+			}}, nil
+		}
+		// Reference load: the "reference" is the interior offset.
+		return []ir.Stmt{&ir.AddrOf{Dst: dst, Base: base, Off: off}}, nil
+
+	case *ir.FieldStore:
+		if !x.isData(t.Obj) {
+			break
+		}
+		off, f, err := x.fieldOffset(t.Class, t.Field)
+		if err != nil {
+			return nil, err
+		}
+		x.stats.RewrittenStmts++
+		base := x.mv(vmap, t.Obj)
+		if !f.Type.IsRef() {
+			// Case 4: primitive store becomes writeNative (with the
+			// offset resolved at run time when symbolic).
+			return []ir.Stmt{&ir.WriteNative{
+				Base: base, Off: off, Size: f.Type.Kind.Size(), Src: x.mv(vmap, t.Src),
+			}}, nil
+		}
+		// Construction-order reference store: the sub-record was already
+		// appended in place; verify adjacency at run time.
+		x.stats.DroppedStores++
+		return []ir.Stmt{&ir.CheckInline{Base: base, Off: off, Sub: x.mv(vmap, t.Src)}}, nil
+
+	case *ir.ArrayLoad:
+		if !x.isData(t.Arr) {
+			break
+		}
+		x.stats.RewrittenStmts++
+		dst, base, idx := x.mv(vmap, t.Dst), x.mv(vmap, t.Arr), x.mv(vmap, t.Idx)
+		elem := t.Arr.Type.Elem
+		if elem == nil {
+			return nil, fmt.Errorf("transform: array load on non-array-typed %s", t.Arr)
+		}
+		if !elem.IsRef() {
+			return []ir.Stmt{&ir.ReadNativeElem{Dst: dst, Base: base, Idx: idx, Kind: elem.Kind}}, nil
+		}
+		if elem.Array {
+			return nil, fmt.Errorf("transform: array-of-arrays load unsupported")
+		}
+		if sz := x.layouts.SizeOf(elem.Class); sz != nil && sz.IsConst() {
+			return []ir.Stmt{&ir.AddrElem{Dst: dst, Base: base, Idx: idx, Stride: sz.ConstValue()}}, nil
+		}
+		// Variable-size elements: schema-guided scan.
+		return []ir.Stmt{&ir.ScanElem{Dst: dst, Base: base, Idx: idx, Class: elem.Class}}, nil
+
+	case *ir.ArrayStore:
+		if !x.isData(t.Arr) {
+			break
+		}
+		x.stats.RewrittenStmts++
+		base, idx := x.mv(vmap, t.Arr), x.mv(vmap, t.Idx)
+		elem := t.Arr.Type.Elem
+		if elem == nil {
+			return nil, fmt.Errorf("transform: array store on non-array-typed %s", t.Arr)
+		}
+		if !elem.IsRef() {
+			return []ir.Stmt{&ir.WriteNativeElem{Base: base, Idx: idx, Kind: elem.Kind, Src: x.mv(vmap, t.Src)}}, nil
+		}
+		// Construction-order element store: sequential append protocol
+		// already placed the record; nothing to do at run time (the seal
+		// size check guards the invariant).
+		x.stats.DroppedStores++
+		return nil, nil
+
+	case *ir.ArrayLen:
+		if !x.isData(t.Arr) {
+			break
+		}
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.ReadNative{
+			Dst: x.mv(vmap, t.Dst), Base: x.mv(vmap, t.Arr),
+			Off: expr.Konst(0), Size: 4, Kind: model.KindInt,
+		}}, nil
+
+	case *ir.New:
+		if !selected {
+			break
+		}
+		// Case 6: allocation becomes appendToBuffer.
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.AppendRecord{Dst: x.mv(vmap, t.Dst), Class: t.Class}}, nil
+
+	case *ir.NewArray:
+		if !selected {
+			break
+		}
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.AppendArray{Dst: x.mv(vmap, t.Dst), Elem: t.Elem, Len: x.mv(vmap, t.Len)}}, nil
+
+	case *ir.ConstString:
+		if !x.isData(t.Dst) {
+			break
+		}
+		x.stats.RewrittenStmts++
+		return []ir.Stmt{&ir.GConstString{Dst: x.mv(vmap, t.Dst), Val: t.Val}}, nil
+
+	case *ir.Call:
+		if !selected {
+			break
+		}
+		// Case 9: inline and transform recursively.
+		return x.inline(t, vmap)
+
+	case *ir.NativeCall:
+		if !x.isData(t.Recv) {
+			break
+		}
+		if !analysis.IsWhitelistedNative(t.Name) {
+			// The analyzer should have flagged this; be safe anyway.
+			x.stats.InsertedAborts++
+			return []ir.Stmt{&ir.Abort{Reason: "invoke-native-method"}}, nil
+		}
+		x.stats.RewrittenStmts++
+		nc := &ir.NativeCall{Dst: x.mv(vmap, t.Dst), Name: t.Name, Recv: x.mv(vmap, t.Recv), RecvClass: t.RecvClass}
+		for _, a := range t.Args {
+			nc.Args = append(nc.Args, x.mv(vmap, a))
+		}
+		return []ir.Stmt{nc}, nil
+	}
+
+	// Default: clone the statement with variables remapped.
+	return ir.CloneBody([]ir.Stmt{s}, vmap), nil
+}
+
+// inline splices the callee body into the caller, remapping parameters to
+// arguments and replacing the trailing return with an assignment, then
+// transforms the inlined statements (data classification was computed
+// interprocedurally, so the callee's own DataVars apply).
+func (x *xform) inline(call *ir.Call, vmap map[*ir.Var]*ir.Var) ([]ir.Stmt, error) {
+	if x.depth >= inlineDepthLimit {
+		return nil, fmt.Errorf("transform: inline depth limit at call to %q (recursive data-path call?)", call.Fn)
+	}
+	callee, ok := x.prog.Funcs[call.Fn]
+	if !ok {
+		return nil, fmt.Errorf("transform: unknown callee %q", call.Fn)
+	}
+	if len(call.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("transform: arity mismatch calling %q", call.Fn)
+	}
+	// Early returns cannot be spliced into structured IR.
+	if err := checkSingleTrailingReturn(callee); err != nil {
+		return nil, err
+	}
+	x.stats.InlinedCalls++
+
+	inner := make(map[*ir.Var]*ir.Var, len(callee.Locals))
+	for i, p := range callee.Params {
+		inner[p] = x.mv(vmap, call.Args[i])
+	}
+	for _, v := range callee.Locals {
+		if _, isParam := inner[v]; isParam {
+			continue
+		}
+		inner[v] = x.cloneVar(v)
+	}
+
+	bodyStmts := callee.Body
+	var retVal *ir.Var
+	if n := len(bodyStmts); n > 0 {
+		if r, isRet := bodyStmts[n-1].(*ir.Return); isRet {
+			retVal = r.Val
+			bodyStmts = bodyStmts[:n-1]
+		}
+	}
+	x.depth++
+	out, err := x.body(bodyStmts, inner)
+	x.depth--
+	if err != nil {
+		return nil, err
+	}
+	if call.Dst != nil && retVal != nil {
+		out = append(out, &ir.Assign{Dst: x.mv(vmap, call.Dst), Src: inner[retVal]})
+	}
+	return out, nil
+}
+
+func checkSingleTrailingReturn(f *ir.Func) error {
+	n := len(f.Body)
+	bad := false
+	for i, s := range f.Body {
+		if _, isRet := s.(*ir.Return); isRet && i != n-1 {
+			bad = true
+		}
+	}
+	ir.Walk(f.Body, func(s ir.Stmt) {
+		switch t := s.(type) {
+		case *ir.If:
+			ir.Walk(t.Then, func(s ir.Stmt) {
+				if _, isRet := s.(*ir.Return); isRet {
+					bad = true
+				}
+			})
+			ir.Walk(t.Else, func(s ir.Stmt) {
+				if _, isRet := s.(*ir.Return); isRet {
+					bad = true
+				}
+			})
+		case *ir.While:
+			ir.Walk(t.Body, func(s ir.Stmt) {
+				if _, isRet := s.(*ir.Return); isRet {
+					bad = true
+				}
+			})
+		}
+	})
+	if bad {
+		return fmt.Errorf("transform: callee %q has early returns; inline requires a single trailing return", f.Name)
+	}
+	return nil
+}

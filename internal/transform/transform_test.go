@@ -1,0 +1,345 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dsa"
+	"repro/internal/expr"
+	"repro/internal/ir"
+	"repro/internal/model"
+)
+
+func setup(t *testing.T) (*ir.Program, *dsa.Result) {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Vec", Fields: []model.FieldDef{
+		{Name: "size", Type: model.Prim(model.KindInt)},
+		{Name: "values", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+	}})
+	reg.Define(model.ClassDef{Name: "LP", Fields: []model.FieldDef{
+		{Name: "label", Type: model.Prim(model.KindDouble)},
+		{Name: "features", Type: model.Object("Vec")},
+	}})
+	reg.Define(model.ClassDef{Name: "Ctl", Fields: []model.FieldDef{
+		{Name: "v", Type: model.Object("Vec")},
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"LP"}
+	layouts := dsa.Analyze(reg, []string{"LP"})
+	return prog, layouts
+}
+
+func doTransform(t *testing.T, prog *ir.Program, layouts *dsa.Result, entry string) *Output {
+	t.Helper()
+	ser, err := analysis.AnalyzeSER(prog, layouts, entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Transform(prog, layouts, ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// count returns how many statements of each dynamic type the body holds.
+func count(body []ir.Stmt) map[string]int {
+	out := map[string]int{}
+	ir.Walk(body, func(s ir.Stmt) {
+		switch s.(type) {
+		case *ir.GetAddress:
+			out["getAddress"]++
+		case *ir.ReadNative:
+			out["readNative"]++
+		case *ir.WriteNative:
+			out["writeNative"]++
+		case *ir.AddrOf:
+			out["addrOf"]++
+		case *ir.AppendRecord:
+			out["appendRecord"]++
+		case *ir.AppendArray:
+			out["appendArray"]++
+		case *ir.GWriteObject:
+			out["gWriteObject"]++
+		case *ir.Abort:
+			out["abort"]++
+		case *ir.Deserialize:
+			out["deserialize"]++
+		case *ir.Serialize:
+			out["serialize"]++
+		case *ir.FieldLoad:
+			out["fieldLoad"]++
+		case *ir.FieldStore:
+			out["fieldStore"]++
+		case *ir.CheckInline:
+			out["checkInline"]++
+		case *ir.Call:
+			out["call"]++
+		}
+	})
+	return out
+}
+
+// TestAllNineCases builds a driver exercising every Algorithm 1 case and
+// checks each rewrite happened.
+func TestAllNineCases(t *testing.T) {
+	prog, layouts := setup(t)
+
+	// Case 9 target: a helper called with a data argument.
+	hb := ir.NewFuncBuilder(prog, "firstVal", model.Prim(model.KindDouble))
+	hp := hb.Param("v", model.Object("Vec"))
+	vals := hb.Load(hp, "values")
+	z := hb.IConst(0)
+	x := hb.Elem(vals, z)
+	hb.Ret(x)
+	hb.Done()
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LP"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"}) // Case 1
+	b.While(ir.CmpNE, rec, zero, func() {
+		lbl := b.Load(rec, "label")    // Case 5 (prim load)
+		vec := b.Load(rec, "features") // Case 5 (ref load -> AddrOf)
+		alias := b.Temp(model.Object("Vec"))
+		b.Assign(alias, vec)                                             // Case 2 (address copy)
+		first := b.Call("firstVal", model.Prim(model.KindDouble), alias) // Case 9 (inline)
+		out := b.New("LP")                                               // Case 6
+		sum := b.Bin(ir.OpAdd, lbl, first)
+		b.Store(out, "label", sum) // Case 4 (prim store)
+		nv := b.New("Vec")
+		one := b.IConst(1)
+		b.Store(nv, "size", one)
+		arr := b.NewArr(model.Prim(model.KindDouble), one) // Case 6 (array)
+		b.SetElem(arr, zero, sum)
+		b.Store(nv, "values", arr) // construction ref store -> CheckInline
+		b.Store(out, "features", nv)
+		b.WriteRecord("out", out) // Case 8
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	out := doTransform(t, prog, layouts, "driver")
+	c := count(out.Native.Body)
+
+	checks := map[string]int{
+		"getAddress":   2, // both deserialization points
+		"readNative":   0, // at least some (checked below)
+		"appendRecord": 2, // LP + Vec
+		"appendArray":  1,
+		"gWriteObject": 1,
+		"checkInline":  2, // vec->values and out->features
+		"call":         0, // inlined away
+		"deserialize":  0,
+		"serialize":    0,
+		"fieldLoad":    0,
+		"fieldStore":   0,
+	}
+	for k, want := range checks {
+		got := c[k]
+		switch k {
+		case "readNative":
+			if got == 0 {
+				t.Errorf("no readNative emitted")
+			}
+		default:
+			if got != want {
+				t.Errorf("%s = %d, want %d (counts: %v)", k, got, want, c)
+			}
+		}
+	}
+	if out.Stats.InlinedCalls != 1 {
+		t.Errorf("InlinedCalls = %d", out.Stats.InlinedCalls)
+	}
+	if out.Stats.RewrittenStmts == 0 {
+		t.Errorf("no statements counted as rewritten")
+	}
+	// The original function must be untouched (the slow path).
+	oc := count(prog.Fn("driver").Body)
+	if oc["deserialize"] != 2 || oc["fieldLoad"] == 0 {
+		t.Errorf("original mutated: %v", oc)
+	}
+}
+
+// TestCase7AbortInsertion: a violating statement becomes an abort and the
+// statement itself is dropped.
+func TestCase7AbortInsertion(t *testing.T) {
+	prog, layouts := setup(t)
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LP"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		vec := b.Load(rec, "features")
+		ctl := b.New("Ctl")
+		b.Store(ctl, "v", vec) // load-and-escape violation
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	out := doTransform(t, prog, layouts, "driver")
+	c := count(out.Native.Body)
+	if c["abort"] != 1 {
+		t.Fatalf("aborts = %d, want 1", c["abort"])
+	}
+	if c["fieldStore"] != 0 {
+		t.Errorf("violating store survived the transformation")
+	}
+	if out.Stats.InsertedAborts != 1 {
+		t.Errorf("InsertedAborts = %d", out.Stats.InsertedAborts)
+	}
+}
+
+// TestDataVarsRetyped: reference-typed data variables become long address
+// variables in the native function.
+func TestDataVarsRetyped(t *testing.T) {
+	prog, layouts := setup(t)
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("LP"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	out := doTransform(t, prog, layouts, "driver")
+	for _, v := range out.Native.Locals {
+		if v.Name == "rec" && v.Type.Kind != model.KindLong {
+			t.Errorf("rec not retyped to long: %s", v.Type)
+		}
+	}
+}
+
+// TestSymbolicOffsetCarried: a field behind an array keeps its symbolic
+// offset expression in the rewritten ReadNative.
+func TestSymbolicOffsetCarried(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "C", Fields: []model.FieldDef{
+		{Name: "a", Type: model.Prim(model.KindInt)},
+		{Name: "b", Type: model.ArrayOf(model.Prim(model.KindLong))},
+		{Name: "c", Type: model.Prim(model.KindDouble)},
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"C"}
+	layouts := dsa.Analyze(reg, []string{"C"})
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := b.IConst(0)
+	rec := b.Local("rec", model.Object("C"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero, func() {
+		b.Load(rec, "c")
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	out := doTransform(t, prog, layouts, "driver")
+	want := expr.Konst(8).Add(expr.ReadNative(8, expr.Konst(4), 4))
+	found := false
+	ir.Walk(out.Native.Body, func(s ir.Stmt) {
+		if rn, ok := s.(*ir.ReadNative); ok && rn.Size == 8 {
+			if rn.Off.Equal(want) {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Errorf("symbolic offset for field c not carried into readNative")
+	}
+}
+
+// TestUntransformableRejected: Transform must refuse untransformable SERs.
+func TestUntransformableRejected(t *testing.T) {
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "Node", Fields: []model.FieldDef{
+		{Name: "next", Type: model.Object("Node")},
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Node"}
+	layouts := dsa.Analyze(reg, []string{"Node"})
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	rec := b.ReadRecord("in", model.Object("Node"))
+	b.WriteRecord("out", rec)
+	b.Ret(nil)
+	b.Done()
+
+	ser, err := analysis.AnalyzeSER(prog, layouts, "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(prog, layouts, ser); err == nil {
+		t.Fatalf("Transform accepted an untransformable SER")
+	}
+}
+
+// TestEarlyReturnCalleeRejected: inlining requires single trailing return.
+func TestEarlyReturnCalleeRejected(t *testing.T) {
+	prog, layouts := setup(t)
+	hb := ir.NewFuncBuilder(prog, "early", model.Prim(model.KindDouble))
+	hp := hb.Param("v", model.Object("Vec"))
+	sz := hb.Load(hp, "size")
+	zero := hb.IConst(0)
+	zf := hb.FConst(0)
+	hb.If(ir.CmpEQ, sz, zero, func() {
+		hb.Ret(zf)
+	}, nil)
+	one := hb.FConst(1)
+	hb.Ret(one)
+	hb.Done()
+
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero2 := b.IConst(0)
+	rec := b.Local("rec", model.Object("LP"))
+	b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	b.While(ir.CmpNE, rec, zero2, func() {
+		vec := b.Load(rec, "features")
+		b.Call("early", model.Prim(model.KindDouble), vec)
+		b.WriteRecord("out", rec)
+		b.Emit(&ir.Deserialize{Dst: rec, Source: "in"})
+	})
+	b.Ret(nil)
+	b.Done()
+
+	ser, err := analysis.AnalyzeSER(prog, layouts, "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(prog, layouts, ser); err == nil {
+		t.Fatalf("Transform accepted an early-return callee for inlining")
+	}
+}
+
+// TestNativeFuncRegisteredOnce: transforming twice reuses the program
+// entry without panicking on duplicate registration.
+func TestNativeFuncRegisteredOnce(t *testing.T) {
+	prog, layouts := setup(t)
+	b := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	rec := b.ReadRecord("in", model.Object("LP"))
+	b.WriteRecord("out", rec)
+	b.Ret(nil)
+	b.Done()
+
+	ser, err := analysis.AnalyzeSER(prog, layouts, "driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(prog, layouts, ser); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Transform(prog, layouts, ser); err != nil {
+		t.Fatalf("second transform failed: %v", err)
+	}
+	if _, ok := prog.Funcs["driver$gerenuk"]; !ok {
+		t.Errorf("native function not registered")
+	}
+}

@@ -1,0 +1,129 @@
+package tungsten
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+// PageRankDF runs PageRank the DataFrame way (Figure 8(a)'s middle bar):
+// adjacency is exploded into a flat edge table because complex types
+// cannot live in UnsafeRows, and every iteration re-plans and re-joins.
+func PageRankDF(s *Session, links []workload.Links, iters int) map[int64]float64 {
+	// Edge table {src, dst, deg}: deg denormalized per edge, the usual
+	// flattening when the engine cannot store adjacency lists.
+	edges := NewTable(Schema{
+		Names: []string{"src", "dst", "deg"},
+		Kinds: []ColKind{ColLong, ColLong, ColLong},
+	})
+	for _, l := range links {
+		for _, d := range l.Dsts {
+			b := edges.Append()
+			b.SetLong(0, l.Src)
+			b.SetLong(1, d)
+			b.SetLong(2, int64(len(l.Dsts)))
+			b.Finish()
+		}
+	}
+	s.account(edges)
+
+	// ranks table {v, r}.
+	ranks := NewTable(Schema{Names: []string{"v", "r"}, Kinds: []ColKind{ColLong, ColDouble}})
+	for _, l := range links {
+		b := ranks.Append()
+		b.SetLong(0, l.Src)
+		b.SetDouble(1, 1.0)
+		b.Finish()
+	}
+	s.account(ranks)
+
+	for it := 0; it < iters; it++ {
+		// Catalyst re-plans the growing query every iteration.
+		s.PlanGrow(8)
+
+		// ranks JOIN edges ON v = src.
+		joined := s.HashJoinLong(ranks, 0, edges, 0)
+		// columns: v, r, src, dst, deg.
+		contribs := s.Project(joined, Schema{
+			Names: []string{"dst", "c"},
+			Kinds: []ColKind{ColLong, ColDouble},
+		}, []Expr{
+			ColRef{Col: 3, Kind: ColLong},
+			BinExpr{Op: '/', L: ColRef{Col: 1, Kind: ColDouble}, R: ColRef{Col: 4, Kind: ColLong}},
+		})
+		s.Release(joined)
+		// Keep rank-less vertices alive with zero contributions (the
+		// RDD version's self-contribution).
+		withZeros := s.appendZeroContribs(contribs, ranks)
+		sums := s.HashAggLong(withZeros, 0, ColRef{Col: 1, Kind: ColDouble})
+		s.Release(contribs)
+		if withZeros != contribs {
+			s.Release(withZeros)
+		}
+		newRanks := s.Project(sums, Schema{
+			Names: []string{"v", "r"},
+			Kinds: []ColKind{ColLong, ColDouble},
+		}, []Expr{
+			ColRef{Col: 0, Kind: ColLong},
+			BinExpr{Op: '+', L: ConstD{0.15},
+				R: BinExpr{Op: '*', L: ConstD{0.85}, R: ColRef{Col: 1, Kind: ColDouble}}},
+		})
+		s.Release(sums)
+		s.Release(ranks)
+		ranks = newRanks
+	}
+
+	out := make(map[int64]float64, ranks.NumRows())
+	for i := 0; i < ranks.NumRows(); i++ {
+		r := ranks.Row(i)
+		out[r.Long(0)] = r.Double(1)
+	}
+	return out
+}
+
+// appendZeroContribs materializes a contribution table extended with a
+// zero row per known vertex.
+func (s *Session) appendZeroContribs(contribs, ranks *Table) *Table {
+	start := time.Now()
+	out := NewTable(contribs.Schema)
+	for i := 0; i < contribs.NumRows(); i++ {
+		r := contribs.Row(i)
+		b := out.Append()
+		b.SetLong(0, r.Long(0))
+		b.SetDouble(1, r.Double(1))
+		b.Finish()
+	}
+	for i := 0; i < ranks.NumRows(); i++ {
+		b := out.Append()
+		b.SetLong(0, ranks.Row(i).Long(0))
+		b.SetDouble(1, 0)
+		b.Finish()
+	}
+	s.Stats.RowsScanned += int64(contribs.NumRows() + ranks.NumRows())
+	s.Stats.RowsEmitted += int64(out.NumRows())
+	s.account(out)
+	s.Stats.Total += time.Since(start)
+	return out
+}
+
+// WordCountDF runs WordCount the DataFrame way (Figure 8(b)): one plan,
+// binary-string split and hash aggregation.
+func WordCountDF(s *Session, docs []string) map[string]int64 {
+	s.PlanGrow(3)
+	table := NewTable(Schema{Names: []string{"text"}, Kinds: []ColKind{ColString}})
+	for _, d := range docs {
+		b := table.Append()
+		b.SetString(0, []byte(d))
+		b.Finish()
+	}
+	s.account(table)
+	words := s.SplitWords(table, 0)
+	counts := s.HashAggString(words, 0)
+	s.Release(words)
+	out := make(map[string]int64, counts.NumRows())
+	for i := 0; i < counts.NumRows(); i++ {
+		r := counts.Row(i)
+		out[string(r.Str(0))] = r.Long(1)
+	}
+	return out
+}

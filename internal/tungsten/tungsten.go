@@ -1,0 +1,460 @@
+// Package tungsten implements a Spark SQL / Project Tungsten stand-in
+// for the Figure 8 comparison: a DataFrame engine over a flat, native
+// UnsafeRow format with interpreted row operators.
+//
+// Tungsten's characteristics that drive the paper's results are modeled
+// structurally rather than by constants:
+//
+//   - Only flat schemas are supported (longs, doubles, binary strings).
+//     Complex user types like Links{src, dsts[]} must be exploded into
+//     edge rows, so iterative graph algorithms pay per-iteration hash
+//     joins over materialized row tables instead of Gerenuk's one-pass
+//     adjacency records — that is why Gerenuk wins PageRank.
+//   - Strings are offset/length slices into the row buffer and aggregate
+//     through a binary-key hash table without per-character object work —
+//     the string optimization that lets Tungsten win WordCount.
+//   - Each operator materializes its output rows into a fresh native
+//     buffer (stage-boundary materialization); iterative queries rebuild
+//     their plans and hash tables every iteration (the unresolved
+//     SPARK-13346 growth issue the paper cites, which forced fixing
+//     PageRank at 10 iterations).
+package tungsten
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ColKind is a flat column type.
+type ColKind uint8
+
+// Column kinds.
+const (
+	ColLong ColKind = iota
+	ColDouble
+	ColString
+)
+
+// Schema is an ordered set of flat columns.
+type Schema struct {
+	Names []string
+	Kinds []ColKind
+}
+
+// NumCols returns the column count.
+func (s Schema) NumCols() int { return len(s.Kinds) }
+
+// fixedBytes is the fixed-width region size of a row: 8 bytes per column
+// (value, or offset<<32|len for strings), UnsafeRow style.
+func (s Schema) fixedBytes() int { return 8 * len(s.Kinds) }
+
+// Table is a materialized set of UnsafeRows in one native buffer.
+type Table struct {
+	Schema Schema
+	// rows holds the byte offset of each row in buf.
+	rows []int
+	buf  []byte
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Bytes returns the native buffer size (for memory accounting).
+func (t *Table) Bytes() int64 { return int64(len(t.buf)) }
+
+// RowBuilder appends rows to a table.
+type RowBuilder struct {
+	t     *Table
+	start int
+	vals  []uint64
+	varb  []byte
+}
+
+// NewTable creates an empty table.
+func NewTable(s Schema) *Table { return &Table{Schema: s} }
+
+// Append starts a new row.
+func (t *Table) Append() *RowBuilder {
+	return &RowBuilder{t: t, vals: make([]uint64, t.Schema.NumCols())}
+}
+
+// SetLong sets a long column.
+func (b *RowBuilder) SetLong(col int, v int64) { b.vals[col] = uint64(v) }
+
+// SetDouble sets a double column.
+func (b *RowBuilder) SetDouble(col int, v float64) {
+	b.vals[col] = f64bits(v)
+}
+
+// SetString sets a string column; the bytes land in the row's variable
+// region.
+func (b *RowBuilder) SetString(col int, s []byte) {
+	off := b.t.Schema.fixedBytes() + len(b.varb)
+	b.vals[col] = uint64(off)<<32 | uint64(len(s))
+	b.varb = append(b.varb, s...)
+}
+
+// Finish writes the row into the table.
+func (b *RowBuilder) Finish() {
+	t := b.t
+	t.rows = append(t.rows, len(t.buf))
+	for _, v := range b.vals {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		t.buf = append(t.buf, tmp[:]...)
+	}
+	t.buf = append(t.buf, b.varb...)
+}
+
+// Row is a cursor over one row.
+type Row struct {
+	t   *Table
+	off int
+}
+
+// Row returns the i-th row cursor.
+func (t *Table) Row(i int) Row { return Row{t: t, off: t.rows[i]} }
+
+// Long reads a long column.
+func (r Row) Long(col int) int64 {
+	return int64(binary.LittleEndian.Uint64(r.t.buf[r.off+8*col:]))
+}
+
+// Double reads a double column.
+func (r Row) Double(col int) float64 {
+	return f64frombits(binary.LittleEndian.Uint64(r.t.buf[r.off+8*col:]))
+}
+
+// Str reads a string column as a byte slice into the row buffer (no
+// copy — Tungsten's binary string representation).
+func (r Row) Str(col int) []byte {
+	v := binary.LittleEndian.Uint64(r.t.buf[r.off+8*col:])
+	off, n := int(v>>32), int(v&0xFFFFFFFF)
+	return r.t.buf[r.off+off : r.off+off+n]
+}
+
+// ---- interpreted expressions ----
+
+// Expr is an interpreted row expression (Tungsten without whole-stage
+// codegen, i.e. Spark's interpreted fallback — keeping per-row costs
+// comparable with the IR interpreter used by the other two systems).
+type Expr interface {
+	evalKind() ColKind
+}
+
+// ColRef reads a column.
+type ColRef struct {
+	Col  int
+	Kind ColKind
+}
+
+// ConstD is a double literal.
+type ConstD struct{ V float64 }
+
+// ConstL is a long literal.
+type ConstL struct{ V int64 }
+
+// BinExpr combines two numeric expressions: + - * /.
+type BinExpr struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+func (e ColRef) evalKind() ColKind { return e.Kind }
+func (ConstD) evalKind() ColKind   { return ColDouble }
+func (ConstL) evalKind() ColKind   { return ColLong }
+func (e BinExpr) evalKind() ColKind {
+	if e.L.evalKind() == ColDouble || e.R.evalKind() == ColDouble {
+		return ColDouble
+	}
+	return ColLong
+}
+
+// evalD evaluates an expression as double.
+func evalD(e Expr, r Row) float64 {
+	switch t := e.(type) {
+	case ColRef:
+		if t.Kind == ColDouble {
+			return r.Double(t.Col)
+		}
+		return float64(r.Long(t.Col))
+	case ConstD:
+		return t.V
+	case ConstL:
+		return float64(t.V)
+	case BinExpr:
+		l, rr := evalD(t.L, r), evalD(t.R, r)
+		switch t.Op {
+		case '+':
+			return l + rr
+		case '-':
+			return l - rr
+		case '*':
+			return l * rr
+		default:
+			return l / rr
+		}
+	default:
+		panic(fmt.Sprintf("tungsten: unknown expr %T", e))
+	}
+}
+
+// evalL evaluates an expression as long.
+func evalL(e Expr, r Row) int64 {
+	switch t := e.(type) {
+	case ColRef:
+		if t.Kind == ColLong {
+			return r.Long(t.Col)
+		}
+		return int64(r.Double(t.Col))
+	case ConstL:
+		return t.V
+	case ConstD:
+		return int64(t.V)
+	case BinExpr:
+		if t.evalKind() == ColDouble {
+			return int64(evalD(t, r))
+		}
+		l, rr := evalL(t.L, r), evalL(t.R, r)
+		switch t.Op {
+		case '+':
+			return l + rr
+		case '-':
+			return l - rr
+		case '*':
+			return l * rr
+		default:
+			if rr == 0 {
+				return 0
+			}
+			return l / rr
+		}
+	default:
+		panic(fmt.Sprintf("tungsten: unknown expr %T", e))
+	}
+}
+
+// ---- session & operators ----
+
+// Stats accumulates execution metrics for the Figure 8 comparison.
+type Stats struct {
+	Total        time.Duration
+	PlanTime     time.Duration // per-iteration plan (re)construction
+	RowsScanned  int64
+	RowsEmitted  int64
+	PeakBytes    int64
+	PlansBuilt   int64
+	PlanNodeCost int64 // cumulative plan nodes "generated"
+}
+
+// Session runs DataFrame operations and accumulates stats.
+type Session struct {
+	Stats Stats
+	live  int64
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session { return &Session{} }
+
+func (s *Session) account(t *Table) {
+	s.live += t.Bytes()
+	if s.live > s.Stats.PeakBytes {
+		s.Stats.PeakBytes = s.live
+	}
+}
+
+// release models freeing an intermediate table.
+func (s *Session) release(t *Table) { s.live -= t.Bytes() }
+
+// PlanGrow models Catalyst rebuilding (and re-"generating code" for) the
+// logical plan: the cost grows with the accumulated plan size, which is
+// the SPARK-13346 behavior that cripples long iterative DataFrame jobs.
+func (s *Session) PlanGrow(nodes int) {
+	start := time.Now()
+	s.Stats.PlansBuilt++
+	s.Stats.PlanNodeCost += int64(nodes)
+	// Real work proportional to cumulative plan size: simulate codegen
+	// by hashing a buffer of plan-node descriptors.
+	buf := make([]byte, 256*s.Stats.PlanNodeCost)
+	var h uint64 = 1469598103934665603
+	for i := range buf {
+		buf[i] = byte(i)
+		h = (h ^ uint64(buf[i])) * 1099511628211
+	}
+	_ = h
+	s.Stats.PlanTime += time.Since(start)
+	s.Stats.Total += time.Since(start)
+}
+
+// Project maps each input row through output expressions.
+func (s *Session) Project(in *Table, out Schema, exprs []Expr) *Table {
+	start := time.Now()
+	t := NewTable(out)
+	for i := 0; i < in.NumRows(); i++ {
+		r := in.Row(i)
+		b := t.Append()
+		for c, e := range exprs {
+			switch out.Kinds[c] {
+			case ColLong:
+				b.SetLong(c, evalL(e, r))
+			case ColDouble:
+				b.SetDouble(c, evalD(e, r))
+			default:
+				panic("tungsten: string projection unsupported")
+			}
+		}
+		b.Finish()
+	}
+	s.Stats.RowsScanned += int64(in.NumRows())
+	s.Stats.RowsEmitted += int64(t.NumRows())
+	s.account(t)
+	s.Stats.Total += time.Since(start)
+	return t
+}
+
+// HashAggLong groups by a long key column and sums a double expression:
+// SELECT key, SUM(expr) GROUP BY key.
+func (s *Session) HashAggLong(in *Table, keyCol int, agg Expr) *Table {
+	start := time.Now()
+	sums := make(map[int64]float64, in.NumRows()/2+1)
+	order := make([]int64, 0)
+	for i := 0; i < in.NumRows(); i++ {
+		r := in.Row(i)
+		k := r.Long(keyCol)
+		if _, ok := sums[k]; !ok {
+			order = append(order, k)
+		}
+		sums[k] += evalD(agg, r)
+	}
+	out := NewTable(Schema{
+		Names: []string{"key", "sum"},
+		Kinds: []ColKind{ColLong, ColDouble},
+	})
+	for _, k := range order {
+		b := out.Append()
+		b.SetLong(0, k)
+		b.SetDouble(1, sums[k])
+		b.Finish()
+	}
+	s.Stats.RowsScanned += int64(in.NumRows())
+	s.Stats.RowsEmitted += int64(out.NumRows())
+	s.account(out)
+	s.Stats.Total += time.Since(start)
+	return out
+}
+
+// HashAggString groups by a binary string key and counts occurrences —
+// Tungsten's string-optimized aggregation (byte-slice keys, no object
+// per word).
+func (s *Session) HashAggString(in *Table, keyCol int) *Table {
+	start := time.Now()
+	counts := make(map[string]int64, in.NumRows()/2+1)
+	order := make([]string, 0)
+	for i := 0; i < in.NumRows(); i++ {
+		r := in.Row(i)
+		k := string(r.Str(keyCol)) // interned key bytes
+		if _, ok := counts[k]; !ok {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	out := NewTable(Schema{
+		Names: []string{"word", "count"},
+		Kinds: []ColKind{ColString, ColLong},
+	})
+	for _, k := range order {
+		b := out.Append()
+		b.SetString(0, []byte(k))
+		b.SetLong(1, counts[k])
+		b.Finish()
+	}
+	s.Stats.RowsScanned += int64(in.NumRows())
+	s.Stats.RowsEmitted += int64(out.NumRows())
+	s.account(out)
+	s.Stats.Total += time.Since(start)
+	return out
+}
+
+// HashJoinLong equi-joins two tables on long key columns, emitting the
+// concatenation of both rows' columns. The build side's hash table is
+// reconstructed on every call — no reuse across iterations, as in
+// DataFrame loops.
+func (s *Session) HashJoinLong(left *Table, lKey int, right *Table, rKey int) *Table {
+	start := time.Now()
+	build := make(map[int64][]int, right.NumRows())
+	for i := 0; i < right.NumRows(); i++ {
+		k := right.Row(i).Long(rKey)
+		build[k] = append(build[k], i)
+	}
+	out := NewTable(Schema{
+		Names: append(append([]string{}, left.Schema.Names...), right.Schema.Names...),
+		Kinds: append(append([]ColKind{}, left.Schema.Kinds...), right.Schema.Kinds...),
+	})
+	nl := left.Schema.NumCols()
+	for i := 0; i < left.NumRows(); i++ {
+		lr := left.Row(i)
+		k := lr.Long(lKey)
+		for _, j := range build[k] {
+			rr := right.Row(j)
+			b := out.Append()
+			for c, kind := range left.Schema.Kinds {
+				copyCol(b, c, lr, c, kind)
+			}
+			for c, kind := range right.Schema.Kinds {
+				copyCol(b, nl+c, rr, c, kind)
+			}
+			b.Finish()
+		}
+	}
+	s.Stats.RowsScanned += int64(left.NumRows() + right.NumRows())
+	s.Stats.RowsEmitted += int64(out.NumRows())
+	s.account(out)
+	s.Stats.Total += time.Since(start)
+	return out
+}
+
+func copyCol(b *RowBuilder, dst int, r Row, src int, kind ColKind) {
+	switch kind {
+	case ColLong:
+		b.SetLong(dst, r.Long(src))
+	case ColDouble:
+		b.SetDouble(dst, r.Double(src))
+	default:
+		b.SetString(dst, r.Str(src))
+	}
+}
+
+// SplitWords is the Tungsten word-splitting operator: one pass over the
+// text bytes of each row emitting (word) rows — binary slices, no
+// per-character object construction.
+func (s *Session) SplitWords(in *Table, textCol int) *Table {
+	start := time.Now()
+	out := NewTable(Schema{Names: []string{"word"}, Kinds: []ColKind{ColString}})
+	for i := 0; i < in.NumRows(); i++ {
+		text := in.Row(i).Str(textCol)
+		st := 0
+		for p := 0; p <= len(text); p++ {
+			if p == len(text) || text[p] == ' ' {
+				if p > st {
+					b := out.Append()
+					b.SetString(0, text[st:p])
+					b.Finish()
+				}
+				st = p + 1
+			}
+		}
+	}
+	s.Stats.RowsScanned += int64(in.NumRows())
+	s.Stats.RowsEmitted += int64(out.NumRows())
+	s.account(out)
+	s.Stats.Total += time.Since(start)
+	return out
+}
+
+// Release frees an intermediate table from the accounting.
+func (s *Session) Release(t *Table) { s.release(t) }
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }

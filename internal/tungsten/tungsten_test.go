@@ -1,0 +1,162 @@
+package tungsten
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRowRoundTrip(t *testing.T) {
+	tbl := NewTable(Schema{
+		Names: []string{"a", "b", "s"},
+		Kinds: []ColKind{ColLong, ColDouble, ColString},
+	})
+	b := tbl.Append()
+	b.SetLong(0, -42)
+	b.SetDouble(1, 3.5)
+	b.SetString(2, []byte("hello"))
+	b.Finish()
+	b = tbl.Append()
+	b.SetLong(0, 7)
+	b.SetDouble(1, -0.25)
+	b.SetString(2, []byte(""))
+	b.Finish()
+
+	r := tbl.Row(0)
+	if r.Long(0) != -42 || r.Double(1) != 3.5 || string(r.Str(2)) != "hello" {
+		t.Errorf("row 0 wrong: %d %v %q", r.Long(0), r.Double(1), r.Str(2))
+	}
+	r = tbl.Row(1)
+	if r.Long(0) != 7 || string(r.Str(2)) != "" {
+		t.Errorf("row 1 wrong")
+	}
+}
+
+func TestProjectAndAgg(t *testing.T) {
+	s := NewSession()
+	in := NewTable(Schema{Names: []string{"k", "v"}, Kinds: []ColKind{ColLong, ColDouble}})
+	for i := 0; i < 10; i++ {
+		b := in.Append()
+		b.SetLong(0, int64(i%3))
+		b.SetDouble(1, float64(i))
+		b.Finish()
+	}
+	doubled := s.Project(in, in.Schema, []Expr{
+		ColRef{Col: 0, Kind: ColLong},
+		BinExpr{Op: '*', L: ColRef{Col: 1, Kind: ColDouble}, R: ConstD{2}},
+	})
+	sums := s.HashAggLong(doubled, 0, ColRef{Col: 1, Kind: ColDouble})
+	want := map[int64]float64{}
+	for i := 0; i < 10; i++ {
+		want[int64(i%3)] += 2 * float64(i)
+	}
+	for i := 0; i < sums.NumRows(); i++ {
+		r := sums.Row(i)
+		if got := r.Double(1); math.Abs(got-want[r.Long(0)]) > 1e-9 {
+			t.Errorf("sum[%d] = %v, want %v", r.Long(0), got, want[r.Long(0)])
+		}
+	}
+	if sums.NumRows() != 3 {
+		t.Errorf("groups = %d", sums.NumRows())
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	s := NewSession()
+	l := NewTable(Schema{Names: []string{"k", "x"}, Kinds: []ColKind{ColLong, ColDouble}})
+	r := NewTable(Schema{Names: []string{"k", "y"}, Kinds: []ColKind{ColLong, ColDouble}})
+	for i := 0; i < 4; i++ {
+		b := l.Append()
+		b.SetLong(0, int64(i))
+		b.SetDouble(1, float64(i))
+		b.Finish()
+	}
+	for i := 2; i < 6; i++ {
+		b := r.Append()
+		b.SetLong(0, int64(i))
+		b.SetDouble(1, float64(i*10))
+		b.Finish()
+	}
+	j := s.HashJoinLong(l, 0, r, 0)
+	if j.NumRows() != 2 {
+		t.Fatalf("join rows = %d, want 2", j.NumRows())
+	}
+	for i := 0; i < j.NumRows(); i++ {
+		row := j.Row(i)
+		if row.Long(0) != row.Long(2) {
+			t.Errorf("key mismatch in join output")
+		}
+		if row.Double(3) != row.Double(1)*10 {
+			t.Errorf("joined values wrong")
+		}
+	}
+}
+
+func TestWordCountDFMatchesNaive(t *testing.T) {
+	docs := []string{"the cat sat", "on the mat", "cat and cat"}
+	s := NewSession()
+	got := WordCountDF(s, docs)
+	want := map[string]int64{"the": 2, "cat": 3, "sat": 1, "on": 1, "mat": 1, "and": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+	if s.Stats.RowsEmitted == 0 || s.Stats.PlansBuilt != 1 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+}
+
+func TestPageRankDFMatchesRDDSemantics(t *testing.T) {
+	links := workload.GenGraph(workload.GraphSpec{
+		Name: "t", Vertices: 30, AvgDeg: 3, Alpha: 2.2, Seed: 7,
+	})
+	s := NewSession()
+	got := PageRankDF(s, links, 3)
+	if len(got) != 30 {
+		t.Fatalf("ranks for %d vertices, want 30", len(got))
+	}
+	for v, r := range got {
+		if r < 0.15-1e-9 {
+			t.Errorf("rank[%d] = %v below floor", v, r)
+		}
+	}
+	// Plans must have been rebuilt every iteration.
+	if s.Stats.PlansBuilt != 3 {
+		t.Errorf("plans built = %d, want 3", s.Stats.PlansBuilt)
+	}
+	if s.Stats.PlanTime == 0 {
+		t.Errorf("no plan time recorded")
+	}
+}
+
+// TestPlanGrowthIsSuperlinear: the cumulative plan cost makes later
+// iterations more expensive — the SPARK-13346 behavior.
+func TestPlanGrowthIsSuperlinear(t *testing.T) {
+	s := NewSession()
+	var times []float64
+	const rounds = 30
+	for i := 0; i < rounds; i++ {
+		before := s.Stats.PlanTime
+		s.PlanGrow(32)
+		times = append(times, float64(s.Stats.PlanTime-before))
+	}
+	if s.Stats.PlanNodeCost != 32*rounds {
+		t.Fatalf("plan node accumulation wrong: %d", s.Stats.PlanNodeCost)
+	}
+	var first, second float64
+	for i, v := range times {
+		if i < rounds/2 {
+			first += v
+		} else {
+			second += v
+		}
+	}
+	if second <= first {
+		t.Errorf("plan time did not grow: first half %v, second half %v", first, second)
+	}
+}

@@ -1,0 +1,222 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/sparkapps"
+	"repro/internal/dsa"
+	"repro/internal/engine"
+	"repro/internal/serde"
+	. "repro/internal/workload"
+)
+
+func codec(t *testing.T) *serde.Codec {
+	t.Helper()
+	prog := sparkapps.NewProgram()
+	layouts := dsa.Analyze(prog.Reg, []string{
+		sparkapps.ClsLinks, sparkapps.ClsDenseVector, sparkapps.ClsLabeled,
+		sparkapps.ClsSparsePoint, sparkapps.ClsDoc, sparkapps.ClsPost, sparkapps.ClsUser,
+	})
+	return serde.NewCodec(prog.Reg, layouts)
+}
+
+func TestGenGraphCoversAllVertices(t *testing.T) {
+	links := GenGraph(GraphSpec{Name: "t", Vertices: 100, AvgDeg: 4, Alpha: 2.2, Seed: 3})
+	if len(links) != 100 {
+		t.Fatalf("links = %d", len(links))
+	}
+	seen := map[int64]bool{}
+	edges := 0
+	for _, l := range links {
+		if seen[l.Src] {
+			t.Errorf("duplicate source %d", l.Src)
+		}
+		seen[l.Src] = true
+		for _, d := range l.Dsts {
+			if d < 0 || d >= 100 {
+				t.Errorf("edge to out-of-range vertex %d", d)
+			}
+			if d == l.Src {
+				t.Errorf("self loop at %d", l.Src)
+			}
+			edges++
+		}
+	}
+	if edges == 0 {
+		t.Fatalf("no edges generated")
+	}
+}
+
+func TestGenGraphDeterministic(t *testing.T) {
+	a := GenGraph(GraphSpec{Name: "t", Vertices: 50, AvgDeg: 3, Alpha: 2.0, Seed: 9})
+	b := GenGraph(GraphSpec{Name: "t", Vertices: 50, AvgDeg: 3, Alpha: 2.0, Seed: 9})
+	for i := range a {
+		if a[i].Src != b[i].Src || len(a[i].Dsts) != len(b[i].Dsts) {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestStandardGraphsScale(t *testing.T) {
+	g1 := StandardGraphs(1)
+	g2 := StandardGraphs(3)
+	if len(g1) != 4 || len(g2) != 4 {
+		t.Fatalf("want 4 standard graphs")
+	}
+	for i := range g1 {
+		if g2[i].Vertices != 3*g1[i].Vertices {
+			t.Errorf("%s did not scale", g1[i].Name)
+		}
+	}
+	names := []string{"LiveJournal", "Orkut", "UK-2005", "Twitter-2010"}
+	for i, n := range names {
+		if g1[i].Name != n {
+			t.Errorf("graph %d = %s, want %s", i, g1[i].Name, n)
+		}
+	}
+}
+
+func TestGenDensePointsClusterShape(t *testing.T) {
+	pts, centers := GenDensePoints(60, 4, 3, 5)
+	if len(pts) != 60 || len(centers) != 3 {
+		t.Fatalf("shape wrong")
+	}
+	for i, p := range pts {
+		vals := p["values"].([]float64)
+		c := centers[i%3]
+		for d := range vals {
+			if diff := vals[d] - c[d]; diff > 20 || diff < -20 {
+				t.Errorf("point %d dim %d far from its center: %v", i, d, diff)
+			}
+		}
+	}
+}
+
+func TestGenLabeledPointsSeparable(t *testing.T) {
+	pts, w := GenLabeledPoints(300, 6, 7)
+	agree := 0
+	for _, p := range pts {
+		vals := p["features"].(serde.Obj)["values"].([]float64)
+		dot := 0.0
+		for d := range vals {
+			dot += vals[d] * w[d]
+		}
+		label := p["label"].(float64)
+		if (dot > 0) == (label == 1) {
+			agree++
+		}
+	}
+	if float64(agree)/300 < 0.9 {
+		t.Errorf("labels agree with weights only %d/300", agree)
+	}
+}
+
+func TestGenSparsePointsShape(t *testing.T) {
+	pts := GenSparsePoints(40, 20, 5, 3)
+	for _, p := range pts {
+		f := p["features"].(serde.Obj)
+		idx := f["indices"].([]int64)
+		vals := f["values"].([]float64)
+		if len(idx) != 5 || len(vals) != 5 {
+			t.Fatalf("nnz wrong")
+		}
+		seen := map[int64]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= 20 || seen[i] {
+				t.Errorf("bad index %d", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestGenPostsHeavyTail(t *testing.T) {
+	posts := GenPosts(200, 10, 11)
+	per := map[int64]int{}
+	for _, p := range posts {
+		per[p["user"].(int64)]++
+		body := p["body"].(string)
+		if len(strings.Fields(body)) == 0 {
+			t.Errorf("empty post body")
+		}
+		h := p["hour"].(int64)
+		if h < 0 || h > 23 {
+			t.Errorf("hour %d out of range", h)
+		}
+	}
+	if len(per) != 200 {
+		t.Fatalf("users with posts = %d", len(per))
+	}
+	heavy := 0
+	for _, n := range per {
+		if n > 40 { // > 2*avg: only the heavy tail
+			heavy++
+		}
+	}
+	if heavy == 0 {
+		t.Errorf("no heavy users in 200 (expected ~10%%)")
+	}
+	if heavy > 60 {
+		t.Errorf("too many heavy users: %d", heavy)
+	}
+}
+
+func TestGenUsersFieldsAndEncode(t *testing.T) {
+	c := codec(t)
+	users := GenUsers(30, 1)
+	parts, err := Encode(c, sparkapps.ClsUser, users, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(engine.RecordOffsets(p))
+	}
+	if total != 30 {
+		t.Fatalf("encoded %d records", total)
+	}
+	// Round-trip one record.
+	v, _, err := c.Decode(sparkapps.ClsUser, parts[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := v.(serde.Obj)
+	if u["about"].(string) == "" {
+		t.Errorf("user without about text")
+	}
+}
+
+func TestGenDocsZipfVocabulary(t *testing.T) {
+	docs := GenDocs(50, 30, 2)
+	freq := map[string]int{}
+	for _, d := range docs {
+		for _, w := range strings.Fields(d["text"].(string)) {
+			freq[w]++
+		}
+	}
+	if len(freq) < 5 {
+		t.Fatalf("vocabulary too small: %d", len(freq))
+	}
+	// Zipf head: the most frequent word clearly dominates the median.
+	max := 0
+	for _, n := range freq {
+		if n > max {
+			max = n
+		}
+	}
+	if max*len(freq) < 50*30/2 {
+		t.Logf("weak skew (max=%d, vocab=%d) — acceptable", max, len(freq))
+	}
+}
+
+func TestEncodeZeroPartitions(t *testing.T) {
+	c := codec(t)
+	parts, err := Encode(c, sparkapps.ClsDoc, GenDocs(3, 5, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("want single partition fallback, got %d", len(parts))
+	}
+}
