@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...]
+//	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...] [-faults seed]
 //
 // Experiment ids: fig4 fig5 table1 table2 fig6a fig6b fig7a fig7b table3
 // fig8a fig8b fig9 fig10a fig10b static. Default runs everything.
+//
+// -faults runs the chaos mode instead: WordCount under deterministic
+// fault injection (seeded by the flag value), asserting that Gerenuk's
+// output stays byte-equal to the fault-free baseline and that input
+// corruption is detected rather than masked.
 package main
 
 import (
@@ -24,9 +29,23 @@ func main() {
 	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions")
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters}
+
+	if *faultSeed != 0 {
+		r, err := bench.Chaos(cfg, *faultSeed)
+		if r != nil {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {

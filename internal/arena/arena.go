@@ -26,6 +26,24 @@ import (
 // Addr is a virtual native-memory address. 0 is the null/invalid address.
 type Addr = int64
 
+// Fault describes a native-memory access violation detected at run time:
+// a wild address, an access into a freed region, or an out-of-bounds
+// read/write. The data paths reachable from transformed code panic with
+// *Fault so the engine's containment layer can classify the panic as a
+// speculation violation (de-speculate and re-execute the heap path)
+// rather than a runtime bug. API misuse by engine code itself — growing
+// or appending to a region it already freed, or passing an invalid
+// access size — keeps plain panics: those indicate bugs, not failed
+// speculation.
+type Fault struct{ Msg string }
+
+func (f *Fault) Error() string { return "arena: " + f.Msg }
+
+// fault raises a native access violation.
+func fault(format string, args ...interface{}) {
+	panic(&Fault{Msg: fmt.Sprintf(format, args...)})
+}
+
 const (
 	regionShift = 32
 	offsetMask  = (1 << regionShift) - 1
@@ -151,17 +169,19 @@ func (r *Region) AppendBytes(p []byte) Addr {
 	return r.AddrOf(off)
 }
 
-// resolve maps a virtual address to (region, offset). Panics on invalid
-// or freed addresses: these indicate a compiler/runtime bug, since the
-// transformation must guarantee that only live buffer addresses flow.
+// resolve maps a virtual address to (region, offset). Panics with *Fault
+// on invalid or freed addresses: the transformation must guarantee that
+// only live buffer addresses flow, so hitting one of these during a
+// speculative attempt is a speculation violation the engine converts
+// into an abort-and-re-execute.
 func (a *Arena) resolve(addr Addr) (*Region, int) {
 	id := int(addr >> regionShift)
 	if id <= 0 || id > len(a.regions) {
-		panic(fmt.Sprintf("arena: wild native address %#x", addr))
+		fault("wild native address %#x", addr)
 	}
 	r := a.regions[id-1]
 	if r == nil {
-		panic(fmt.Sprintf("arena: address %#x into freed region", addr))
+		fault("address %#x into freed region", addr)
 	}
 	return r, int(addr & offsetMask)
 }
@@ -208,8 +228,7 @@ func (r *Region) grow(to int) {
 func (r *Region) CopyRecord(src Addr, n int) Addr {
 	sr, so := r.arena.resolve(src)
 	if so+n > len(sr.buf) {
-		panic(fmt.Sprintf("arena: CopyRecord reads past region %q end (%d+%d > %d)",
-			sr.name, so, n, len(sr.buf)))
+		fault("CopyRecord reads past region %q end (%d+%d > %d)", sr.name, so, n, len(sr.buf))
 	}
 	return r.AppendBytes(sr.buf[so : so+n])
 }
@@ -218,14 +237,14 @@ func (r *Region) CopyRecord(src Addr, n int) Addr {
 func (a *Arena) Slice(addr Addr, n int) []byte {
 	r, o := a.resolve(addr)
 	if o+n > len(r.buf) {
-		panic(fmt.Sprintf("arena: slice past region %q end", r.name))
+		fault("slice past region %q end", r.name)
 	}
 	return r.buf[o : o+n]
 }
 
 func readLE(b []byte, off, sz int) int64 {
 	if off < 0 || off+sz > len(b) {
-		panic(fmt.Sprintf("arena: read [%d:%d) out of bounds (len %d)", off, off+sz, len(b)))
+		fault("read [%d:%d) out of bounds (len %d)", off, off+sz, len(b))
 	}
 	switch sz {
 	case 1:
@@ -247,7 +266,7 @@ func readLE(b []byte, off, sz int) int64 {
 
 func writeLE(b []byte, off, sz int, v int64) {
 	if off < 0 || off+sz > len(b) {
-		panic(fmt.Sprintf("arena: write [%d:%d) out of bounds (len %d)", off, off+sz, len(b)))
+		fault("write [%d:%d) out of bounds (len %d)", off, off+sz, len(b))
 	}
 	switch sz {
 	case 1:

@@ -241,3 +241,48 @@ func TestReadWriteRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// catchFault runs f and returns the recovered *Fault, or nil when f
+// panicked with something else (or not at all).
+func catchFault(f func()) (fault *Fault) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault, _ = r.(*Fault)
+		}
+	}()
+	f()
+	return nil
+}
+
+// TestDataPathViolationsPanicWithFault: every access violation reachable
+// from speculative execution must panic with the typed *Fault so the
+// engine's recover barrier can classify it as a failed speculation
+// (plain panics stay reserved for engine API misuse).
+func TestDataPathViolationsPanicWithFault(t *testing.T) {
+	a := New()
+	r := a.NewRegion("t")
+	p := r.Append(8)
+
+	if f := catchFault(func() { a.ReadNative(int64(1)<<62, 0, 8) }); f == nil {
+		t.Errorf("wild address did not panic with *Fault")
+	} else if f.Error() == "" {
+		t.Errorf("empty fault message")
+	}
+	if f := catchFault(func() { a.ReadNative(p, 1<<40, 8) }); f == nil {
+		t.Errorf("out-of-bounds read did not panic with *Fault")
+	}
+	if f := catchFault(func() { a.Slice(p, 1<<30) }); f == nil {
+		t.Errorf("past-end slice did not panic with *Fault")
+	}
+	freed := a.NewRegion("freed")
+	q := freed.Append(8)
+	freed.Free()
+	if f := catchFault(func() { a.ReadNative(q, 0, 8) }); f == nil {
+		t.Errorf("use-after-free did not panic with *Fault")
+	}
+	// API misuse is a bug in the engine, not failed speculation: it must
+	// NOT be a *Fault (the recover barrier would wrongly deoptimize it).
+	if f := catchFault(func() { a.ReadNative(p, 0, 3) }); f != nil {
+		t.Errorf("invalid access size panicked with *Fault: %v", f)
+	}
+}

@@ -1,0 +1,112 @@
+package engine
+
+import "sync"
+
+// Breaker is a per-driver circuit breaker implementing adaptive
+// de-speculation. A speculative abort costs roughly one wasted native
+// attempt on top of the heap re-execution (Figure 10(b): ~9-14% of a SER
+// per re-execution), so a driver that aborts on every task turns the
+// Gerenuk win into a steady 2x loss. The breaker watches abort outcomes
+// per driver across the whole pool: after Threshold consecutive aborts
+// it "opens" and subsequent tasks skip the doomed native attempt, going
+// straight to the heap path. While open, every ProbeEvery-th task is
+// let through as a half-open probe; one successful probe closes the
+// breaker and re-enables speculation.
+//
+// A nil *Breaker (or Threshold <= 0) disables the mechanism entirely:
+// every task attempts the native path, preserving the paper's
+// Figure 10(a)/(b) abort-cost semantics.
+//
+// Safe for concurrent use by all executors of a pool.
+type Breaker struct {
+	// Threshold is the number of consecutive aborts that opens the
+	// breaker for a driver; <= 0 disables the breaker.
+	Threshold int
+	// ProbeEvery lets 1 of every ProbeEvery tasks probe the native path
+	// while open (default 8).
+	ProbeEvery int
+
+	mu      sync.Mutex
+	drivers map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	aborts int  // consecutive aborts observed while closed
+	open   bool // true = de-speculated
+	seen   int  // tasks seen while open (for probe cadence)
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// aborts with the default probe cadence.
+func NewBreaker(threshold int) *Breaker {
+	return &Breaker{Threshold: threshold}
+}
+
+// Allow reports whether the next task for driver should attempt the
+// native path. While open it admits periodic half-open probes.
+func (b *Breaker) Allow(driver string) bool {
+	if b == nil || b.Threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(driver)
+	if !e.open {
+		return true
+	}
+	e.seen++
+	probeEvery := b.ProbeEvery
+	if probeEvery <= 0 {
+		probeEvery = 8
+	}
+	return e.seen%probeEvery == 0
+}
+
+// Record feeds one native-attempt outcome back. Aborts accumulate
+// toward Threshold while closed and keep an open breaker open; a
+// success resets the abort streak and closes the breaker (successful
+// half-open probe).
+func (b *Breaker) Record(driver string, aborted bool) {
+	if b == nil || b.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(driver)
+	if aborted {
+		if e.open {
+			return // failed probe: stay open
+		}
+		e.aborts++
+		if e.aborts >= b.Threshold {
+			e.open = true
+			e.seen = 0
+		}
+		return
+	}
+	e.aborts = 0
+	e.open = false
+	e.seen = 0
+}
+
+// Open reports whether the breaker is currently open for driver.
+func (b *Breaker) Open(driver string) bool {
+	if b == nil || b.Threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.entry(driver).open
+}
+
+func (b *Breaker) entry(driver string) *breakerEntry {
+	if b.drivers == nil {
+		b.drivers = make(map[string]*breakerEntry)
+	}
+	e, ok := b.drivers[driver]
+	if !ok {
+		e = &breakerEntry{}
+		b.drivers[driver] = e
+	}
+	return e
+}

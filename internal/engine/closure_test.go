@@ -1,6 +1,13 @@
 package engine
 
-import "testing"
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/interp"
+)
 
 func TestSimulateClosureCosts(t *testing.T) {
 	ser, deser := simulateClosure(8 << 10)
@@ -9,5 +16,118 @@ func TestSimulateClosureCosts(t *testing.T) {
 	}
 	if s, d := simulateClosure(0); s != 0 || d != 0 {
 		t.Errorf("zero closure should be free")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FaultClass
+	}{
+		{&interp.AbortError{Reason: "mutate-input"}, AbortSpeculation},
+		{fmt.Errorf("stage: %w", &interp.AbortError{Reason: "x"}), AbortSpeculation},
+		{heap.ErrOutOfMemory, FaultOOM},
+		{fmt.Errorf("alloc: %w", heap.ErrOutOfMemory), FaultOOM},
+		{errors.New("some bug"), FaultPermanent},
+		{ErrInputMutated, FaultPermanent},
+		{&TaskError{Task: "t", Class: FaultTransient, Err: errors.New("x")}, FaultTransient},
+		{fmt.Errorf("wrap: %w", &TaskError{Class: FaultOOM, Err: errors.New("x")}), FaultOOM},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+	if !FaultTransient.Retryable() || !FaultOOM.Retryable() {
+		t.Errorf("transient/oom must be retryable")
+	}
+	if AbortSpeculation.Retryable() || FaultPermanent.Retryable() {
+		t.Errorf("abort/permanent must not be retryable")
+	}
+}
+
+func TestTaskErrPreservesClass(t *testing.T) {
+	inner := &TaskError{Class: FaultTransient, Err: errors.New("x")}
+	out := taskErr("job-t1", inner)
+	if out.Class != FaultTransient || out.Task != "job-t1" {
+		t.Errorf("taskErr rewrote class or dropped name: %+v", out)
+	}
+	named := &TaskError{Task: "orig", Class: FaultOOM, Err: errors.New("x")}
+	if got := taskErr("other", named); got.Task != "orig" {
+		t.Errorf("taskErr renamed an already-named error: %q", got.Task)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := &Breaker{Threshold: 2, ProbeEvery: 3}
+	d := "drv"
+	if !b.Allow(d) || b.Open(d) {
+		t.Fatalf("new breaker must start closed")
+	}
+	b.Record(d, true)
+	if b.Open(d) {
+		t.Fatalf("one abort below threshold opened the breaker")
+	}
+	b.Record(d, true)
+	if !b.Open(d) {
+		t.Fatalf("threshold aborts did not open the breaker")
+	}
+	// While open: every ProbeEvery-th Allow is a half-open probe.
+	got := []bool{b.Allow(d), b.Allow(d), b.Allow(d), b.Allow(d), b.Allow(d), b.Allow(d)}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("open-state Allow sequence = %v, want %v", got, want)
+		}
+	}
+	// A failed probe keeps it open; a successful one closes it.
+	b.Record(d, true)
+	if !b.Open(d) {
+		t.Fatalf("failed probe closed the breaker")
+	}
+	b.Record(d, false)
+	if b.Open(d) || !b.Allow(d) {
+		t.Fatalf("successful probe did not close the breaker")
+	}
+	// Abort streaks are per driver.
+	b.Record("other", true)
+	b.Record("other", true)
+	if !b.Open("other") || b.Open(d) {
+		t.Fatalf("drivers must trip independently")
+	}
+	// Disabled breakers always allow.
+	var nb *Breaker
+	if !nb.Allow(d) || nb.Open(d) {
+		t.Fatalf("nil breaker must be a no-op")
+	}
+	zero := &Breaker{}
+	zero.Record(d, true)
+	if !zero.Allow(d) {
+		t.Fatalf("threshold 0 must disable the breaker")
+	}
+}
+
+func TestChecksumInputs(t *testing.T) {
+	spec := TaskSpec{Invocations: []map[string]Input{
+		{"in": {Buf: []byte{1, 2, 3}}, "side": {Buf: []byte{9}}},
+	}}
+	a, b := checksumInputs(spec), checksumInputs(spec)
+	if a != b {
+		t.Errorf("checksum not deterministic")
+	}
+	spec.Invocations[0]["in"].Buf[1] ^= 1
+	if checksumInputs(spec) == a {
+		t.Errorf("checksum missed a flipped bit")
+	}
+	spec.Invocations[0]["in"].Buf[1] ^= 1
+	if checksumInputs(spec) != a {
+		t.Errorf("checksum did not restore after unflip")
+	}
+	// Swapping which source holds which bytes must change the sum.
+	swapped := TaskSpec{Invocations: []map[string]Input{
+		{"side": {Buf: []byte{1, 2, 3}}, "in": {Buf: []byte{9}}},
+	}}
+	if checksumInputs(swapped) == a {
+		t.Errorf("checksum insensitive to source binding")
 	}
 }

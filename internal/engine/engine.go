@@ -14,13 +14,13 @@ package engine
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
-
-	"errors"
 
 	"repro/internal/analysis"
 	"repro/internal/arena"
 	"repro/internal/dsa"
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -131,6 +131,10 @@ type TaskSpec struct {
 	// AbortAfterRecords forces a speculative abort after N records, for
 	// the Figure 10(b) experiment.
 	AbortAfterRecords int64
+	// Faults, when non-nil, injects deterministic failures into this
+	// task (see internal/faults). The plan carries the cross-attempt
+	// counter, so retries of the same spec see successive attempts.
+	Faults *faults.Plan
 }
 
 // TaskResult is the outcome of one task.
@@ -140,53 +144,138 @@ type TaskResult struct {
 }
 
 // Executor runs tasks. Safe for use by one goroutine at a time; create
-// one per worker.
+// one per worker. Breaker (shared across a pool's executors) and
+// VerifyInputs are optional fault-tolerance knobs.
 type Executor struct {
 	C       *Compiled
 	Mode    Mode
 	HeapCfg heap.Config
+	// Breaker, when set, adaptively de-speculates drivers that keep
+	// aborting (shared across the pool; nil = always speculate).
+	Breaker *Breaker
+	// VerifyInputs enables the input-checksum canary: input buffers are
+	// checksummed before a speculative attempt and re-verified after it,
+	// so a violated mutate-input guarantee fails the task loudly instead
+	// of silently re-executing over corrupt bytes.
+	VerifyInputs bool
 }
 
 // RunTask executes the task, speculatively when the executor is in
-// Gerenuk mode and the driver has a native version. On abort, the
-// attempt's executor state is discarded and the original driver re-runs
-// on the heap path over the same inputs.
+// Gerenuk mode and the driver has a native version. On abort — whether a
+// cooperative abort instruction, a failed runtime guard, or a contained
+// panic anywhere in the native path — the attempt's executor state is
+// discarded and the original driver re-runs on the heap path over the
+// same inputs. Failures are returned as *TaskError with a FaultClass the
+// pool uses to decide on retries. Even on error the partial Stats are
+// returned, so failed attempts stay visible in the job accounting.
 func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 	start := time.Now()
 	var bd metrics.Breakdown
+	bd.Attempts++
+	fail := func(err error) (TaskResult, error) {
+		bd.Total = time.Since(start)
+		return TaskResult{Stats: bd}, taskErr(spec.Name, err)
+	}
 
 	// Closure shipping: serialize on the "driver", deserialize here.
 	serT, deserT := simulateClosure(spec.ClosureBytes)
 	bd.Ser += serT
 	bd.Deser += deserT
 
+	// Attempt-level injected faults (slow task, lost attempt, OOM).
+	if p := spec.Faults; p != nil {
+		if p.Delay > 0 {
+			time.Sleep(p.Delay)
+		}
+		attempt := p.TakeAttempt()
+		if attempt <= int64(p.TransientFailures) {
+			return fail(&TaskError{Task: spec.Name, Class: FaultTransient,
+				Err: fmt.Errorf("injected transient failure (attempt %d)", attempt)})
+		}
+		if attempt <= int64(p.TransientFailures+p.OOMFailures) {
+			return fail(&TaskError{Task: spec.Name, Class: FaultOOM,
+				Err: fmt.Errorf("injected allocation failure (attempt %d): %w", attempt, heap.ErrOutOfMemory)})
+		}
+	}
+
+	var sum uint64
+	if e.VerifyInputs {
+		sum = checksumInputs(spec)
+	}
+
 	if e.Mode == Gerenuk && e.C.CanRunNative(spec.Driver) {
-		out, attempt, err := e.runNativeAttempt(spec)
-		bd.Add(attempt)
-		if err == nil {
-			bd.Total = time.Since(start)
-			return TaskResult{Out: out, Stats: bd}, nil
+		if e.Breaker.Allow(spec.Driver) {
+			out, attempt, err := e.runNativeAttempt(spec)
+			bd.Add(attempt)
+			switch {
+			case err == nil:
+				e.Breaker.Record(spec.Driver, false)
+				if e.VerifyInputs && checksumInputs(spec) != sum {
+					return fail(&TaskError{Task: spec.Name, Class: FaultPermanent, Err: ErrInputMutated})
+				}
+				bd.Total = time.Since(start)
+				return TaskResult{Out: out, Stats: bd}, nil
+			case Classify(err) == AbortSpeculation || Classify(err) == FaultOOM:
+				// Abort (or a native-side allocation failure, equally a
+				// failed speculation): discard the attempt — heap, arena
+				// and partial output all die with it — and fall through
+				// to the slow path over the pristine inputs.
+				e.Breaker.Record(spec.Driver, true)
+				bd.Aborts++
+				if e.VerifyInputs && checksumInputs(spec) != sum {
+					return fail(&TaskError{Task: spec.Name, Class: FaultPermanent, Err: ErrInputMutated})
+				}
+			default:
+				return fail(err)
+			}
+		} else {
+			// Open breaker: skip the doomed native attempt.
+			bd.NativeSkips++
 		}
-		if !errors.Is(err, interp.ErrAbort) {
-			return TaskResult{}, fmt.Errorf("task %s: %w", spec.Name, err)
-		}
-		// Abort: discard the attempt (heap, arena and partial output all
-		// die with it) and fall through to the slow path.
-		bd.Aborts++
 	}
 
 	out, slow, err := e.runHeapAttempt(spec)
 	bd.Add(slow)
 	if err != nil {
-		return TaskResult{}, fmt.Errorf("task %s: %w", spec.Name, err)
+		return fail(err)
 	}
 	bd.Total = time.Since(start)
 	return TaskResult{Out: out, Stats: bd}, nil
 }
 
+// checksumInputs hashes every input buffer of the task (FNV-1a over
+// invocation order and sorted source names), giving the mutate-input
+// canary a stable fingerprint of the bytes speculation must not touch.
+func checksumInputs(spec TaskSpec) uint64 {
+	h := fnv.New64a()
+	names := make([]string, 0, 4)
+	for _, inv := range spec.Invocations {
+		names = names[:0]
+		for name := range inv {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h.Write([]byte(name))
+			h.Write(inv[name].Buf)
+		}
+	}
+	return h.Sum64()
+}
+
 // runHeapAttempt executes the original driver over the simulated heap.
-func (e *Executor) runHeapAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, error) {
-	var bd metrics.Breakdown
+// A runtime panic here is contained (the process must survive a bad
+// task) but classified permanent: the heap path is the ground truth, so
+// a panic in it is a bug, not failed speculation.
+func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdown, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bd.PanicsContained++
+			out = nil
+			err = &TaskError{Task: spec.Name, Class: FaultPermanent,
+				Err: fmt.Errorf("runtime panic in heap execution: %v", r)}
+		}
+	}()
 	h := heap.New(e.C.Prog.Reg, e.HeapCfg)
 	sink := &collectSink{}
 	fn := e.C.Prog.Fn(spec.Driver)
@@ -235,16 +324,36 @@ func (e *Executor) runHeapAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, err
 }
 
 // runNativeAttempt executes the transformed driver over arena regions.
-func (e *Executor) runNativeAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, error) {
-	var bd metrics.Breakdown
+//
+// The whole attempt runs under a recover barrier: any runtime panic —
+// an arena.Fault access violation, an injected fault, or a plain bug in
+// the speculative path — is converted into an AbortError, which RunTask
+// treats exactly like a cooperative abort: terminate the attempt,
+// discard its state, re-execute the untransformed driver over the same
+// (immutable) input buffers. This is the paper's §3.6 recovery
+// obligation extended from the one blessed abort instruction to every
+// failure mode speculation can hit.
+func (e *Executor) runNativeAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdown, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bd.PanicsContained++
+			out = nil
+			if f, ok := r.(*arena.Fault); ok {
+				err = &interp.AbortError{Reason: "native memory violation: " + f.Msg}
+			} else {
+				err = &interp.AbortError{Reason: fmt.Sprintf("runtime panic in speculative execution: %v", r)}
+			}
+		}
+	}()
 	a := arena.New()
 	// A Gerenuk executor keeps a small control heap; data never touches it.
 	h := heap.New(e.C.Prog.Reg, heap.Config{
 		YoungSize: e.HeapCfg.YoungSize / 4, OldSize: e.HeapCfg.OldSize / 4,
 	})
-	out := a.NewRegion("task-out")
+	outRegion := a.NewRegion("task-out")
 	sink := &nativeSink{a: a}
 	fn := e.C.Natives[spec.Driver]
+	hook := recordHook(spec, a)
 
 	// Adopt each distinct input buffer once.
 	regions := make(map[*byte]*arena.Region)
@@ -269,9 +378,10 @@ func (e *Executor) runNativeAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, e
 		}
 		env := &interp.Env{
 			Mode: interp.ModeNative, Prog: e.C.Prog, Heap: h, Arena: a,
-			Layouts: e.C.Layouts, Out: out,
+			Layouts: e.C.Layouts, Out: outRegion,
 			NativeSources: sources, NativeSink: sink,
 			AbortAfterRecords: spec.AbortAfterRecords,
+			RecordHook:        hook,
 		}
 		_, err := interp.New(env).Run(fn, spec.Args...)
 		bd.Ser += env.SerTime
@@ -302,6 +412,50 @@ func (e *Executor) runNativeAttempt(spec TaskSpec) ([]byte, metrics.Breakdown, e
 	// region-based reclamation the confinement guarantee enables.
 	result := append([]byte(nil), sink.Bytes()...)
 	return result, bd, nil
+}
+
+// recordHook builds the per-record fault hook for a native attempt, or
+// nil when the spec injects no record-targeted faults. Record numbers
+// are per driver invocation (1-based).
+func recordHook(spec TaskSpec, a *arena.Arena) func(int64) error {
+	p := spec.Faults
+	if p == nil || (p.PanicAtRecord == 0 && p.WildReadAtRecord == 0 && !p.FlipInputBit) {
+		return nil
+	}
+	flipped := false
+	return func(n int64) error {
+		if p.FlipInputBit && !flipped {
+			flipped = true
+			flipInputBit(spec)
+		}
+		if n == p.PanicAtRecord {
+			panic(fmt.Sprintf("faults: injected panic at record %d", n))
+		}
+		if n == p.WildReadAtRecord {
+			// A wild address: region id far beyond anything allocated.
+			a.ReadNative(int64(1)<<62, 0, 8)
+		}
+		return nil
+	}
+}
+
+// flipInputBit corrupts one bit of the task's first non-empty input
+// buffer — the injected violation of the input-immutability contract
+// that the VerifyInputs canary must catch.
+func flipInputBit(spec TaskSpec) {
+	for _, inv := range spec.Invocations {
+		names := make([]string, 0, len(inv))
+		for name := range inv {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if buf := inv[name].Buf; len(buf) > 0 {
+				buf[len(buf)/2] ^= 1
+				return
+			}
+		}
+	}
 }
 
 func countRecords(spec TaskSpec) int64 {

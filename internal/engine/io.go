@@ -2,8 +2,10 @@ package engine
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/dsa"
@@ -202,9 +204,18 @@ func Partition(layouts *dsa.Result, class, field string, buf []byte, n int) ([][
 // ---- worker pool ----
 
 // Pool runs tasks across a fixed set of worker executors, mirroring the
-// multi-executor worker nodes of the paper's cluster.
+// multi-executor worker nodes of the paper's cluster. MaxAttempts and
+// Backoff configure the task retry policy: transient faults retry with
+// exponential backoff, OOM faults retry on a fresh executor with an
+// escalated heap configuration, and everything else fails fast.
 type Pool struct {
 	Workers int
+	// MaxAttempts bounds attempts per task for retryable faults
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// retry (default 0: retry immediately).
+	Backoff time.Duration
 }
 
 // JobResult aggregates a set of task results.
@@ -214,12 +225,22 @@ type JobResult struct {
 	Wall    metrics.Breakdown // wall-clock Total only
 }
 
-// Run executes all tasks on w workers, each task on a fresh executor
-// state. Task outputs are returned in task order.
+// Run executes all tasks on w workers, each task attempt on a fresh
+// executor state. Task outputs are returned in task order. Every task
+// runs regardless of other tasks' failures; when any fail, Run returns
+// a *JobError listing all of them (first-error-wins is gone — a lost
+// task no longer hides the rest of the job's outcome).
 func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) {
+	if len(specs) == 0 {
+		return &JobResult{}, nil
+	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = 1
+	}
+	if workers > len(specs) {
+		// Never spawn executors that could not receive a task.
+		workers = len(specs)
 	}
 	type outcome struct {
 		res TaskResult
@@ -236,7 +257,7 @@ func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) 
 			defer wg.Done()
 			e := exec()
 			for i := range next {
-				res, err := e.RunTask(specs[i])
+				res, err := p.runWithRetry(e, exec, specs[i])
 				results[i] = outcome{res, err}
 				if res.Stats.PeakHeapBytes > workerPeaks[w].PeakHeapBytes {
 					workerPeaks[w].PeakHeapBytes = res.Stats.PeakHeapBytes
@@ -254,21 +275,82 @@ func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) 
 	wg.Wait()
 
 	job := &JobResult{}
+	var failures []TaskFailure
 	for i, o := range results {
-		if o.err != nil {
-			return nil, o.err
-		}
-		job.Outputs = append(job.Outputs, o.res.Out)
 		s := o.res.Stats
 		// Peaks are handled below per worker; zero them for the sum.
 		s.PeakHeapBytes, s.PeakNativeBytes = 0, 0
 		job.Stats.Add(s)
-		_ = i
+		if o.err != nil {
+			attempts := 1
+			var te *TaskError
+			if errors.As(o.err, &te) && te.Attempts > 0 {
+				attempts = te.Attempts
+			}
+			failures = append(failures, TaskFailure{
+				Index: i, Name: specs[i].Name, Attempts: attempts, Err: o.err,
+			})
+			continue
+		}
+		job.Outputs = append(job.Outputs, o.res.Out)
 	}
 	// Process-level peak: concurrent workers' peaks coexist.
 	for _, wp := range workerPeaks {
 		job.Stats.PeakHeapBytes += wp.PeakHeapBytes
 		job.Stats.PeakNativeBytes += wp.PeakNativeBytes
 	}
+	if failures != nil {
+		return nil, &JobError{Tasks: len(specs), Failures: failures}
+	}
 	return job, nil
+}
+
+// runWithRetry drives one task through the pool's retry policy. The
+// first attempt reuses the worker's executor (stateless across tasks);
+// every retry builds a fresh one from the factory — the paper's
+// "terminate the executor, relaunch over the same buffers" — and OOM
+// retries escalate its heap configuration so a task that genuinely
+// needs more memory eventually gets it instead of dying in a retry
+// loop. Stats accumulate across attempts so failed attempts stay
+// visible in the job accounting.
+func (p *Pool) runWithRetry(worker *Executor, exec func() *Executor, spec TaskSpec) (TaskResult, error) {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	var agg metrics.Breakdown
+	oomRetries := 0
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		e := worker
+		if attempt > 1 {
+			e = exec()
+			if oomRetries > 0 {
+				e.HeapCfg = e.HeapCfg.Escalate(1 << oomRetries)
+			}
+			if p.Backoff > 0 {
+				time.Sleep(p.Backoff << (attempt - 2))
+			}
+		}
+		res, err := e.RunTask(spec)
+		if attempt > 1 {
+			res.Stats.Retries++
+		}
+		agg.Add(res.Stats)
+		if err == nil {
+			res.Stats = agg
+			return res, nil
+		}
+		lastErr = err
+		class := Classify(err)
+		if !class.Retryable() {
+			break
+		}
+		if class == FaultOOM {
+			oomRetries++
+		}
+	}
+	te := taskErr(spec.Name, lastErr)
+	te.Attempts = int(agg.Attempts)
+	return TaskResult{Stats: agg}, te
 }

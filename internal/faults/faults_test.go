@@ -1,0 +1,91 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	a := Chaos(42)
+	b := Chaos(42)
+	names := []string{"wcSplitStage-p0", "wcSplitStage-p1", "wcCombineStage-r0", "prJoinStage-j3"}
+	for _, n := range names {
+		pa, pb := a.ForTask(n), b.ForTask(n)
+		if (pa == nil) != (pb == nil) {
+			t.Fatalf("%s: selection differs across same-seed injectors", n)
+		}
+		if pa == nil {
+			continue
+		}
+		if pa.PanicAtRecord != pb.PanicAtRecord || pa.WildReadAtRecord != pb.WildReadAtRecord ||
+			pa.TransientFailures != pb.TransientFailures || pa.OOMFailures != pb.OOMFailures ||
+			pa.FlipInputBit != pb.FlipInputBit || pa.Delay != pb.Delay {
+			t.Errorf("%s: plans differ: %v vs %v", n, pa, pb)
+		}
+	}
+}
+
+func TestInjectorSeedSensitivity(t *testing.T) {
+	// Different seeds should not pick identical plans for every task.
+	a, b := Chaos(1), Chaos(2)
+	same := 0
+	total := 0
+	for i := 0; i < 64; i++ {
+		name := "stage-p" + string(rune('a'+i%26)) + string(rune('0'+i%10))
+		pa, pb := a.ForTask(name), b.ForTask(name)
+		total++
+		if (pa == nil) == (pb == nil) && (pa == nil || pa.String() == pb.String()) {
+			same++
+		}
+	}
+	if same == total {
+		t.Errorf("seeds 1 and 2 produced identical plans for all %d tasks", total)
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	zero := &Injector{Seed: 7}
+	for i := 0; i < 32; i++ {
+		if p := zero.ForTask(string(rune('a' + i))); p != nil {
+			t.Fatalf("zero-rate injector selected %v", p)
+		}
+	}
+	always := &Injector{Seed: 7, PanicRate: 1, MaxRecord: 4}
+	for i := 0; i < 32; i++ {
+		p := always.ForTask(string(rune('a' + i)))
+		if p == nil || p.PanicAtRecord < 1 || p.PanicAtRecord > 4 {
+			t.Fatalf("rate-1 injector gave %v", p)
+		}
+	}
+}
+
+func TestPlanAttemptsAndEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Errorf("nil plan not empty")
+	}
+	p := &Plan{}
+	if !p.Empty() {
+		t.Errorf("zero plan not empty")
+	}
+	p = &Plan{TransientFailures: 2, Delay: time.Millisecond}
+	if p.Empty() {
+		t.Errorf("non-zero plan reported empty")
+	}
+	if p.TakeAttempt() != 1 || p.TakeAttempt() != 2 || p.Attempts() != 2 {
+		t.Errorf("attempt counter broken")
+	}
+	if s := p.String(); s == "" || s == "faults(none)" {
+		t.Errorf("String() = %q", s)
+	}
+	if (&Plan{}).String() != "faults(none)" {
+		t.Errorf("empty String() = %q", (&Plan{}).String())
+	}
+}
+
+func TestNilInjectorForTask(t *testing.T) {
+	var inj *Injector
+	if inj.ForTask("x") != nil {
+		t.Errorf("nil injector produced a plan")
+	}
+}

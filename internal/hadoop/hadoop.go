@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/metrics"
 	"repro/internal/serde"
@@ -50,6 +51,18 @@ type JobConf struct {
 	// epoch_start/epoch_end in setup()/cleanup() of section 4.3).
 	EpochPerTask bool
 	ClosureBytes int
+
+	// MaxAttempts and RetryBackoff configure the pool's task retry
+	// policy (0 = engine defaults: 3 attempts, no backoff).
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// Breaker, when set, adaptively de-speculates drivers that keep
+	// aborting, shared by map and reduce executors alike.
+	Breaker *engine.Breaker
+	// Injector, when set, derives a deterministic fault plan for every
+	// task (chaos testing); VerifyInputs arms the mutate-input canary.
+	Injector     *faults.Injector
+	VerifyInputs bool
 }
 
 func (c JobConf) withDefaults() JobConf {
@@ -113,11 +126,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 			},
 			ClosureBytes:       conf.ClosureBytes,
 			EpochPerInvocation: conf.EpochPerTask,
+			Faults:             conf.Injector.ForTask(fmt.Sprintf("%s-map%d", conf.Name, i)),
 		}
 	}
-	pool := &engine.Pool{Workers: conf.Workers}
+	pool := &engine.Pool{Workers: conf.Workers, MaxAttempts: conf.MaxAttempts, Backoff: conf.RetryBackoff}
 	mapExec := func() *engine.Executor {
-		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap}
+		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs}
 	}
 	mapJob, err := pool.Run(mapExec, mapSpecs)
 	if err != nil {
@@ -210,6 +225,7 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 			Invocations:        invocations,
 			ClosureBytes:       conf.ClosureBytes,
 			EpochPerInvocation: conf.EpochPerTask,
+			Faults:             conf.Injector.ForTask(fmt.Sprintf("%s-%s%d", conf.Name, phase, i)),
 		})
 		blockOf = append(blockOf, i)
 	}
@@ -218,7 +234,8 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 		return outs, &engine.JobResult{}, nil
 	}
 	exec := func() *engine.Executor {
-		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg}
+		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg,
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs}
 	}
 	job, err := pool.Run(exec, specs)
 	if err != nil {

@@ -125,6 +125,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Escalate returns a copy of the config with every generation size
+// multiplied by factor (defaults applied first), the policy OOM-retry
+// loops use to give a task that ran out of memory a larger heap on its
+// next attempt instead of failing the job.
+func (c Config) Escalate(factor int) Config {
+	if factor <= 1 {
+		return c
+	}
+	c = c.withDefaults()
+	c.YoungSize *= factor
+	c.OldSize *= factor
+	c.RegionSize *= factor
+	return c
+}
+
 // Stats accumulates heap and collector statistics for the metrics harness.
 type Stats struct {
 	AllocObjects   int64 // objects + arrays allocated

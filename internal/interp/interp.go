@@ -119,6 +119,13 @@ type Env struct {
 	// (used by the Figure 10(b) forced-abort experiment); 0 disables.
 	AbortAfterRecords int64
 
+	// RecordHook, when set, runs after each native-mode input record is
+	// fetched, with the running record count (1-based). Fault injectors
+	// use it to force failures at deterministic record offsets: it may
+	// return an error (propagated like any statement error) or panic
+	// (contained by the engine's recovery layer).
+	RecordHook func(n int64) error
+
 	steps   int64
 	records int64
 	builder *openRecord
@@ -402,6 +409,11 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 			in.env.records++
 			if in.env.AbortAfterRecords > 0 && in.env.records > in.env.AbortAfterRecords {
 				return nil, &AbortError{Reason: "forced abort (experiment)"}
+			}
+			if in.env.RecordHook != nil {
+				if err := in.env.RecordHook(in.env.records); err != nil {
+					return nil, err
+				}
 			}
 		}
 	case *ir.ReadNative:

@@ -29,6 +29,12 @@ type Breakdown struct {
 	AllocObjects int64
 	AllocBytes   int64
 	Records      int64
+
+	// Fault-tolerance accounting (engine task attempts and recovery).
+	Attempts        int64 // task attempts executed (first tries + retries)
+	Retries         int64 // attempts beyond each task's first
+	PanicsContained int64 // runtime panics converted into recoverable faults
+	NativeSkips     int64 // native attempts skipped by the de-speculation breaker
 }
 
 // Compute returns the non-GC, non-serde portion of the total.
@@ -57,6 +63,10 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.AllocObjects += o.AllocObjects
 	b.AllocBytes += o.AllocBytes
 	b.Records += o.Records
+	b.Attempts += o.Attempts
+	b.Retries += o.Retries
+	b.PanicsContained += o.PanicsContained
+	b.NativeSkips += o.NativeSkips
 	if o.PeakHeapBytes > b.PeakHeapBytes {
 		b.PeakHeapBytes = o.PeakHeapBytes
 	}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/ir"
 	"repro/internal/metrics"
@@ -38,6 +39,19 @@ type Context struct {
 	// ForcedAbortBudget forces an abort in up to N tasks (one abort per
 	// task) and then stops — the Figure 10(b) "k forced aborts" knob.
 	ForcedAbortBudget int
+
+	// MaxAttempts and RetryBackoff configure the pool's task retry
+	// policy (0 = engine defaults: 3 attempts, no backoff).
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	// Breaker, when set, adaptively de-speculates drivers that keep
+	// aborting; it is shared by every stage's executors. nil keeps the
+	// paper's always-speculate semantics (Figure 10).
+	Breaker *engine.Breaker
+	// Injector, when set, derives a deterministic fault plan for every
+	// task (chaos testing); VerifyInputs arms the mutate-input canary.
+	Injector     *faults.Injector
+	VerifyInputs bool
 
 	Stats  metrics.Breakdown
 	Wall   time.Duration
@@ -98,15 +112,23 @@ func (ctx *Context) abortKnob() int64 {
 }
 
 func (ctx *Context) executor() *engine.Executor {
-	return &engine.Executor{C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg}
+	return &engine.Executor{
+		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg,
+		Breaker: ctx.Breaker, VerifyInputs: ctx.VerifyInputs,
+	}
 }
 
 func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, error) {
 	if err := ctx.C.CompileDriver(specs[0].Driver); err != nil {
 		return nil, fmt.Errorf("spark: compiling %s: %w", specs[0].Driver, err)
 	}
+	if ctx.Injector != nil {
+		for i := range specs {
+			specs[i].Faults = ctx.Injector.ForTask(specs[i].Name)
+		}
+	}
 	start := time.Now()
-	pool := &engine.Pool{Workers: ctx.Workers}
+	pool := &engine.Pool{Workers: ctx.Workers, MaxAttempts: ctx.MaxAttempts, Backoff: ctx.RetryBackoff}
 	job, err := pool.Run(ctx.executor, specs)
 	if err != nil {
 		return nil, fmt.Errorf("spark: stage %s: %w", name, err)
