@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -30,9 +31,28 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of all runs to this file")
+	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters}
+	var tr *trace.Tracer
+	if *traceOut != "" || *metricsOut != "" {
+		tr = trace.New()
+	}
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr}
+	defer func() {
+		if *traceOut != "" {
+			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			}
+		}
+		if *metricsOut != "" {
+			extra := map[string]any{"scale": *scale, "workers": *workers}
+			if err := tr.WriteMetricsJSONFile(*metricsOut, extra); err != nil {
+				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			}
+		}
+	}()
 
 	if *faultSeed != 0 {
 		r, err := bench.Chaos(cfg, *faultSeed)

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	gerenukrun -app PR|KM|LR|CS|GB|IUF|UAH|SPF|UED|CED|IMC|TFC [-scale N]
+//	           [-trace out.json] [-metrics-json out.json]
+//
+// -trace writes a Chrome trace_event JSON file (load it in Perfetto or
+// chrome://tracing) with job/stage/task/attempt/phase spans and GC,
+// abort, retry and breaker instants from both runs. -metrics-json
+// writes the metrics-registry snapshot (counters, gauges, latency and
+// GC-pause histograms) plus both modes' cost breakdowns.
 package main
 
 import (
@@ -15,34 +22,69 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
 	app := flag.String("app", "PR", "application name")
 	scale := flag.Int("scale", 2, "workload scale")
 	workers := flag.Int("workers", 4, "executor pool size")
+	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions (fewer = more heap pressure per task)")
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
+	heapName := flag.String("heap", "10GB", "executor heap size for Spark apps (10GB|15GB|20GB)")
+	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
 
-	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: 4, Iters: *iters}
-	t := &metrics.Table{
-		Title:  fmt.Sprintf("%s at scale %d", *app, *scale),
-		Header: []string{"mode", "total", "compute", "gc", "ser", "deser", "peak mem", "aborts"},
+	var tr *trace.Tracer
+	if *traceOut != "" || *metricsOut != "" {
+		tr = trace.New()
 	}
-	var rows []metrics.Breakdown
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters,
+		Trace: tr, HeapName: *heapName}
+	t := &metrics.Table{
+		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
+		Header: []string{"mode", "total", "compute", "gc", "ser", "deser", "peak mem",
+			"aborts", "attempts", "retries", "panics", "skips"},
+	}
+	rows := map[string]metrics.Breakdown{}
+	var order []metrics.Breakdown
 	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
 		stats, err := bench.RunApp(*app, cfg, mode)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
 			os.Exit(1)
 		}
-		rows = append(rows, stats)
+		rows[mode.String()] = stats
+		order = append(order, stats)
 		t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
 			metrics.D(stats.GC), metrics.D(stats.Ser), metrics.D(stats.Deser),
-			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts))
+			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts),
+			fmt.Sprint(stats.Attempts), fmt.Sprint(stats.Retries),
+			fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips))
 	}
 	fmt.Println(t.Render())
 	fmt.Printf("speedup: %.2fx   memory: %.2fx\n",
-		metrics.Ratio(float64(rows[0].Total), float64(rows[1].Total)),
-		metrics.Ratio(float64(rows[1].PeakBytes()), float64(rows[0].PeakBytes())))
+		metrics.Ratio(float64(order[0].Total), float64(order[1].Total)),
+		metrics.Ratio(float64(order[1].PeakBytes()), float64(order[0].PeakBytes())))
+
+	if *traceOut != "" {
+		if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		extra := map[string]any{
+			"app":   *app,
+			"scale": *scale,
+			"modes": rows,
+		}
+		if err := tr.WriteMetricsJSONFile(*metricsOut, extra); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: wrote %s\n", *metricsOut)
+	}
 }

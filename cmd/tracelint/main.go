@@ -1,0 +1,98 @@
+// Command tracelint validates the observability artifacts the runtime
+// emits: a Chrome trace_event JSON file (from gerenukrun/gerenukbench
+// -trace) and optionally a metrics JSON file (from -metrics-json). It
+// is the CI smoke check that keeps the trace pipeline honest — the file
+// must parse, and must actually contain the spans the instrumentation
+// promises.
+//
+// Usage:
+//
+//	tracelint [-metrics metrics.json] [-require cat,cat,...] trace.json
+//
+// Exit status is non-zero when the file fails to parse or a required
+// event category is missing. By default at least one "task" span is
+// required; -require overrides the category list.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracelint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	metricsPath := flag.String("metrics", "", "also validate this metrics JSON file")
+	require := flag.String("require", "task", "comma-separated event categories that must appear")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fail("usage: tracelint [-metrics metrics.json] [-require cat,...] trace.json")
+	}
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf trace.ChromeTraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fail("%s: not valid Chrome trace JSON: %v", flag.Arg(0), err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: trace contains no events", flag.Arg(0))
+	}
+
+	byCat := map[string]int{}
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "" || e.Name == "" {
+			fail("%s: event with empty ph/name: %+v", flag.Arg(0), e)
+		}
+		byCat[e.Cat]++
+	}
+	for _, cat := range strings.Split(*require, ",") {
+		if cat = strings.TrimSpace(cat); cat == "" {
+			continue
+		}
+		if byCat[cat] == 0 {
+			fail("%s: no %q events (have: %s)", flag.Arg(0), cat, catList(byCat))
+		}
+	}
+	fmt.Printf("tracelint: %s ok — %d events (%s)\n", flag.Arg(0), len(tf.TraceEvents), catList(byCat))
+
+	if *metricsPath != "" {
+		raw, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		var mf trace.MetricsFile
+		if err := json.Unmarshal(raw, &mf); err != nil {
+			fail("%s: not valid metrics JSON: %v", *metricsPath, err)
+		}
+		if mf.Schema != trace.MetricsSchemaVersion {
+			fail("%s: schema %d, want %d", *metricsPath, mf.Schema, trace.MetricsSchemaVersion)
+		}
+		fmt.Printf("tracelint: %s ok — %d counters, %d gauges, %d histograms\n",
+			*metricsPath, len(mf.Counters), len(mf.Gauges), len(mf.Histograms))
+	}
+}
+
+func catList(byCat map[string]int) string {
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	parts := make([]string, len(cats))
+	for i, c := range cats {
+		parts[i] = fmt.Sprintf("%s:%d", c, byCat[c])
+	}
+	return strings.Join(parts, " ")
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/expr"
+	"repro/internal/trace"
 )
 
 // Addr is a virtual native-memory address. 0 is the null/invalid address.
@@ -57,16 +58,29 @@ type Stats struct {
 	Regions    int64 // regions ever created
 }
 
+// arenaTraceGranularity is the minimum live-byte growth between two
+// arena-occupancy counter samples: growth is traced at 64KB resolution
+// rather than per append, keeping event volume bounded.
+const arenaTraceGranularity = 64 << 10
+
 // Arena manages a set of regions. Not safe for concurrent use; each
 // executor owns one, mirroring per-worker native buffers.
 type Arena struct {
 	regions []*Region // index+1 == region id; nil after free
 	live    int64
 	stats   Stats
+
+	trace          *trace.Span
+	lastTracedLive int64
 }
 
 // New returns an empty arena.
 func New() *Arena { return &Arena{} }
+
+// SetTrace attaches the owning task attempt's trace span. The arena
+// then emits region-adoption instants and live-byte counter samples
+// (at arenaTraceGranularity resolution) on that span's row.
+func (a *Arena) SetTrace(sp *trace.Span) { a.trace = sp }
 
 // Stats returns a snapshot of the accounting counters.
 func (a *Arena) Stats() Stats { return a.stats }
@@ -98,6 +112,8 @@ func (a *Arena) AdoptBytes(name string, data []byte) *Region {
 	r := a.NewRegion(name)
 	r.buf = append(r.buf, data...)
 	a.account(int64(len(data)))
+	a.trace.Instant("arena", "region-adopt",
+		trace.Str("region", name), trace.I64("bytes", int64(len(data))))
 	return r
 }
 
@@ -108,6 +124,10 @@ func (a *Arena) account(delta int64) {
 	}
 	if a.live > a.stats.PeakBytes {
 		a.stats.PeakBytes = a.live
+	}
+	if a.trace != nil && a.live-a.lastTracedLive >= arenaTraceGranularity {
+		a.lastTracedLive = a.live
+		a.trace.Counter("arena_live_bytes", a.live)
 	}
 }
 

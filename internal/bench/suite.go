@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serde"
 	"repro/internal/spark"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,14 @@ type Config struct {
 	Partitions int
 	// Iters is the iteration count for iterative apps.
 	Iters int
+	// Trace, when set, threads a tracer through every job the experiments
+	// run (job/stage spans in the drivers, task/attempt/phase spans and
+	// GC instants in the engine). nil disables tracing.
+	Trace *trace.Tracer
+	// HeapName selects the HeapSizes configuration RunApp uses for Spark
+	// apps: "10GB", "15GB" or "20GB" (default "20GB", the least
+	// pressured; pick "10GB" to see GC activity in traces).
+	HeapName string
 }
 
 // Quick returns the configuration used by `go test`.
@@ -134,6 +143,8 @@ func (s *SparkSuite) Find(app, heapName string, mode engine.Mode) (AppRun, bool)
 // accumulated job statistics.
 func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metrics.Breakdown, time.Duration, error) {
 	cfg = cfg.withDefaults()
+	job := cfg.Trace.StartSpan("job", app, trace.Str("mode", mode.String()))
+	defer job.End()
 	mk := func(topTypes ...string) (*spark.Context, *engine.Compiled) {
 		prog := sparkapps.NewProgram(topTypes...)
 		comp := engine.Compile(prog)
@@ -141,6 +152,7 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		ctx.Workers = cfg.Workers
 		ctx.Partitions = cfg.Partitions
 		ctx.HeapCfg = hc
+		ctx.Trace = cfg.Trace
 		return ctx, comp
 	}
 	switch app {
@@ -352,6 +364,7 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.EpochPerTask = yak
 	conf.MapHeap = mapHeap
 	conf.ReduceHeap = reduceHeap
+	conf.Trace = cfg.Trace
 	comp := engine.Compile(prog)
 	splits, err := hadoopSplits(comp, app, cfg)
 	if err != nil {
@@ -367,7 +380,13 @@ func RunApp(app string, cfg Config, mode engine.Mode) (metrics.Breakdown, error)
 	cfg = cfg.withDefaults()
 	for _, s := range SparkAppNames {
 		if s == app {
-			hc := HeapSizes(cfg.Scale)[2].Cfg
+			sizes := HeapSizes(cfg.Scale)
+			hc := sizes[len(sizes)-1].Cfg
+			for _, hs := range sizes {
+				if hs.Name == cfg.HeapName {
+					hc = hs.Cfg
+				}
+			}
 			stats, _, err := runSparkApp(app, cfg, hc, mode)
 			return stats, err
 		}

@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
 
 // Breaker is a per-driver circuit breaker implementing adaptive
 // de-speculation. A speculative abort costs roughly one wasted native
@@ -25,6 +29,9 @@ type Breaker struct {
 	// ProbeEvery lets 1 of every ProbeEvery tasks probe the native path
 	// while open (default 8).
 	ProbeEvery int
+	// Trace, when set, receives process-scoped instants on open/close
+	// state transitions.
+	Trace *trace.Tracer
 
 	mu      sync.Mutex
 	drivers map[string]*breakerEntry
@@ -81,8 +88,13 @@ func (b *Breaker) Record(driver string, aborted bool) {
 		if e.aborts >= b.Threshold {
 			e.open = true
 			e.seen = 0
+			b.Trace.Instant("breaker", "breaker-open",
+				trace.Str("driver", driver), trace.I64("aborts", int64(e.aborts)))
 		}
 		return
+	}
+	if e.open {
+		b.Trace.Instant("breaker", "breaker-close", trace.Str("driver", driver))
 	}
 	e.aborts = 0
 	e.open = false

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/trace"
 	"repro/internal/transform"
 )
 
@@ -158,6 +159,11 @@ type Executor struct {
 	// so a violated mutate-input guarantee fails the task loudly instead
 	// of silently re-executing over corrupt bytes.
 	VerifyInputs bool
+	// Trace, when set, receives task/attempt/phase spans and
+	// abort/fault/GC instants for every task this executor runs. nil
+	// (the default) disables tracing; the hot path then pays only nil
+	// checks.
+	Trace *trace.Tracer
 }
 
 // RunTask executes the task, speculatively when the executor is in
@@ -170,10 +176,21 @@ type Executor struct {
 // returned, so failed attempts stay visible in the job accounting.
 func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 	start := time.Now()
+	task := e.Trace.StartSpan("task", spec.Name,
+		trace.Str("driver", spec.Driver), trace.Str("mode", e.Mode.String()))
 	var bd metrics.Breakdown
 	bd.Attempts++
+	finish := func(outcome string) {
+		task.End(trace.Str("outcome", outcome),
+			trace.I64("attempts", bd.Attempts), trace.I64("aborts", bd.Aborts))
+		e.Trace.Registry().Histogram("task_latency_ns", trace.LatencyBuckets()...).
+			Observe(float64(time.Since(start)))
+	}
 	fail := func(err error) (TaskResult, error) {
 		bd.Total = time.Since(start)
+		task.Instant("fault", "task-error",
+			trace.Str("class", Classify(err).String()), trace.Str("reason", err.Error()))
+		finish("error")
 		return TaskResult{Stats: bd}, taskErr(spec.Name, err)
 	}
 
@@ -189,10 +206,12 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 		}
 		attempt := p.TakeAttempt()
 		if attempt <= int64(p.TransientFailures) {
+			task.Instant("fault", "injected-transient", trace.I64("attempt", attempt))
 			return fail(&TaskError{Task: spec.Name, Class: FaultTransient,
 				Err: fmt.Errorf("injected transient failure (attempt %d)", attempt)})
 		}
 		if attempt <= int64(p.TransientFailures+p.OOMFailures) {
+			task.Instant("fault", "injected-oom", trace.I64("attempt", attempt))
 			return fail(&TaskError{Task: spec.Name, Class: FaultOOM,
 				Err: fmt.Errorf("injected allocation failure (attempt %d): %w", attempt, heap.ErrOutOfMemory)})
 		}
@@ -205,41 +224,56 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 
 	if e.Mode == Gerenuk && e.C.CanRunNative(spec.Driver) {
 		if e.Breaker.Allow(spec.Driver) {
-			out, attempt, err := e.runNativeAttempt(spec)
+			att := task.Child("attempt", "native-attempt")
+			out, attempt, err := e.runNativeAttempt(spec, att)
 			bd.Add(attempt)
 			switch {
 			case err == nil:
+				att.End(trace.Str("outcome", "ok"))
 				e.Breaker.Record(spec.Driver, false)
 				if e.VerifyInputs && checksumInputs(spec) != sum {
 					return fail(&TaskError{Task: spec.Name, Class: FaultPermanent, Err: ErrInputMutated})
 				}
 				bd.Total = time.Since(start)
+				finish("ok")
 				return TaskResult{Out: out, Stats: bd}, nil
 			case Classify(err) == AbortSpeculation || Classify(err) == FaultOOM:
 				// Abort (or a native-side allocation failure, equally a
 				// failed speculation): discard the attempt — heap, arena
 				// and partial output all die with it — and fall through
 				// to the slow path over the pristine inputs.
+				att.End(trace.Str("outcome", "abort"))
 				e.Breaker.Record(spec.Driver, true)
 				bd.Aborts++
+				task.Instant("abort", "speculation-abort",
+					trace.Str("class", Classify(err).String()),
+					trace.Str("reason", err.Error()))
+				e.Trace.Registry().Counter("aborts_total").Add(1)
 				if e.VerifyInputs && checksumInputs(spec) != sum {
 					return fail(&TaskError{Task: spec.Name, Class: FaultPermanent, Err: ErrInputMutated})
 				}
 			default:
+				att.End(trace.Str("outcome", "error"))
 				return fail(err)
 			}
 		} else {
 			// Open breaker: skip the doomed native attempt.
 			bd.NativeSkips++
+			task.Instant("breaker", "native-skip", trace.Str("driver", spec.Driver))
+			e.Trace.Registry().Counter("native_skips_total").Add(1)
 		}
 	}
 
-	out, slow, err := e.runHeapAttempt(spec)
+	att := task.Child("attempt", "heap-attempt")
+	out, slow, err := e.runHeapAttempt(spec, att)
 	bd.Add(slow)
 	if err != nil {
+		att.End(trace.Str("outcome", "error"))
 		return fail(err)
 	}
+	att.End(trace.Str("outcome", "ok"))
 	bd.Total = time.Since(start)
+	finish("ok")
 	return TaskResult{Out: out, Stats: bd}, nil
 }
 
@@ -267,7 +301,7 @@ func checksumInputs(spec TaskSpec) uint64 {
 // A runtime panic here is contained (the process must survive a bad
 // task) but classified permanent: the heap path is the ground truth, so
 // a panic in it is a bug, not failed speculation.
-func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdown, err error) {
+func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span) (out []byte, bd metrics.Breakdown, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -276,7 +310,16 @@ func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdo
 				Err: fmt.Errorf("runtime panic in heap execution: %v", r)}
 		}
 	}()
-	h := heap.New(e.C.Prog.Reg, e.HeapCfg)
+	// In Gerenuk mode the heap attempt only runs after a failed
+	// speculation (or an open breaker), so the phase is the fallback the
+	// paper pays for aborts; in Baseline it is the primary execution.
+	phaseName := "heap-execute"
+	if e.Mode == Gerenuk {
+		phaseName = "heap-fallback"
+	}
+	cfg := e.HeapCfg
+	cfg.Trace = att
+	h := heap.New(e.C.Prog.Reg, cfg)
 	sink := &collectSink{}
 	fn := e.C.Prog.Fn(spec.Driver)
 
@@ -285,9 +328,11 @@ func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdo
 		for name, in := range inv {
 			sources[name] = newWireSource(in)
 		}
+		ph := att.Child("phase", phaseName)
 		env := &interp.Env{
 			Mode: interp.ModeHeap, Prog: e.C.Prog, Heap: h, Codec: e.C.Codec,
 			Layouts: e.C.Layouts, Sources: sources, Sink: sink,
+			Trace: ph,
 		}
 		if spec.EpochPerInvocation {
 			h.EpochStart()
@@ -295,6 +340,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdo
 		_, err := interp.New(env).Run(fn, spec.Args...)
 		bd.Ser += env.SerTime
 		bd.Deser += env.DeserTime
+		ph.End(trace.I64("ser_bytes", env.SerBytes), trace.I64("deser_bytes", env.DeserBytes))
 		if err != nil {
 			return nil, bd, err
 		}
@@ -333,7 +379,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdo
 // (immutable) input buffers. This is the paper's §3.6 recovery
 // obligation extended from the one blessed abort instruction to every
 // failure mode speculation can hit.
-func (e *Executor) runNativeAttempt(spec TaskSpec) (out []byte, bd metrics.Breakdown, err error) {
+func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span) (out []byte, bd metrics.Breakdown, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -346,9 +392,11 @@ func (e *Executor) runNativeAttempt(spec TaskSpec) (out []byte, bd metrics.Break
 		}
 	}()
 	a := arena.New()
+	a.SetTrace(att)
 	// A Gerenuk executor keeps a small control heap; data never touches it.
 	h := heap.New(e.C.Prog.Reg, heap.Config{
 		YoungSize: e.HeapCfg.YoungSize / 4, OldSize: e.HeapCfg.OldSize / 4,
+		Trace: att,
 	})
 	outRegion := a.NewRegion("task-out")
 	sink := &nativeSink{a: a}
@@ -376,16 +424,19 @@ func (e *Executor) runNativeAttempt(spec TaskSpec) (out []byte, bd metrics.Break
 		for name, in := range inv {
 			sources[name] = newRegionSource(a, regionFor(in.Buf), in)
 		}
+		ph := att.Child("phase", "native-execute")
 		env := &interp.Env{
 			Mode: interp.ModeNative, Prog: e.C.Prog, Heap: h, Arena: a,
 			Layouts: e.C.Layouts, Out: outRegion,
 			NativeSources: sources, NativeSink: sink,
 			AbortAfterRecords: spec.AbortAfterRecords,
 			RecordHook:        hook,
+			Trace:             ph,
 		}
 		_, err := interp.New(env).Run(fn, spec.Args...)
 		bd.Ser += env.SerTime
 		bd.Deser += env.DeserTime
+		ph.End()
 		if err != nil {
 			aborted = err
 			break
@@ -502,6 +553,6 @@ func simulateClosure(n int) (ser, deser time.Duration) {
 // RunNativeDebug exposes the native attempt for tests diagnosing abort
 // reasons.
 func (e *Executor) RunNativeDebug(spec TaskSpec) ([]byte, error) {
-	out, _, err := e.runNativeAttempt(spec)
+	out, _, err := e.runNativeAttempt(spec, nil)
 	return out, err
 }

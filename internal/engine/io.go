@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/serde"
+	"repro/internal/trace"
 )
 
 // wireSource iterates size-prefixed records in a byte buffer, optionally
@@ -328,6 +329,11 @@ func (p *Pool) runWithRetry(worker *Executor, exec func() *Executor, spec TaskSp
 			if oomRetries > 0 {
 				e.HeapCfg = e.HeapCfg.Escalate(1 << oomRetries)
 			}
+			e.Trace.Instant("retry", "task-retry",
+				trace.Str("task", spec.Name), trace.I64("attempt", int64(attempt)),
+				trace.Str("cause", Classify(lastErr).String()),
+				trace.I64("heap_escalations", int64(oomRetries)))
+			e.Trace.Registry().Counter("retries_total").Add(1)
 			if p.Backoff > 0 {
 				time.Sleep(p.Backoff << (attempt - 2))
 			}

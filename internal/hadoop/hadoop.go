@@ -19,6 +19,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/trace"
 )
 
 // JobConf configures one MapReduce job.
@@ -63,6 +64,10 @@ type JobConf struct {
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
 	VerifyInputs bool
+	// Trace, when set, receives a job span with map/sort/combine/
+	// shuffle/merge/reduce phase spans plus the per-task spans every
+	// executor emits.
+	Trace *trace.Tracer
 }
 
 func (c JobConf) withDefaults() JobConf {
@@ -106,6 +111,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	res := &Result{}
 	start := time.Now()
 
+	if conf.Breaker != nil && conf.Breaker.Trace == nil {
+		conf.Breaker.Trace = conf.Trace
+	}
+	job := conf.Trace.StartSpan("job", conf.Name, trace.Str("mode", conf.Mode.String()))
+	jobOutcome := "error"
+	defer func() { job.End(trace.Str("outcome", jobOutcome)) }()
+
 	for _, d := range []string{conf.MapDriver, conf.CombineDriver, conf.ReduceDriver} {
 		if d == "" {
 			continue
@@ -132,9 +144,11 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	pool := &engine.Pool{Workers: conf.Workers, MaxAttempts: conf.MaxAttempts, Backoff: conf.RetryBackoff}
 	mapExec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
-			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs}
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs, Trace: conf.Trace}
 	}
+	mapStage := job.Child("stage", "map", trace.I64("tasks", int64(len(mapSpecs))))
 	mapJob, err := pool.Run(mapExec, mapSpecs)
+	mapStage.End()
 	if err != nil {
 		return nil, fmt.Errorf("hadoop: map phase: %w", err)
 	}
@@ -146,24 +160,27 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	// pay identically (Gerenuk does not change Hadoop's byte-level
 	// sort); it is measured into the total like any other computation.
 	sortStart := time.Now()
+	sortSpan := job.Child("stage", "map-sort")
 	mapOuts := mapJob.Outputs
 	for i, out := range mapOuts {
 		sorted := SortByKey(c, conf.MapOutClass, conf.KeyField, out)
 		mapOuts[i] = sorted
 	}
+	sortSpan.End()
 	res.Stats.Total += time.Since(sortStart)
 	if conf.CombineDriver != "" {
-		combined, job, err := foldGroups(c, conf, pool, conf.CombineDriver,
-			conf.MapOutClass, mapOuts, conf.MapHeap, "combine")
+		combined, cjob, err := foldGroups(c, conf, pool, conf.CombineDriver,
+			conf.MapOutClass, mapOuts, conf.MapHeap, "combine", job)
 		if err != nil {
 			return nil, err
 		}
-		res.Stats.Add(job.Stats)
+		res.Stats.Add(cjob.Stats)
 		mapOuts = combined
 	}
 
 	// ---- shuffle: partition every map output to reducers ----
 	shufStart := time.Now()
+	shufSpan := job.Child("stage", "shuffle")
 	blocks := make([][]byte, conf.Reducers)
 	for _, out := range mapOuts {
 		parts, err := engine.Partition(c.Layouts, conf.MapOutClass, conf.KeyField, out, conf.Reducers)
@@ -179,30 +196,34 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	for _, b := range blocks {
 		res.ShuffleBytes += int64(len(b))
 	}
+	shufSpan.End(trace.I64("shuffle_bytes", res.ShuffleBytes))
 
 	// ---- reduce phase: merge-sort each reducer's blocks and fold ----
 	mergeStart := time.Now()
+	mergeSpan := job.Child("stage", "merge-sort")
 	for i := range blocks {
 		blocks[i] = SortByKey(c, conf.MapOutClass, conf.KeyField, blocks[i])
 	}
+	mergeSpan.End()
 	res.Stats.Total += time.Since(mergeStart)
-	outs, job, err := foldGroups(c, conf, pool, conf.ReduceDriver,
-		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce")
+	outs, rjob, err := foldGroups(c, conf, pool, conf.ReduceDriver,
+		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce", job)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.Add(job.Stats)
+	res.Stats.Add(rjob.Stats)
 	res.ReduceTasks = len(blocks)
 	for _, o := range outs {
 		res.Out = append(res.Out, o...)
 	}
 	res.Wall = time.Since(start)
+	jobOutcome = "ok"
 	return res, nil
 }
 
 // foldGroups runs a reduce-style driver once per key group of each block.
 func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, class string,
-	blocks [][]byte, heapCfg heap.Config, phase string) ([][]byte, *engine.JobResult, error) {
+	blocks [][]byte, heapCfg heap.Config, phase string, job *trace.Span) ([][]byte, *engine.JobResult, error) {
 	var specs []engine.TaskSpec
 	var blockOf []int
 	for i, block := range blocks {
@@ -235,16 +256,18 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 	}
 	exec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg,
-			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs}
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs, Trace: conf.Trace}
 	}
-	job, err := pool.Run(exec, specs)
+	stage := job.Child("stage", phase, trace.I64("tasks", int64(len(specs))))
+	result, err := pool.Run(exec, specs)
+	stage.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("hadoop: %s phase: %w", phase, err)
 	}
-	for k, out := range job.Outputs {
+	for k, out := range result.Outputs {
 		outs[blockOf[k]] = out
 	}
-	return outs, job, nil
+	return outs, result, nil
 }
 
 // SortByKey rebuilds buf with its records sorted by canonical key bytes —

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Addr is a virtual address in the simulated heap. 0 is the null reference.
@@ -107,6 +108,11 @@ type Config struct {
 	// promotion. Defaults to 2.
 	TenureAge int
 	Policy    Policy
+	// Trace, when set, receives GC pause instants (with before/after
+	// occupancy) and heap-occupancy counter samples on the owning task
+	// attempt's trace row, and feeds the gc_pause_ns histogram. nil (the
+	// default) disables all heap tracing.
+	Trace *trace.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -202,6 +208,11 @@ type Heap struct {
 	roots []RootProvider
 
 	stats Stats
+
+	// gcHist is the shared gc_pause_ns histogram handle, resolved once
+	// at construction so collections never pay a registry lookup. nil
+	// when tracing is disabled (Observe on nil is a no-op).
+	gcHist *trace.Histogram
 }
 
 // New creates a heap over the given class registry.
@@ -222,7 +233,24 @@ func New(reg *model.Registry, cfg Config) *Heap {
 	// The region grows on demand (Yak regions are page lists); reserve a
 	// generous virtual span for it.
 	h.regionEnd = h.regionBeg + regionVirtualSpan
+	h.gcHist = c.Trace.Tracer().Registry().Histogram("gc_pause_ns", trace.LatencyBuckets()...)
 	return h
+}
+
+// traceGC emits one GC instant event on the owning attempt's trace row
+// and records the pause in the shared gc_pause_ns histogram.
+func (h *Heap) traceGC(kind string, pause time.Duration, beforeUsed int64) {
+	sp := h.cfg.Trace
+	if sp == nil {
+		return
+	}
+	used := h.UsedBytes()
+	sp.Instant("gc", kind,
+		trace.I64("pause_ns", int64(pause)),
+		trace.I64("heap_before_bytes", beforeUsed),
+		trace.I64("heap_after_bytes", used))
+	sp.Counter("heap_used_bytes", used)
+	h.gcHist.Observe(float64(pause))
 }
 
 // Registry returns the class registry the heap was created with.
@@ -576,9 +604,12 @@ func (h *Heap) minorGC() error {
 		return nil // fullGC emptied the nursery
 	}
 	start := time.Now()
+	before := h.UsedBytes()
 	defer func() {
-		h.stats.GCTime += time.Since(start)
+		pause := time.Since(start)
+		h.stats.GCTime += pause
 		h.stats.MinorGCs++
+		h.traceGC("minor-gc", pause, before)
 	}()
 	return h.scavenge()
 }
@@ -699,9 +730,12 @@ func (h *Heap) evacuate(slot *Addr) error {
 // immediate tenuring so it drains into the compacted old space.
 func (h *Heap) fullGC() error {
 	start := time.Now()
+	before := h.UsedBytes()
 	defer func() {
-		h.stats.GCTime += time.Since(start)
+		pause := time.Since(start)
+		h.stats.GCTime += pause
 		h.stats.MajorGCs++
+		h.traceGC("major-gc", pause, before)
 	}()
 
 	// Phase 1: mark from roots and remembered holders.
@@ -942,10 +976,20 @@ func (h *Heap) EpochEnd() error {
 	for _, na := range work {
 		h.reRemember(na)
 	}
-	h.stats.FreedByEpoch += int64(h.regionTop)
+	freed := int64(h.regionTop)
+	h.stats.FreedByEpoch += freed
 	h.regionTop = 0
 	h.stats.EpochsClosed++
-	h.stats.GCTime += time.Since(start)
+	pause := time.Since(start)
+	h.stats.GCTime += pause
+	if sp := h.cfg.Trace; sp != nil {
+		sp.Instant("gc", "epoch-end",
+			trace.I64("pause_ns", int64(pause)),
+			trace.I64("freed_bytes", freed),
+			trace.I64("escapes", h.stats.EpochEscapes))
+		sp.Counter("heap_used_bytes", h.UsedBytes())
+		h.gcHist.Observe(float64(pause))
+	}
 	return nil
 }
 

@@ -49,9 +49,13 @@ func (b Breakdown) Compute() time.Duration {
 // PeakBytes returns the combined peak process footprint (heap + native).
 func (b Breakdown) PeakBytes() int64 { return b.PeakHeapBytes + b.PeakNativeBytes }
 
-// Add accumulates another breakdown (e.g. across tasks). Peaks take the
-// max of concurrent components summed by the caller; here they add,
-// modeling tasks that coexist.
+// Add accumulates another breakdown. Times and event counters sum, but
+// the peak-memory fields take the MAX of the two sides: Add models
+// sequential composition — the attempts of one task, or the stages of a
+// job, run one after another, so the process footprint at any instant
+// is the largest single contributor, not the sum. Concurrent
+// composition is the caller's job: engine.Pool.Run sums per-worker
+// peaks explicitly because workers' footprints do coexist.
 func (b *Breakdown) Add(o Breakdown) {
 	b.Total += o.Total
 	b.GC += o.GC
@@ -169,7 +173,13 @@ func (t *Table) Render() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			// Rows wider than the header have no width to pad to;
+			// render the extra cells as-is instead of panicking.
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
 		}
 		sb.WriteByte('\n')
 	}

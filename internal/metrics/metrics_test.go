@@ -125,3 +125,38 @@ func TestBreakdownString(t *testing.T) {
 		}
 	}
 }
+
+func TestTableRenderRaggedRow(t *testing.T) {
+	// Rows wider than the header must render, not panic (regression:
+	// Render indexed widths by cell position unguarded).
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2", "extra", "more")
+	tb.AddRow("3")
+	out := tb.Render()
+	for _, want := range []string{"extra", "more", "3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBreakdownAddPeakSemantics(t *testing.T) {
+	// Add models sequential composition: times and counters sum, peaks
+	// take the max — two attempts that each peaked at 100 bytes did not
+	// coexist, so the process footprint is 100, not 200. Concurrent
+	// peaks are summed explicitly by engine.Pool.Run instead.
+	a := Breakdown{Total: time.Second, GC: time.Millisecond, Aborts: 1,
+		PeakHeapBytes: 100, PeakNativeBytes: 40}
+	b := Breakdown{Total: 2 * time.Second, Aborts: 2,
+		PeakHeapBytes: 70, PeakNativeBytes: 90}
+	a.Add(b)
+	if a.Total != 3*time.Second || a.Aborts != 3 {
+		t.Errorf("sums wrong: %+v", a)
+	}
+	if a.PeakHeapBytes != 100 {
+		t.Errorf("PeakHeapBytes = %d, want max(100,70) = 100", a.PeakHeapBytes)
+	}
+	if a.PeakNativeBytes != 90 {
+		t.Errorf("PeakNativeBytes = %d, want max(40,90) = 90", a.PeakNativeBytes)
+	}
+}

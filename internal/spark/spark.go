@@ -22,6 +22,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Context is a "SparkContext": configuration plus accumulated job stats.
@@ -52,6 +53,9 @@ type Context struct {
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
 	VerifyInputs bool
+	// Trace, when set, receives stage spans from the context and
+	// task/attempt/phase spans from every executor it creates.
+	Trace *trace.Tracer
 
 	Stats  metrics.Breakdown
 	Wall   time.Duration
@@ -115,6 +119,7 @@ func (ctx *Context) executor() *engine.Executor {
 	return &engine.Executor{
 		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg,
 		Breaker: ctx.Breaker, VerifyInputs: ctx.VerifyInputs,
+		Trace: ctx.Trace,
 	}
 }
 
@@ -127,12 +132,19 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 			specs[i].Faults = ctx.Injector.ForTask(specs[i].Name)
 		}
 	}
+	if ctx.Breaker != nil && ctx.Breaker.Trace == nil {
+		ctx.Breaker.Trace = ctx.Trace
+	}
+	stage := ctx.Trace.StartSpan("stage", name,
+		trace.Str("mode", ctx.Mode.String()), trace.I64("tasks", int64(len(specs))))
 	start := time.Now()
 	pool := &engine.Pool{Workers: ctx.Workers, MaxAttempts: ctx.MaxAttempts, Backoff: ctx.RetryBackoff}
 	job, err := pool.Run(ctx.executor, specs)
 	if err != nil {
+		stage.End(trace.Str("outcome", "error"))
 		return nil, fmt.Errorf("spark: stage %s: %w", name, err)
 	}
+	stage.End(trace.Str("outcome", "ok"))
 	ctx.Wall += time.Since(start)
 	ctx.Stats.Add(job.Stats)
 	ctx.Stages++

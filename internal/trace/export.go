@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// ---- Chrome trace_event exporter ----
+
+// ChromeEvent is one entry of the Chrome trace_event JSON array, the
+// format chrome://tracing and Perfetto load directly. Timestamps and
+// durations are microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTraceFile is the top-level object of a Chrome trace JSON file.
+type ChromeTraceFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace converts the recorded events to the Chrome trace file
+// structure, sorted by timestamp.
+func (t *Tracer) ChromeTrace() ChromeTraceFile {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	out := ChromeTraceFile{DisplayTimeUnit: "ns", TraceEvents: make([]ChromeEvent, len(events))}
+	for i, e := range events {
+		out.TraceEvents[i] = ChromeEvent{
+			Name: e.Name, Cat: e.Cat, Ph: e.Ph,
+			TS:  float64(e.TS) / 1e3,
+			Dur: float64(e.Dur) / 1e3,
+			PID: 1, TID: e.TID, S: e.Scope, Args: e.Args,
+		}
+	}
+	return out
+}
+
+// WriteChromeTrace writes the Chrome trace JSON to w.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.ChromeTrace())
+}
+
+// WriteChromeTraceFile writes the Chrome trace JSON to the named file.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return t.WriteChromeTrace(f)
+}
+
+// ---- metrics JSON exporter ----
+
+// MetricsSchemaVersion identifies the metrics JSON layout, so committed
+// BENCH_*.json trajectory points stay comparable across PRs.
+const MetricsSchemaVersion = 1
+
+// HistSnapshot is the exported state of one histogram. Counts has
+// len(Bounds)+1 entries; Counts[i] holds observations v with
+// Bounds[i-1] < v <= Bounds[i] and the final entry is the overflow.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+}
+
+// Snapshot is a point-in-time capture of a registry.
+type Snapshot struct {
+	Schema     int                     `json:"schema"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     MetricsSchemaVersion,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// MetricsFile is the top-level object of the metrics JSON exporter:
+// the registry snapshot plus caller-supplied context (app name, scale,
+// per-mode Breakdown dumps) under "extra".
+type MetricsFile struct {
+	Snapshot
+	Extra map[string]any `json:"extra,omitempty"`
+}
+
+// WriteMetricsJSON writes the registry snapshot and extra context to w,
+// suitable for committing as a BENCH_*.json trajectory point.
+func (t *Tracer) WriteMetricsJSON(w io.Writer, extra map[string]any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(MetricsFile{Snapshot: t.Registry().Snapshot(), Extra: extra})
+}
+
+// WriteMetricsJSONFile writes the metrics JSON to the named file.
+func (t *Tracer) WriteMetricsJSONFile(path string, extra map[string]any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return t.WriteMetricsJSON(f, extra)
+}
