@@ -4,14 +4,19 @@
 // Usage:
 //
 //	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...] [-faults seed]
+//	             [-hedge-after 5ms] [-hedge-mult 3]
 //
 // Experiment ids: fig4 fig5 table1 table2 fig6a fig6b fig7a fig7b table3
 // fig8a fig8b fig9 fig10a fig10b static. Default runs everything.
 //
 // -faults runs the chaos mode instead: WordCount under deterministic
 // fault injection (seeded by the flag value), asserting that Gerenuk's
-// output stays byte-equal to the fault-free baseline and that input
-// corruption is detected rather than masked.
+// output stays byte-equal to the fault-free baseline, that input
+// corruption is detected rather than masked, and that hedging recovers
+// injected straggler stalls (lower wall time, identical output).
+//
+// -hedge-after / -hedge-mult arm straggler hedging in every experiment
+// executor (see engine.HedgeConfig).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 	"repro/internal/trace"
 )
 
@@ -31,6 +37,8 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
+	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off)")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of all runs to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
@@ -39,7 +47,8 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		tr = trace.New()
 	}
-	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr}
+	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr,
+		Hedge: engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult}}
 	defer func() {
 		if *traceOut != "" {
 			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	gerenukrun -app PR|KM|LR|CS|GB|IUF|UAH|SPF|UED|CED|IMC|TFC [-scale N]
-//	           [-trace out.json] [-metrics-json out.json]
+//	           [-hedge-after 5ms] [-hedge-mult 3] [-trace out.json]
+//	           [-metrics-json out.json]
 //
 // -trace writes a Chrome trace_event JSON file (load it in Perfetto or
 // chrome://tracing) with job/stage/task/attempt/phase spans and GC,
@@ -32,6 +33,8 @@ func main() {
 	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions (fewer = more heap pressure per task)")
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	heapName := flag.String("heap", "10GB", "executor heap size for Spark apps (10GB|15GB|20GB)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
+	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off; needs -trace or -metrics-json)")
 	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
@@ -41,11 +44,12 @@ func main() {
 		tr = trace.New()
 	}
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters,
-		Trace: tr, HeapName: *heapName}
+		Trace: tr, HeapName: *heapName,
+		Hedge: engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult}}
 	t := &metrics.Table{
 		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
 		Header: []string{"mode", "total", "compute", "gc", "ser", "deser", "peak mem",
-			"aborts", "attempts", "retries", "panics", "skips"},
+			"aborts", "attempts", "retries", "panics", "skips", "hedges"},
 	}
 	rows := map[string]metrics.Breakdown{}
 	var order []metrics.Breakdown
@@ -61,7 +65,8 @@ func main() {
 			metrics.D(stats.GC), metrics.D(stats.Ser), metrics.D(stats.Deser),
 			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts),
 			fmt.Sprint(stats.Attempts), fmt.Sprint(stats.Retries),
-			fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips))
+			fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips),
+			fmt.Sprintf("%d/%d", stats.Hedges, stats.HedgeWins))
 	}
 	fmt.Println(t.Render())
 	fmt.Printf("speedup: %.2fx   memory: %.2fx\n",

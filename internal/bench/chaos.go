@@ -3,6 +3,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/apps/sparkapps"
 	"repro/internal/engine"
@@ -18,14 +19,16 @@ import (
 // must still produce exactly the fault-free baseline's output. A second
 // pass flips a bit in a task's input buffer mid-speculation and asserts
 // the mutate-input canary detects the violated immutability contract
-// instead of recovering silently wrong.
+// instead of recovering silently wrong. A third pass stalls every
+// native attempt (a cluster of stragglers) and asserts that hedging
+// both preserves byte-equal output and beats the unhedged wall time.
 func Chaos(cfg Config, seed int64) (*Result, error) {
 	cfg = cfg.withDefaults()
 	r := newResult("Chaos", fmt.Sprintf("WordCount under fault injection (seed %d)", seed),
 		"run", "tasks", "aborts", "panics", "retries", "skips", "outcome")
 	docs := workload.GenDocs(30*cfg.Scale, 30, 3)
 
-	run := func(mode engine.Mode, inj *faults.Injector, breaker *engine.Breaker) (map[string]int64, *spark.Context, error) {
+	run := func(mode engine.Mode, inj *faults.Injector, breaker *engine.Breaker, hedge engine.HedgeConfig) (map[string]int64, *spark.Context, error) {
 		prog := sparkapps.NewProgram(sparkapps.ClsDoc, sparkapps.ClsWordCount)
 		comp := engine.Compile(prog)
 		ctx := spark.NewContext(comp, mode)
@@ -33,6 +36,7 @@ func Chaos(cfg Config, seed int64) (*Result, error) {
 		ctx.Partitions = cfg.Partitions
 		ctx.Injector = inj
 		ctx.Breaker = breaker
+		ctx.Hedge = hedge
 		ctx.VerifyInputs = inj != nil
 		ctx.MaxAttempts = 4
 		wc := sparkapps.WordCount{}
@@ -56,25 +60,29 @@ func Chaos(cfg Config, seed int64) (*Result, error) {
 			fmt.Sprint(s.NativeSkips), outcome)
 	}
 
-	want, baseCtx, err := run(engine.Baseline, nil, nil)
+	sameCounts := func(want, got map[string]int64) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for w, n := range want {
+			if got[w] != n {
+				return false
+			}
+		}
+		return true
+	}
+
+	want, baseCtx, err := run(engine.Baseline, nil, nil, engine.HedgeConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: fault-free baseline: %w", err)
 	}
 	addRow("baseline (no faults)", baseCtx, "ok")
 
-	got, chaosCtx, err := run(engine.Gerenuk, faults.Chaos(seed), engine.NewBreaker(4))
+	got, chaosCtx, err := run(engine.Gerenuk, faults.Chaos(seed), engine.NewBreaker(4), engine.HedgeConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: gerenuk under injection: %w", err)
 	}
-	equal := len(got) == len(want)
-	if equal {
-		for w, n := range want {
-			if got[w] != n {
-				equal = false
-				break
-			}
-		}
-	}
+	equal := sameCounts(want, got)
 	outcome := "output == baseline"
 	if !equal {
 		outcome = "OUTPUT DIVERGED"
@@ -87,7 +95,7 @@ func Chaos(cfg Config, seed int64) (*Result, error) {
 
 	// Bit-flip pass: every task's input gets one bit flipped during
 	// speculation; the canary must fail those tasks loudly.
-	_, flipCtx, err := run(engine.Gerenuk, &faults.Injector{Seed: seed, FlipRate: 1}, nil)
+	_, flipCtx, err := run(engine.Gerenuk, &faults.Injector{Seed: seed, FlipRate: 1}, nil, engine.HedgeConfig{})
 	detected := err != nil && errors.Is(err, engine.ErrInputMutated)
 	outcome = "canary detected"
 	if !detected {
@@ -96,14 +104,57 @@ func Chaos(cfg Config, seed int64) (*Result, error) {
 	addRow("gerenuk (bit flips)", flipCtx, outcome)
 	r.Checks["flip_detected"] = b2f(detected)
 
+	// Straggler pass: every native attempt stalls, modeling a cluster of
+	// slow speculations. Unhedged, each task serializes behind its stall;
+	// hedged, the heap path overtakes after the hedge delay. The contract
+	// is twofold: the hedged output is still byte-equal to the baseline,
+	// and the hedged job's wall time beats the unhedged one.
+	straggle := &faults.Injector{Seed: seed, NativeDelayRate: 1, NativeDelay: 20 * time.Millisecond}
+	slowGot, slowCtx, err := run(engine.Gerenuk, straggle, nil, engine.HedgeConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: gerenuk under stragglers: %w", err)
+	}
+	addRow("gerenuk (stragglers)", slowCtx, "ok")
+	hedgedGot, hedgedCtx, err := run(engine.Gerenuk, straggle, nil,
+		engine.HedgeConfig{After: 1 * time.Millisecond})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: gerenuk hedged under stragglers: %w", err)
+	}
+	hedgeEqual := sameCounts(want, hedgedGot) && sameCounts(want, slowGot)
+	hedgeFaster := hedgedCtx.Wall < slowCtx.Wall
+	// The table must stay byte-identical across same-seed runs; measured
+	// wall times go in the (explicitly non-deterministic) note instead.
+	outcome = "ok, hedged faster"
+	if !hedgeEqual {
+		outcome = "OUTPUT DIVERGED"
+	} else if !hedgeFaster {
+		outcome = fmt.Sprintf("NOT FASTER: wall %v vs %v",
+			hedgedCtx.Wall.Round(time.Millisecond), slowCtx.Wall.Round(time.Millisecond))
+	}
+	addRow("gerenuk (stragglers, hedged)", hedgedCtx, outcome)
+	r.Checks["hedge_equal"] = b2f(hedgeEqual)
+	r.Checks["hedge_faster"] = b2f(hedgeFaster)
+	r.Checks["hedges"] = float64(hedgedCtx.Stats.Hedges)
+	r.Checks["hedge_wins"] = float64(hedgedCtx.Stats.HedgeWins)
+
 	if !equal {
 		return r, fmt.Errorf("chaos: gerenuk output diverged from baseline under injection")
 	}
 	if !detected {
 		return r, fmt.Errorf("chaos: input bit flip was not detected by the canary")
 	}
+	if !hedgeEqual {
+		return r, fmt.Errorf("chaos: hedged output diverged from baseline under stragglers")
+	}
+	if !hedgeFaster {
+		return r, fmt.Errorf("chaos: hedging did not beat the unhedged straggler wall time (%v >= %v)",
+			hedgedCtx.Wall, slowCtx.Wall)
+	}
 	r.Notes = append(r.Notes,
-		"every injected fault recovered to byte-equal output; input corruption detected, not masked")
+		"every injected fault recovered to byte-equal output; input corruption detected, not masked",
+		fmt.Sprintf("hedging cut the straggler wall time from %v to %v (%d hedges, %d wins)",
+			slowCtx.Wall.Round(time.Millisecond), hedgedCtx.Wall.Round(time.Millisecond),
+			hedgedCtx.Stats.Hedges, hedgedCtx.Stats.HedgeWins))
 	return r, nil
 }
 

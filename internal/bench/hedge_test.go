@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/engine"
+)
+
+// TestHedgedOutputMatchesUnhedged is the end-to-end differential
+// guarantee behind enabling hedging anywhere: for every bench
+// application, Spark and Hadoop alike, a Gerenuk run with an
+// aggressive always-fire hedge delay produces byte-identical output to
+// the unhedged run. Run under -race this also proves the racing
+// attempts share nothing mutable.
+func TestHedgedOutputMatchesUnhedged(t *testing.T) {
+	apps := append(append([]string{}, SparkAppNames...), hadoopapps.AllApps...)
+	for _, app := range apps {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			cfg := Quick()
+			want, err := AppOutput(app, cfg, engine.Gerenuk)
+			if err != nil {
+				t.Fatalf("unhedged run: %v", err)
+			}
+			// 1ns delay: the hedge fires on effectively every task, so the
+			// heap attempt races the native one end to end.
+			cfg.Hedge = engine.HedgeConfig{After: time.Nanosecond}
+			got, err := AppOutput(app, cfg, engine.Gerenuk)
+			if err != nil {
+				t.Fatalf("hedged run: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("hedged output differs from unhedged (%d vs %d bytes)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestHedgedOutputMatchesBaselineMode closes the loop across execution
+// modes for one representative app per framework: hedged Gerenuk output
+// equals the Baseline (pure heap) mode output too.
+func TestHedgedOutputMatchesBaselineMode(t *testing.T) {
+	for _, app := range []string{"PR", "IUF"} {
+		cfg := Quick()
+		want, err := AppOutput(app, cfg, engine.Baseline)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", app, err)
+		}
+		cfg.Hedge = engine.HedgeConfig{After: time.Nanosecond}
+		got, err := AppOutput(app, cfg, engine.Gerenuk)
+		if err != nil {
+			t.Fatalf("%s hedged gerenuk: %v", app, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: hedged gerenuk output differs from baseline mode", app)
+		}
+	}
+}

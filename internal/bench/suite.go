@@ -8,7 +8,9 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/apps/hadoopapps"
@@ -41,6 +43,10 @@ type Config struct {
 	// apps: "10GB", "15GB" or "20GB" (default "20GB", the least
 	// pressured; pick "10GB" to see GC activity in traces).
 	HeapName string
+	// Hedge enables straggler hedging in every executor the experiments
+	// create (engine.HedgeConfig); the zero value keeps the paper's
+	// serial recovery semantics.
+	Hedge engine.HedgeConfig
 }
 
 // Quick returns the configuration used by `go test`.
@@ -139,9 +145,18 @@ func (s *SparkSuite) Find(app, heapName string, mode engine.Mode) (AppRun, bool)
 	return AppRun{}, false
 }
 
-// runSparkApp executes one Table 1 program end to end and returns its
-// accumulated job statistics.
-func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metrics.Breakdown, time.Duration, error) {
+// sparkAppResult is one Table 1 program's outcome: accumulated job
+// statistics plus a canonical byte rendering of the program's result,
+// used by the differential tests to compare hedged against unhedged
+// runs byte for byte.
+type sparkAppResult struct {
+	Out   []byte
+	Stats metrics.Breakdown
+	Wall  time.Duration
+}
+
+// runSparkApp executes one Table 1 program end to end.
+func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (sparkAppResult, error) {
 	cfg = cfg.withDefaults()
 	job := cfg.Trace.StartSpan("job", app, trace.Str("mode", mode.String()))
 	defer job.End()
@@ -152,9 +167,14 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		ctx.Workers = cfg.Workers
 		ctx.Partitions = cfg.Partitions
 		ctx.HeapCfg = hc
+		ctx.Hedge = cfg.Hedge
 		ctx.Trace = cfg.Trace
 		return ctx, comp
 	}
+	done := func(ctx *spark.Context, out []byte) (sparkAppResult, error) {
+		return sparkAppResult{Out: out, Stats: ctx.Stats, Wall: ctx.Wall}, nil
+	}
+	fail := func(err error) (sparkAppResult, error) { return sparkAppResult{}, err }
 	switch app {
 	case "PR":
 		ctx, comp := mk(sparkapps.ClsLinks, sparkapps.ClsRank, sparkapps.ClsContrib)
@@ -165,12 +185,13 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		})
 		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLinks, workload.LinksObjs(links), cfg.Partitions)
 		if err != nil {
-			return metrics.Breakdown{}, 0, err
+			return fail(err)
 		}
-		if _, err := pr.Run(ctx, ctx.Parallelize(sparkapps.ClsLinks, parts)); err != nil {
-			return metrics.Breakdown{}, 0, err
+		ranks, err := pr.Run(ctx, ctx.Parallelize(sparkapps.ClsLinks, parts))
+		if err != nil {
+			return fail(err)
 		}
-		return ctx.Stats, ctx.Wall, nil
+		return done(ctx, ranks.CollectBytes())
 
 	case "KM":
 		ctx, comp := mk(sparkapps.ClsDenseVector, sparkapps.ClsClusterStat)
@@ -179,7 +200,7 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		points, _ := workload.GenDensePoints(120*cfg.Scale, 8, 4, 5)
 		parts, err := workload.Encode(comp.Codec, sparkapps.ClsDenseVector, points, cfg.Partitions)
 		if err != nil {
-			return metrics.Breakdown{}, 0, err
+			return fail(err)
 		}
 		initial := make([][]float64, 4)
 		for j := range initial {
@@ -189,10 +210,15 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 			}
 			initial[j] = c
 		}
-		if _, err := km.Run(ctx, ctx.Parallelize(sparkapps.ClsDenseVector, parts), initial); err != nil {
-			return metrics.Breakdown{}, 0, err
+		centers, err := km.Run(ctx, ctx.Parallelize(sparkapps.ClsDenseVector, parts), initial)
+		if err != nil {
+			return fail(err)
 		}
-		return ctx.Stats, ctx.Wall, nil
+		var buf bytes.Buffer
+		for _, c := range centers {
+			fmt.Fprintf(&buf, "%v\n", c)
+		}
+		return done(ctx, buf.Bytes())
 
 	case "LR":
 		ctx, comp := mk(sparkapps.ClsLabeled, sparkapps.ClsGrad)
@@ -201,12 +227,13 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		points, _ := workload.GenLabeledPoints(150*cfg.Scale, 10, 9)
 		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLabeled, points, cfg.Partitions)
 		if err != nil {
-			return metrics.Breakdown{}, 0, err
+			return fail(err)
 		}
-		if _, err := lr.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts)); err != nil {
-			return metrics.Breakdown{}, 0, err
+		weights, err := lr.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts))
+		if err != nil {
+			return fail(err)
 		}
-		return ctx.Stats, ctx.Wall, nil
+		return done(ctx, []byte(fmt.Sprintf("%v\n", weights)))
 
 	case "CS":
 		ctx, comp := mk(sparkapps.ClsSparsePoint, sparkapps.ClsFeatObs)
@@ -215,12 +242,22 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		points := workload.GenSparsePoints(200*cfg.Scale, 28, 6, 21)
 		parts, err := workload.Encode(comp.Codec, sparkapps.ClsSparsePoint, points, cfg.Partitions)
 		if err != nil {
-			return metrics.Breakdown{}, 0, err
+			return fail(err)
 		}
-		if _, err := cs.Run(ctx, ctx.Parallelize(sparkapps.ClsSparsePoint, parts)); err != nil {
-			return metrics.Breakdown{}, 0, err
+		stats, err := cs.Run(ctx, ctx.Parallelize(sparkapps.ClsSparsePoint, parts))
+		if err != nil {
+			return fail(err)
 		}
-		return ctx.Stats, ctx.Wall, nil
+		feats := make([]int64, 0, len(stats))
+		for f := range stats {
+			feats = append(feats, f)
+		}
+		sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+		var buf bytes.Buffer
+		for _, f := range feats {
+			fmt.Fprintf(&buf, "%d=%v\n", f, stats[f])
+		}
+		return done(ctx, buf.Bytes())
 
 	case "GB":
 		ctx, comp := mk(sparkapps.ClsLabeled, sparkapps.ClsSplitStat)
@@ -229,14 +266,19 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (metr
 		points, _ := workload.GenLabeledPoints(150*cfg.Scale, 8, 33)
 		parts, err := workload.Encode(comp.Codec, sparkapps.ClsLabeled, points, cfg.Partitions)
 		if err != nil {
-			return metrics.Breakdown{}, 0, err
+			return fail(err)
 		}
-		if _, err := gb.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts)); err != nil {
-			return metrics.Breakdown{}, 0, err
+		model, err := gb.Run(ctx, ctx.Parallelize(sparkapps.ClsLabeled, parts))
+		if err != nil {
+			return fail(err)
 		}
-		return ctx.Stats, ctx.Wall, nil
+		var buf bytes.Buffer
+		for _, stump := range model {
+			fmt.Fprintf(&buf, "%+v\n", stump)
+		}
+		return done(ctx, buf.Bytes())
 	}
-	return metrics.Breakdown{}, 0, fmt.Errorf("bench: unknown spark app %q", app)
+	return sparkAppResult{}, fmt.Errorf("bench: unknown spark app %q", app)
 }
 
 // Reps is how many times each configuration runs; the median total is
@@ -252,7 +294,8 @@ func RunSparkSuite(cfg Config) (*SparkSuite, error) {
 		for _, app := range SparkAppNames {
 			for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
 				run, err := medianRun(Reps, func() (metrics.Breakdown, time.Duration, error) {
-					return runSparkApp(app, cfg, hc.Cfg, mode)
+					res, err := runSparkApp(app, cfg, hc.Cfg, mode)
+					return res.Stats, res.Wall, err
 				})
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/%v: %w", app, hc.Name, mode, err)
@@ -364,6 +407,7 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.EpochPerTask = yak
 	conf.MapHeap = mapHeap
 	conf.ReduceHeap = reduceHeap
+	conf.Hedge = cfg.Hedge
 	conf.Trace = cfg.Trace
 	comp := engine.Compile(prog)
 	splits, err := hadoopSplits(comp, app, cfg)
@@ -374,31 +418,61 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	return res, comp, err
 }
 
+// appHeap resolves the Spark heap configuration named by cfg.HeapName.
+func appHeap(cfg Config) heap.Config {
+	sizes := HeapSizes(cfg.Scale)
+	hc := sizes[len(sizes)-1].Cfg
+	for _, hs := range sizes {
+		if hs.Name == cfg.HeapName {
+			hc = hs.Cfg
+		}
+	}
+	return hc
+}
+
 // RunApp executes one named application (Spark or Hadoop) in the given
 // mode and returns its cost breakdown. Used by cmd/gerenukrun.
 func RunApp(app string, cfg Config, mode engine.Mode) (metrics.Breakdown, error) {
 	cfg = cfg.withDefaults()
 	for _, s := range SparkAppNames {
 		if s == app {
-			sizes := HeapSizes(cfg.Scale)
-			hc := sizes[len(sizes)-1].Cfg
-			for _, hs := range sizes {
-				if hs.Name == cfg.HeapName {
-					hc = hs.Cfg
-				}
+			res, err := runSparkApp(app, cfg, appHeap(cfg), mode)
+			return res.Stats, err
+		}
+	}
+	for _, h := range hadoopapps.AllApps {
+		if h == app {
+			res, _, err := runHadoopApp(app, cfg, mode, false)
+			if res != nil {
+				return res.Stats, err
 			}
-			stats, _, err := runSparkApp(app, cfg, hc, mode)
-			return stats, err
+			return metrics.Breakdown{}, err
+		}
+	}
+	return metrics.Breakdown{}, fmt.Errorf("bench: unknown app %q", app)
+}
+
+// AppOutput executes one named application (Spark or Hadoop) in the
+// given mode and returns a canonical byte rendering of its result. Two
+// runs of the same app in the same configuration must return identical
+// bytes regardless of hedging, retries, or scheduling — the
+// differential tests pin exactly that.
+func AppOutput(app string, cfg Config, mode engine.Mode) ([]byte, error) {
+	cfg = cfg.withDefaults()
+	for _, s := range SparkAppNames {
+		if s == app {
+			res, err := runSparkApp(app, cfg, appHeap(cfg), mode)
+			return res.Out, err
 		}
 	}
 	for _, h := range hadoopapps.AllApps {
 		if h == app {
 			res, _, err := runHadoopApp(app, cfg, mode, false)
 			if err != nil {
-				return metrics.Breakdown{}, err
+				return nil, err
 			}
-			return res.Stats, nil
+			return res.Out, nil
 		}
 	}
-	return metrics.Breakdown{}, fmt.Errorf("bench: unknown app %q", app)
+	return nil, fmt.Errorf("bench: unknown app %q", app)
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -17,6 +18,15 @@ import (
 // let through as a half-open probe; one successful probe closes the
 // breaker and re-enables speculation.
 //
+// Probe cadence alone couples re-speculation to *throughput*: a driver
+// whose environment was only transiently bad (a memory spike, a noisy
+// neighbor) stays de-speculated until enough tasks flow past, which on a
+// quiet pool can be forever. CoolDown adds time-based decay — after a
+// cool-down period an open breaker admits a probe regardless of how few
+// tasks arrived — so recovery is bounded by wall-clock time, the way
+// principled deoptimization triggers are time-bounded rather than
+// event-count-bounded. A failed probe re-arms the cool-down.
+//
 // A nil *Breaker (or Threshold <= 0) disables the mechanism entirely:
 // every task attempts the native path, preserving the paper's
 // Figure 10(a)/(b) abort-cost semantics.
@@ -29,6 +39,15 @@ type Breaker struct {
 	// ProbeEvery lets 1 of every ProbeEvery tasks probe the native path
 	// while open (default 8).
 	ProbeEvery int
+	// CoolDown, when > 0, admits a half-open probe once this much time
+	// has passed since the breaker opened (or since the last probe),
+	// independent of the ProbeEvery cadence — time-based decay for
+	// transiently-bad drivers on quiet pools. 0 keeps probe-count-only
+	// behavior.
+	CoolDown time.Duration
+	// Clock overrides the time source for CoolDown (tests inject a fake
+	// clock); nil uses time.Now.
+	Clock func() time.Time
 	// Trace, when set, receives process-scoped instants on open/close
 	// state transitions.
 	Trace *trace.Tracer
@@ -41,6 +60,17 @@ type breakerEntry struct {
 	aborts int  // consecutive aborts observed while closed
 	open   bool // true = de-speculated
 	seen   int  // tasks seen while open (for probe cadence)
+	// probeAt is when the cool-down next admits a probe (open breakers
+	// with CoolDown > 0 only). Re-armed on every admitted cool-down
+	// probe and on every failed probe.
+	probeAt time.Time
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
 }
 
 // NewBreaker returns a breaker that opens after threshold consecutive
@@ -62,6 +92,15 @@ func (b *Breaker) Allow(driver string) bool {
 		return true
 	}
 	e.seen++
+	if b.CoolDown > 0 && !b.now().Before(e.probeAt) {
+		// Time-based decay: the cool-down elapsed, so probe now and
+		// re-arm (one probe per cool-down period until an outcome moves
+		// the state).
+		e.probeAt = b.now().Add(b.CoolDown)
+		b.Trace.Instant("breaker", "breaker-cooldown-probe",
+			trace.Str("driver", driver), trace.I64("cooldown_ns", int64(b.CoolDown)))
+		return true
+	}
 	probeEvery := b.ProbeEvery
 	if probeEvery <= 0 {
 		probeEvery = 8
@@ -82,12 +121,16 @@ func (b *Breaker) Record(driver string, aborted bool) {
 	e := b.entry(driver)
 	if aborted {
 		if e.open {
-			return // failed probe: stay open
+			// Failed probe: stay open and re-arm the cool-down so the
+			// next time-based probe waits a full period again.
+			e.probeAt = b.now().Add(b.CoolDown)
+			return
 		}
 		e.aborts++
 		if e.aborts >= b.Threshold {
 			e.open = true
 			e.seen = 0
+			e.probeAt = b.now().Add(b.CoolDown)
 			b.Trace.Instant("breaker", "breaker-open",
 				trace.Str("driver", driver), trace.I64("aborts", int64(e.aborts)))
 		}

@@ -154,6 +154,11 @@ type Executor struct {
 	// Breaker, when set, adaptively de-speculates drivers that keep
 	// aborting (shared across the pool; nil = always speculate).
 	Breaker *Breaker
+	// Hedge configures straggler hedging: a native attempt that outlives
+	// the hedge delay races a concurrently launched heap attempt and the
+	// task takes the first finisher (see hedge.go). The zero value
+	// disables hedging.
+	Hedge HedgeConfig
 	// VerifyInputs enables the input-checksum canary: input buffers are
 	// checksummed before a speculative attempt and re-verified after it,
 	// so a violated mutate-input guarantee fails the task loudly instead
@@ -224,8 +229,11 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 
 	if e.Mode == Gerenuk && e.C.CanRunNative(spec.Driver) {
 		if e.Breaker.Allow(spec.Driver) {
+			if delay, hedged := e.hedgeDelay(); hedged {
+				return e.runTaskHedged(spec, task, start, &bd, sum, delay, finish, fail)
+			}
 			att := task.Child("attempt", "native-attempt")
-			out, attempt, err := e.runNativeAttempt(spec, att)
+			out, attempt, err := e.runNativeAttempt(spec, att, nil)
 			bd.Add(attempt)
 			switch {
 			case err == nil:
@@ -265,7 +273,7 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 	}
 
 	att := task.Child("attempt", "heap-attempt")
-	out, slow, err := e.runHeapAttempt(spec, att)
+	out, slow, err := e.runHeapAttempt(spec, att, nil)
 	bd.Add(slow)
 	if err != nil {
 		att.End(trace.Str("outcome", "error"))
@@ -301,7 +309,7 @@ func checksumInputs(spec TaskSpec) uint64 {
 // A runtime panic here is contained (the process must survive a bad
 // task) but classified permanent: the heap path is the ground truth, so
 // a panic in it is a bug, not failed speculation.
-func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span) (out []byte, bd metrics.Breakdown, err error) {
+func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *canceler) (out []byte, bd metrics.Breakdown, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -332,7 +340,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span) (out []byte, b
 		env := &interp.Env{
 			Mode: interp.ModeHeap, Prog: e.C.Prog, Heap: h, Codec: e.C.Codec,
 			Layouts: e.C.Layouts, Sources: sources, Sink: sink,
-			Trace: ph,
+			Trace: ph, Cancel: cancel.cancelFlag(),
 		}
 		if spec.EpochPerInvocation {
 			h.EpochStart()
@@ -379,7 +387,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span) (out []byte, b
 // (immutable) input buffers. This is the paper's §3.6 recovery
 // obligation extended from the one blessed abort instruction to every
 // failure mode speculation can hit.
-func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span) (out []byte, bd metrics.Breakdown, err error) {
+func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canceler) (out []byte, bd metrics.Breakdown, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -391,6 +399,14 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span) (out []byte,
 			}
 		}
 	}()
+	// Injected straggle: stall only this speculative attempt (a hedged
+	// heap attempt keeps running), honoring cooperative cancellation so
+	// a canceled straggler dies mid-stall instead of sleeping it out.
+	if p := spec.Faults; p != nil && p.NativeDelay > 0 {
+		if cancel.sleep(p.NativeDelay) {
+			return nil, bd, interp.ErrCanceled
+		}
+	}
 	a := arena.New()
 	a.SetTrace(att)
 	// A Gerenuk executor keeps a small control heap; data never touches it.
@@ -432,6 +448,7 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span) (out []byte,
 			AbortAfterRecords: spec.AbortAfterRecords,
 			RecordHook:        hook,
 			Trace:             ph,
+			Cancel:            cancel.cancelFlag(),
 		}
 		_, err := interp.New(env).Run(fn, spec.Args...)
 		bd.Ser += env.SerTime
@@ -553,6 +570,6 @@ func simulateClosure(n int) (ser, deser time.Duration) {
 // RunNativeDebug exposes the native attempt for tests diagnosing abort
 // reasons.
 func (e *Executor) RunNativeDebug(spec TaskSpec) ([]byte, error) {
-	out, _, err := e.runNativeAttempt(spec, nil)
+	out, _, err := e.runNativeAttempt(spec, nil, nil)
 	return out, err
 }

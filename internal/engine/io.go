@@ -223,15 +223,19 @@ type Pool struct {
 type JobResult struct {
 	Outputs [][]byte
 	Stats   metrics.Breakdown // summed across tasks; peaks summed across workers
-	Wall    metrics.Breakdown // wall-clock Total only
+	Wall    metrics.Breakdown // wall-clock Total only, measured around the whole Run
 }
 
 // Run executes all tasks on w workers, each task attempt on a fresh
 // executor state. Task outputs are returned in task order. Every task
 // runs regardless of other tasks' failures; when any fail, Run returns
 // a *JobError listing all of them (first-error-wins is gone — a lost
-// task no longer hides the rest of the job's outcome).
+// task no longer hides the rest of the job's outcome) ALONGSIDE the
+// partial JobResult: the successful tasks' outputs and the aggregated
+// Stats survive, so callers can surface partial accounting instead of
+// discarding everything a mostly-healthy job computed.
 func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) {
+	start := time.Now()
 	if len(specs) == 0 {
 		return &JobResult{}, nil
 	}
@@ -300,10 +304,47 @@ func (p *Pool) Run(exec func() *Executor, specs []TaskSpec) (*JobResult, error) 
 		job.Stats.PeakHeapBytes += wp.PeakHeapBytes
 		job.Stats.PeakNativeBytes += wp.PeakNativeBytes
 	}
+	job.Wall.Total = time.Since(start)
 	if failures != nil {
-		return nil, &JobError{Tasks: len(specs), Failures: failures}
+		return job, &JobError{Tasks: len(specs), Failures: failures}
 	}
 	return job, nil
+}
+
+// maxBackoffShift caps the exponential backoff doubling: beyond 16
+// doublings the shift `base << n` would overflow time.Duration for any
+// realistic base (and a task sleeping 18 hours between retries is a
+// bug, not a policy). maxBackoffDelay clamps the result outright.
+const (
+	maxBackoffShift = 16
+	maxBackoffDelay = 30 * time.Second
+)
+
+// BackoffDelay returns the capped exponential backoff before the given
+// 1-based attempt (attempt 2 waits base, attempt 3 waits 2*base, ...).
+// The naive `base << (attempt-2)` overflows int64 once attempt-2
+// exceeds ~62 — a pool configured with a large MaxAttempts would wrap
+// to a negative Duration and time.Sleep would return immediately,
+// turning backoff into a hot retry loop. The shift is capped at
+// maxBackoffShift and the delay clamped to max(base, maxBackoffDelay),
+// so pathological attempt counts degrade to a bounded wait instead.
+func BackoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 || attempt < 2 {
+		return 0
+	}
+	shift := attempt - 2
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	d := base << shift
+	limit := maxBackoffDelay
+	if base > limit {
+		limit = base
+	}
+	if d <= 0 || d > limit {
+		return limit
+	}
+	return d
 }
 
 // runWithRetry drives one task through the pool's retry policy. The
@@ -335,7 +376,7 @@ func (p *Pool) runWithRetry(worker *Executor, exec func() *Executor, spec TaskSp
 				trace.I64("heap_escalations", int64(oomRetries)))
 			e.Trace.Registry().Counter("retries_total").Add(1)
 			if p.Backoff > 0 {
-				time.Sleep(p.Backoff << (attempt - 2))
+				time.Sleep(BackoffDelay(p.Backoff, attempt))
 			}
 		}
 		res, err := e.RunTask(spec)

@@ -50,6 +50,11 @@ type Plan struct {
 	FlipInputBit bool
 	// Delay stalls every attempt, modeling a slow task.
 	Delay time.Duration
+	// NativeDelay stalls only the speculative native attempt, modeling a
+	// straggling speculation (a GC-wedged executor, a slow node). The
+	// heap path is unaffected, so a hedged heap attempt can overtake the
+	// straggler. The stall honors cooperative cancellation.
+	NativeDelay time.Duration
 
 	attempts atomic.Int64
 }
@@ -64,7 +69,8 @@ func (p *Plan) Attempts() int64 { return p.attempts.Load() }
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (p.PanicAtRecord == 0 && p.WildReadAtRecord == 0 &&
-		p.TransientFailures == 0 && p.OOMFailures == 0 && !p.FlipInputBit && p.Delay == 0)
+		p.TransientFailures == 0 && p.OOMFailures == 0 && !p.FlipInputBit &&
+		p.Delay == 0 && p.NativeDelay == 0)
 }
 
 func (p *Plan) String() string {
@@ -89,6 +95,9 @@ func (p *Plan) String() string {
 	}
 	if p.Delay > 0 {
 		parts = append(parts, fmt.Sprintf("delay=%v", p.Delay))
+	}
+	if p.NativeDelay > 0 {
+		parts = append(parts, fmt.Sprintf("straggle=%v", p.NativeDelay))
 	}
 	return "faults(" + strings.Join(parts, ",") + ")"
 }
@@ -118,6 +127,10 @@ type Injector struct {
 	// DelayRate is the fraction of tasks stalled by Delay per attempt.
 	DelayRate float64
 	Delay     time.Duration
+	// NativeDelayRate is the fraction of tasks whose speculative native
+	// attempt straggles by NativeDelay (the hedging demo workload).
+	NativeDelayRate float64
+	NativeDelay     time.Duration
 	// MaxRecord bounds the record index at which record-targeted faults
 	// fire (default 8); the actual index is seed-derived in [1,MaxRecord].
 	MaxRecord int64
@@ -196,6 +209,9 @@ func (inj *Injector) ForTask(task string) *Plan {
 	}
 	if inj.Delay > 0 && inj.roll(task, "delay") < inj.DelayRate {
 		p.Delay = inj.Delay
+	}
+	if inj.NativeDelay > 0 && inj.roll(task, "native-delay") < inj.NativeDelayRate {
+		p.NativeDelay = inj.NativeDelay
 	}
 	if p.Empty() {
 		return nil

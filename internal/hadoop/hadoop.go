@@ -60,6 +60,9 @@ type JobConf struct {
 	// Breaker, when set, adaptively de-speculates drivers that keep
 	// aborting, shared by map and reduce executors alike.
 	Breaker *engine.Breaker
+	// Hedge, when enabled, races the untransformed heap attempt against
+	// straggling native attempts in every phase (map, combine, reduce).
+	Hedge engine.HedgeConfig
 	// Injector, when set, derives a deterministic fault plan for every
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
@@ -144,15 +147,20 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	pool := &engine.Pool{Workers: conf.Workers, MaxAttempts: conf.MaxAttempts, Backoff: conf.RetryBackoff}
 	mapExec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
-			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs, Trace: conf.Trace}
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
+			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
 	mapStage := job.Child("stage", "map", trace.I64("tasks", int64(len(mapSpecs))))
 	mapJob, err := pool.Run(mapExec, mapSpecs)
 	mapStage.End()
-	if err != nil {
-		return nil, fmt.Errorf("hadoop: map phase: %w", err)
+	if mapJob != nil {
+		// Partial accounting: even a failed phase's completed tasks count.
+		res.Stats.Add(mapJob.Stats)
 	}
-	res.Stats.Add(mapJob.Stats)
+	if err != nil {
+		res.Wall = time.Since(start)
+		return res, fmt.Errorf("hadoop: map phase: %w", err)
+	}
 	res.MapTasks = len(mapSpecs)
 
 	// ---- map-side sort (+ optional combine) ----
@@ -171,10 +179,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	if conf.CombineDriver != "" {
 		combined, cjob, err := foldGroups(c, conf, pool, conf.CombineDriver,
 			conf.MapOutClass, mapOuts, conf.MapHeap, "combine", job)
-		if err != nil {
-			return nil, err
+		if cjob != nil {
+			res.Stats.Add(cjob.Stats)
 		}
-		res.Stats.Add(cjob.Stats)
+		if err != nil {
+			res.Wall = time.Since(start)
+			return res, err
+		}
 		mapOuts = combined
 	}
 
@@ -208,10 +219,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	res.Stats.Total += time.Since(mergeStart)
 	outs, rjob, err := foldGroups(c, conf, pool, conf.ReduceDriver,
 		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce", job)
-	if err != nil {
-		return nil, err
+	if rjob != nil {
+		res.Stats.Add(rjob.Stats)
 	}
-	res.Stats.Add(rjob.Stats)
+	if err != nil {
+		res.Wall = time.Since(start)
+		return res, err
+	}
 	res.ReduceTasks = len(blocks)
 	for _, o := range outs {
 		res.Out = append(res.Out, o...)
@@ -256,13 +270,15 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 	}
 	exec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg,
-			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs, Trace: conf.Trace}
+			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
+			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
 	stage := job.Child("stage", phase, trace.I64("tasks", int64(len(specs))))
 	result, err := pool.Run(exec, specs)
 	stage.End()
 	if err != nil {
-		return nil, nil, fmt.Errorf("hadoop: %s phase: %w", phase, err)
+		// result carries the partial accounting; the caller folds it in.
+		return nil, result, fmt.Errorf("hadoop: %s phase: %w", phase, err)
 	}
 	for k, out := range result.Outputs {
 		outs[blockOf[k]] = out

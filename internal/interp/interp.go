@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arena"
@@ -58,6 +59,13 @@ func (e *AbortError) Error() string { return "SER abort: " + e.Reason }
 
 // ErrAbort matches any AbortError via errors.Is/As.
 var ErrAbort = errors.New("SER abort")
+
+// ErrCanceled is returned when the step loop observes Env.Cancel set: a
+// racing attempt elsewhere already produced the task's result and this
+// execution's output will be discarded. It is not a failure of the
+// computation — the engine's hedging layer filters it out of task
+// outcomes — so it deliberately does not match ErrAbort.
+var ErrCanceled = errors.New("interp: execution canceled")
 
 // Is lets errors.Is(err, ErrAbort) succeed for AbortError values.
 func (e *AbortError) Is(target error) bool { return target == ErrAbort }
@@ -110,6 +118,13 @@ type Env struct {
 	NativeSink NativeSink
 	// MaxSteps guards against runaway loops (0 = default 1e10).
 	MaxSteps int64
+
+	// Cancel, when set, is polled by the interpreter's step loop (every
+	// cancelCheckInterval statements, so the overhead off the hedged
+	// path is one nil check per statement). When it reads true the run
+	// stops with ErrCanceled: the engine's hedging layer sets it on the
+	// losing attempt of a hedged task, whose output nobody will read.
+	Cancel *atomic.Bool
 
 	// SerTime and DeserTime accumulate time spent inside serialization
 	// and deserialization statements, for the Figure 6 breakdowns.
@@ -238,12 +253,29 @@ func (in *Interp) call(fn *ir.Func, args []int64) (int64, error) {
 	return 0, nil
 }
 
+// cancelCheckInterval is how many interpreter steps may run between
+// polls of Env.Cancel (must be a power of two). Small enough that a
+// hedge loser dies within microseconds, large enough that the atomic
+// load stays off the per-statement hot path.
+const cancelCheckInterval = 64
+
+// checkStep enforces the step budget and polls the cancellation flag.
+func (e *Env) checkStep(fn string) error {
+	e.steps++
+	if e.steps > e.MaxSteps {
+		return fmt.Errorf("interp: step limit exceeded in %s", fn)
+	}
+	if e.Cancel != nil && e.steps&(cancelCheckInterval-1) == 0 && e.Cancel.Load() {
+		return ErrCanceled
+	}
+	return nil
+}
+
 // block executes statements; a non-nil returnSignal propagates a Return.
 func (in *Interp) block(f *frame, body []ir.Stmt) (*returnSignal, error) {
 	for _, s := range body {
-		in.env.steps++
-		if in.env.steps > in.env.MaxSteps {
-			return nil, fmt.Errorf("interp: step limit exceeded in %s", f.fn.Name)
+		if err := in.env.checkStep(f.fn.Name); err != nil {
+			return nil, err
 		}
 		ret, err := in.stmt(f, s)
 		if err != nil {
@@ -288,9 +320,8 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 		return in.block(f, t.Else)
 	case *ir.While:
 		for in.cond(t.Cond, f) {
-			in.env.steps++
-			if in.env.steps > in.env.MaxSteps {
-				return nil, fmt.Errorf("interp: step limit exceeded in loop in %s", f.fn.Name)
+			if err := in.env.checkStep(f.fn.Name); err != nil {
+				return nil, err
 			}
 			ret, err := in.block(f, t.Body)
 			if err != nil || ret != nil {

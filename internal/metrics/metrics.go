@@ -35,6 +35,8 @@ type Breakdown struct {
 	Retries         int64 // attempts beyond each task's first
 	PanicsContained int64 // runtime panics converted into recoverable faults
 	NativeSkips     int64 // native attempts skipped by the de-speculation breaker
+	Hedges          int64 // hedged heap attempts launched against straggling natives
+	HedgeWins       int64 // hedged heap attempts that finished first
 }
 
 // Compute returns the non-GC, non-serde portion of the total.
@@ -71,6 +73,8 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.Retries += o.Retries
 	b.PanicsContained += o.PanicsContained
 	b.NativeSkips += o.NativeSkips
+	b.Hedges += o.Hedges
+	b.HedgeWins += o.HedgeWins
 	if o.PeakHeapBytes > b.PeakHeapBytes {
 		b.PeakHeapBytes = o.PeakHeapBytes
 	}

@@ -49,6 +49,10 @@ type Context struct {
 	// aborting; it is shared by every stage's executors. nil keeps the
 	// paper's always-speculate semantics (Figure 10).
 	Breaker *engine.Breaker
+	// Hedge, when enabled, races the untransformed heap attempt against
+	// any native attempt that outlives the hedge delay (straggler
+	// mitigation); the zero value keeps serial recovery.
+	Hedge engine.HedgeConfig
 	// Injector, when set, derives a deterministic fault plan for every
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
@@ -119,7 +123,7 @@ func (ctx *Context) executor() *engine.Executor {
 	return &engine.Executor{
 		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg,
 		Breaker: ctx.Breaker, VerifyInputs: ctx.VerifyInputs,
-		Trace: ctx.Trace,
+		Hedge: ctx.Hedge, Trace: ctx.Trace,
 	}
 }
 
@@ -140,15 +144,20 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 	start := time.Now()
 	pool := &engine.Pool{Workers: ctx.Workers, MaxAttempts: ctx.MaxAttempts, Backoff: ctx.RetryBackoff}
 	job, err := pool.Run(ctx.executor, specs)
+	// The pool returns partial results alongside a job error; fold them
+	// into the context either way so a failed stage's completed tasks
+	// still show up in the accounting.
+	if job != nil {
+		ctx.Wall += time.Since(start)
+		ctx.Stats.Add(job.Stats)
+		ctx.Stages++
+		ctx.Tasks += len(specs)
+	}
 	if err != nil {
 		stage.End(trace.Str("outcome", "error"))
 		return nil, fmt.Errorf("spark: stage %s: %w", name, err)
 	}
 	stage.End(trace.Str("outcome", "ok"))
-	ctx.Wall += time.Since(start)
-	ctx.Stats.Add(job.Stats)
-	ctx.Stages++
-	ctx.Tasks += len(specs)
 	return job.Outputs, nil
 }
 

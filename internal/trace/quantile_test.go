@@ -1,0 +1,53 @@
+package trace
+
+import "testing"
+
+// TestHistogramQuantile pins the bucket-quantile estimator the hedging
+// heuristic relies on: nil/empty safety, exactness when all mass sits in
+// one bucket, the min/max clamp, and the count it reports.
+func TestHistogramQuantile(t *testing.T) {
+	var nilH *Histogram
+	if v, n := nilH.Quantile(0.5); v != 0 || n != 0 {
+		t.Fatalf("nil histogram Quantile = %v, %d; want 0, 0", v, n)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("q", 10, 100, 1000)
+	if v, n := h.Quantile(0.5); v != 0 || n != 0 {
+		t.Fatalf("empty histogram Quantile = %v, %d; want 0, 0", v, n)
+	}
+
+	// All observations in the (10,100] bucket: every quantile clamps into
+	// the observed [min,max] range.
+	for _, v := range []float64{20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if v, n := h.Quantile(0.5); v != 50 || n != 4 {
+		// rank 2 falls in bucket bound 100, clamped to max observed 50
+		t.Fatalf("Quantile(0.5) = %v, %d; want 50 (bucket bound clamped to max), 4", v, n)
+	}
+	if v, _ := h.Quantile(0.01); v != 50 {
+		// every rank resolves to the same bucket, so the same clamp applies
+		t.Fatalf("Quantile(0.01) = %v; want 50", v)
+	}
+
+	// Spread across buckets: the median lands on its bucket's upper bound.
+	h2 := r.Histogram("q2", 10, 100, 1000)
+	for _, v := range []float64{5, 5, 5, 500, 500} {
+		h2.Observe(v)
+	}
+	if v, n := h2.Quantile(0.5); v != 10 || n != 5 {
+		// rank 3 of 5 sits in the first bucket (bound 10), above min 5
+		t.Fatalf("Quantile(0.5) = %v, %d; want 10, 5", v, n)
+	}
+	if v, _ := h2.Quantile(1); v != 500 {
+		t.Fatalf("Quantile(1) = %v; want 500 (last bucket, clamped to max)", v)
+	}
+
+	// Overflow bucket (above the last bound): clamp to observed max.
+	h3 := r.Histogram("q3", 10)
+	h3.Observe(9999)
+	if v, n := h3.Quantile(0.5); v != 9999 || n != 1 {
+		t.Fatalf("overflow-bucket Quantile = %v, %d; want 9999, 1", v, n)
+	}
+}

@@ -171,6 +171,45 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Quantile returns an approximation of the q-th quantile (0 < q <= 1)
+// of the observed values plus the observation count. The estimate is the
+// upper bound of the bucket containing the quantile, clamped to the
+// observed min/max — with exponential buckets that is within one bucket
+// factor of the true value, which is all the hedging heuristic needs.
+// A nil or empty histogram returns (0, 0).
+func (h *Histogram) Quantile(q float64) (float64, int64) {
+	if h == nil {
+		return 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0, 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	v := h.max
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				v = h.bounds[i]
+			}
+			break
+		}
+	}
+	if v > h.max {
+		v = h.max
+	}
+	if v < h.min {
+		v = h.min
+	}
+	return v, h.count
+}
+
 // snapshot captures the histogram under its lock.
 func (h *Histogram) snapshot() HistSnapshot {
 	h.mu.Lock()
