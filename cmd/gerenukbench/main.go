@@ -4,7 +4,8 @@
 // Usage:
 //
 //	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...] [-faults seed]
-//	             [-hedge-after 5ms] [-hedge-mult 3]
+//	             [-hedge-after 5ms] [-hedge-mult 3] [-shuffle-check]
+//	             [-shuffle-budget N] [-shuffle-compress none|flate|lz4]
 //
 // Experiment ids: fig4 fig5 table1 table2 fig6a fig6b fig7a fig7b table3
 // fig8a fig8b fig9 fig10a fig10b static. Default runs everything.
@@ -15,8 +16,15 @@
 // corruption is detected rather than masked, and that hedging recovers
 // injected straggler stalls (lower wall time, identical output).
 //
+// -shuffle-check runs the shuffle verification pass instead: every app
+// in both modes through spilling and compressed exchanges, asserting
+// byte-equal output against the in-memory configuration and the serde
+// ledger (baseline decodes every fetched record, gerenuk none).
+//
 // -hedge-after / -hedge-mult arm straggler hedging in every experiment
-// executor (see engine.HedgeConfig).
+// executor (see engine.HedgeConfig). The -shuffle-* knobs configure the
+// exchange every experiment routes through; -trace streams its file
+// incrementally so long runs never buffer the whole event log.
 package main
 
 import (
@@ -37,9 +45,14 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
+	shuffleCheck := flag.Bool("shuffle-check", false, "run the shuffle verification pass (spill/compressed vs in-memory, all apps)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
 	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off)")
-	traceOut := flag.String("trace", "", "write Chrome trace_event JSON of all runs to this file")
+	shufBudget := flag.Int64("shuffle-budget", 0, "map-side shuffle memory budget in bytes (0 = in-memory, >0 spills sorted runs)")
+	shufCompress := flag.String("shuffle-compress", "", "shuffle block codec: none|flate|lz4")
+	shufLatency := flag.Duration("shuffle-latency", 0, "simulated per-block fetch latency")
+	shufBW := flag.Int64("shuffle-bw", 0, "simulated fetch bandwidth in bytes/sec (0 = infinite)")
+	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON of all runs to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
 
@@ -47,11 +60,29 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		tr = trace.New()
 	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		if err := tr.StreamTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr,
-		Hedge: engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult}}
+		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
+		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
+		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW}
 	defer func() {
-		if *traceOut != "" {
-			if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+		if traceFile != nil {
+			if err := tr.CloseStream(); err != nil {
+				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			}
+			if err := traceFile.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
 			}
 		}
@@ -65,6 +96,17 @@ func main() {
 
 	if *faultSeed != 0 {
 		r, err := bench.Chaos(cfg, *faultSeed)
+		if r != nil {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shuffleCheck {
+		r, err := bench.ShuffleCheck(cfg)
 		if r != nil {
 			fmt.Println(r.Render())
 		}

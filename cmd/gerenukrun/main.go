@@ -6,13 +6,21 @@
 //
 //	gerenukrun -app PR|KM|LR|CS|GB|IUF|UAH|SPF|UED|CED|IMC|TFC [-scale N]
 //	           [-hedge-after 5ms] [-hedge-mult 3] [-trace out.json]
-//	           [-metrics-json out.json]
+//	           [-metrics-json out.json] [-shuffle-budget N]
+//	           [-shuffle-compress none|flate|lz4] [-shuffle-latency 1ms]
+//	           [-shuffle-bw N]
 //
-// -trace writes a Chrome trace_event JSON file (load it in Perfetto or
-// chrome://tracing) with job/stage/task/attempt/phase spans and GC,
-// abort, retry and breaker instants from both runs. -metrics-json
-// writes the metrics-registry snapshot (counters, gauges, latency and
-// GC-pause histograms) plus both modes' cost breakdowns.
+// -trace streams a Chrome trace_event JSON file incrementally (load it
+// in Perfetto or chrome://tracing) with job/stage/task/attempt/phase
+// spans, shuffle write/spill/merge/fetch spans, and GC, abort, retry
+// and breaker instants from both runs. -metrics-json writes the
+// metrics-registry snapshot (counters, gauges, latency and GC-pause
+// histograms) plus both modes' cost breakdowns.
+//
+// The -shuffle-* flags configure the exchange: a positive budget forces
+// sorted spill runs on the map side, the codec compresses blocks at
+// rest and on the wire, and latency/bandwidth model the fetch
+// transport.
 package main
 
 import (
@@ -35,7 +43,11 @@ func main() {
 	heapName := flag.String("heap", "10GB", "executor heap size for Spark apps (10GB|15GB|20GB)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
 	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off; needs -trace or -metrics-json)")
-	traceOut := flag.String("trace", "", "write Chrome trace_event JSON to this file")
+	shufBudget := flag.Int64("shuffle-budget", 0, "map-side shuffle memory budget in bytes (0 = in-memory, >0 spills sorted runs)")
+	shufCompress := flag.String("shuffle-compress", "", "shuffle block codec: none|flate|lz4")
+	shufLatency := flag.Duration("shuffle-latency", 0, "simulated per-block fetch latency")
+	shufBW := flag.Int64("shuffle-bw", 0, "simulated fetch bandwidth in bytes/sec (0 = infinite)")
+	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
 
@@ -43,12 +55,30 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		tr = trace.New()
 	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		// Stream events as they are emitted so long runs never hold the
+		// whole trace in memory.
+		if err := tr.StreamTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters,
 		Trace: tr, HeapName: *heapName,
-		Hedge: engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult}}
+		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
+		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
+		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW}
 	t := &metrics.Table{
 		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
-		Header: []string{"mode", "total", "compute", "gc", "ser", "deser", "peak mem",
+		Header: []string{"mode", "total", "compute", "gc", "ser", "deser",
+			"shufW", "shufR", "spills", "native", "onheap", "peak mem",
 			"aborts", "attempts", "retries", "panics", "skips", "hedges"},
 	}
 	rows := map[string]metrics.Breakdown{}
@@ -63,6 +93,9 @@ func main() {
 		order = append(order, stats)
 		t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
 			metrics.D(stats.GC), metrics.D(stats.Ser), metrics.D(stats.Deser),
+			metrics.D(stats.ShuffleWrite), metrics.D(stats.ShuffleRead),
+			fmt.Sprint(stats.Spills),
+			metrics.D(stats.NativeTime), metrics.D(stats.HeapTime),
 			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts),
 			fmt.Sprint(stats.Attempts), fmt.Sprint(stats.Retries),
 			fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips),
@@ -73,12 +106,16 @@ func main() {
 		metrics.Ratio(float64(order[0].Total), float64(order[1].Total)),
 		metrics.Ratio(float64(order[1].PeakBytes()), float64(order[0].PeakBytes())))
 
-	if *traceOut != "" {
-		if err := tr.WriteChromeTraceFile(*traceOut); err != nil {
+	if traceFile != nil {
+		if err := tr.CloseStream(); err != nil {
 			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace: wrote %s (load in Perfetto or chrome://tracing)\n", *traceOut)
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: streamed %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 	if *metricsOut != "" {
 		extra := map[string]any{

@@ -117,6 +117,21 @@ func (a *Arena) AdoptBytes(name string, data []byte) *Region {
 	return r
 }
 
+// AdoptBytesOwned creates a region directly over a payload whose
+// ownership transfers to the arena — the zero-copy path for native
+// shuffle blocks the exchange assembled fresh for this task. The caller
+// must not retain or mutate data. The slice is re-capped to its length
+// so a later Grow/Append reallocates instead of scribbling past it.
+func (a *Arena) AdoptBytesOwned(name string, data []byte) *Region {
+	r := a.NewRegion(name)
+	r.buf = data[:len(data):len(data)]
+	a.account(int64(len(data)))
+	a.trace.Instant("arena", "region-adopt",
+		trace.Str("region", name), trace.I64("bytes", int64(len(data))),
+		trace.I64("zero_copy", 1))
+	return r
+}
+
 func (a *Arena) account(delta int64) {
 	a.live += delta
 	if delta > 0 {

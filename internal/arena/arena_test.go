@@ -286,3 +286,42 @@ func TestDataPathViolationsPanicWithFault(t *testing.T) {
 		t.Errorf("invalid access size panicked with *Fault: %v", f)
 	}
 }
+
+// TestAdoptBytesOwnedZeroCopy: the owned adoption path must wrap the
+// caller's array without copying, account it as live bytes, and still
+// protect the caller from a later region append (the re-capped slice
+// forces reallocation instead of scribbling past the payload).
+func TestAdoptBytesOwnedZeroCopy(t *testing.T) {
+	a := New()
+	data := make([]byte, 16, 64) // spare capacity an append must NOT reuse
+	for i := range data {
+		data[i] = byte(i)
+	}
+	canary := data[:32][16:] // the bytes after len, inside the caller's cap
+	for i := range canary {
+		canary[i] = 0xEE
+	}
+	r := a.AdoptBytesOwned("blk", data)
+	if &r.Bytes()[0] != &data[0] {
+		t.Fatalf("owned adoption copied the payload")
+	}
+	if a.LiveBytes() != 16 || r.Len() != 16 {
+		t.Fatalf("live=%d len=%d, want 16", a.LiveBytes(), r.Len())
+	}
+	if got := a.ReadNative(r.Base(), 8, 1); got != 8 {
+		t.Fatalf("ReadNative over adopted bytes = %d, want 8", got)
+	}
+	r.AppendBytes([]byte{1, 2, 3, 4})
+	for i, b := range canary {
+		if b != 0xEE {
+			t.Fatalf("append scribbled into the caller's array at +%d", i)
+		}
+	}
+	if r.Len() != 20 {
+		t.Fatalf("post-append len = %d", r.Len())
+	}
+	r.Free()
+	if a.LiveBytes() != 0 {
+		t.Fatalf("live after free = %d", a.LiveBytes())
+	}
+}

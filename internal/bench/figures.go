@@ -220,7 +220,7 @@ func Table2(cfg Config) *Result {
 // Figure6a renders the Spark runtime breakdown comparison.
 func Figure6a(s *SparkSuite) *Result {
 	r := newResult("Figure 6(a)", "Spark running time: baseline vs Gerenuk",
-		"app", "heap", "mode", "total", "compute", "gc", "ser", "deser", "speedup")
+		"app", "heap", "mode", "total", "compute", "gc", "ser", "deser", "shuf", "native", "onheap", "speedup")
 	var speedups []float64
 	for _, hc := range []string{"10GB", "15GB", "20GB"} {
 		for _, app := range SparkAppNames {
@@ -237,6 +237,8 @@ func Figure6a(s *SparkSuite) *Result {
 					metrics.D(run.Stats.Total), metrics.D(run.Stats.Compute()),
 					metrics.D(run.Stats.GC), metrics.D(run.Stats.Ser),
 					metrics.D(run.Stats.Deser),
+					metrics.D(run.Stats.ShuffleWrite+run.Stats.ShuffleRead),
+					metrics.D(run.Stats.NativeTime), metrics.D(run.Stats.HeapTime),
 					map[bool]string{true: metrics.F(sp), false: ""}[run.Mode == engine.Gerenuk])
 			}
 		}
@@ -251,7 +253,7 @@ func Figure6a(s *SparkSuite) *Result {
 // Figure6b renders the Hadoop runtime comparison.
 func Figure6b(s *HadoopSuite) *Result {
 	r := newResult("Figure 6(b)", "Hadoop running time: baseline vs Gerenuk",
-		"app", "mode", "total", "compute", "gc", "ser", "deser", "speedup")
+		"app", "mode", "total", "compute", "gc", "ser", "deser", "shuf", "native", "onheap", "speedup")
 	var speedups []float64
 	for _, run := range s.Runs {
 		if run.Mode != engine.Baseline {
@@ -268,6 +270,8 @@ func Figure6b(s *HadoopSuite) *Result {
 			r.Table.AddRow(rr.App, rr.Mode.String(),
 				metrics.D(rr.Stats.Total), metrics.D(rr.Stats.Compute()),
 				metrics.D(rr.Stats.GC), metrics.D(rr.Stats.Ser), metrics.D(rr.Stats.Deser),
+				metrics.D(rr.Stats.ShuffleWrite+rr.Stats.ShuffleRead),
+				metrics.D(rr.Stats.NativeTime), metrics.D(rr.Stats.HeapTime),
 				map[bool]string{true: metrics.F(sp), false: ""}[rr.Mode == engine.Gerenuk])
 		}
 	}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestShuffleCheckQuick runs the full shuffle verification pass at test
+// scale: every app, both modes, every storage variant byte-equal to the
+// in-memory exchange, with the serde ledger intact.
+func TestShuffleCheckQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shuffle check runs the whole app matrix")
+	}
+	cfg := Quick()
+	cfg.ShuffleSpillDir = t.TempDir()
+	r, err := ShuffleCheck(cfg)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, r.Render())
+	}
+	for _, check := range []string{"equal", "serde_ledger"} {
+		if r.Checks[check] != 1 {
+			t.Errorf("check %q = %v, want 1", check, r.Checks[check])
+		}
+	}
+	if r.Checks["spills"] == 0 {
+		t.Error("budgeted variants recorded zero spills")
+	}
+}
+
+func TestShuffleConfigParsing(t *testing.T) {
+	c := Config{ShuffleCompression: "lz4", ShuffleBudget: 9}
+	scfg, err := c.shuffleConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.MemoryBudget != 9 || scfg.Compression.String() != "lz4" {
+		t.Errorf("shuffle config = %+v", scfg)
+	}
+	if _, err := (Config{ShuffleCompression: "zstd"}).shuffleConfig(); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 	"repro/internal/spark"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -47,6 +48,34 @@ type Config struct {
 	// create (engine.HedgeConfig); the zero value keeps the paper's
 	// serial recovery semantics.
 	Hedge engine.HedgeConfig
+	// ShuffleBudget bounds map-side shuffle buffering per writer in
+	// bytes; 0 keeps the exchange fully in memory, any positive value
+	// forces sorted spill runs once exceeded.
+	ShuffleBudget int64
+	// ShuffleCompression names the shuffle block codec: "" or "none",
+	// "flate", "lz4".
+	ShuffleCompression string
+	// ShuffleSpillDir is where spill run files go ("" = os.TempDir()).
+	ShuffleSpillDir string
+	// ShuffleLatency and ShuffleBytesPerSec model the fetch transport;
+	// zero values fetch instantly.
+	ShuffleLatency     time.Duration
+	ShuffleBytesPerSec int64
+}
+
+// shuffleConfig resolves the Config's shuffle knobs into the exchange
+// configuration the drivers thread through every job.
+func (c Config) shuffleConfig() (shuffle.Config, error) {
+	comp, err := shuffle.ParseCompression(c.ShuffleCompression)
+	if err != nil {
+		return shuffle.Config{}, err
+	}
+	return shuffle.Config{
+		MemoryBudget: c.ShuffleBudget,
+		SpillDir:     c.ShuffleSpillDir,
+		Compression:  comp,
+		Transport:    shuffle.Transport{Latency: c.ShuffleLatency, BytesPerSec: c.ShuffleBytesPerSec},
+	}, nil
 }
 
 // Quick returns the configuration used by `go test`.
@@ -158,6 +187,10 @@ type sparkAppResult struct {
 // runSparkApp executes one Table 1 program end to end.
 func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (sparkAppResult, error) {
 	cfg = cfg.withDefaults()
+	scfg, err := cfg.shuffleConfig()
+	if err != nil {
+		return sparkAppResult{}, err
+	}
 	job := cfg.Trace.StartSpan("job", app, trace.Str("mode", mode.String()))
 	defer job.End()
 	mk := func(topTypes ...string) (*spark.Context, *engine.Compiled) {
@@ -169,6 +202,7 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.HeapCfg = hc
 		ctx.Hedge = cfg.Hedge
 		ctx.Trace = cfg.Trace
+		ctx.Shuffle = scfg
 		return ctx, comp
 	}
 	done := func(ctx *spark.Context, out []byte) (sparkAppResult, error) {
@@ -400,6 +434,10 @@ func runHadoopApp(app string, cfg Config, mode engine.Mode, yak bool) (*hadoop.R
 
 func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHeap, reduceHeap heap.Config) (*hadoop.Result, *engine.Compiled, error) {
 	cfg = cfg.withDefaults()
+	scfg, err := cfg.shuffleConfig()
+	if err != nil {
+		return nil, nil, err
+	}
 	prog, conf := hadoopapps.NewProgram(app)
 	conf.Mode = mode
 	conf.Workers = cfg.Workers
@@ -409,6 +447,7 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.ReduceHeap = reduceHeap
 	conf.Hedge = cfg.Hedge
 	conf.Trace = cfg.Trace
+	conf.Shuffle = scfg
 	comp := engine.Compile(prog)
 	splits, err := hadoopSplits(comp, app, cfg)
 	if err != nil {

@@ -110,6 +110,13 @@ type Input struct {
 	Class string
 	Buf   []byte
 	Offs  []int
+	// Owned marks Buf as freshly assembled for this task alone (e.g. a
+	// shuffle fetch's concatenation) with ownership transferred to the
+	// executor: the native attempt may adopt it into its arena zero-copy
+	// instead of paying the transfer copy. Attempts only ever read input
+	// buffers (the canary enforces it), so a hedged pair sharing one
+	// owned buffer is still safe.
+	Owned bool
 }
 
 // TaskSpec describes one task: a driver run once per invocation (map
@@ -310,6 +317,8 @@ func checksumInputs(spec TaskSpec) uint64 {
 // task) but classified permanent: the heap path is the ground truth, so
 // a panic in it is a bug, not failed speculation.
 func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *canceler) (out []byte, bd metrics.Breakdown, err error) {
+	t0 := time.Now()
+	defer func() { bd.HeapTime += time.Since(t0) }()
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -388,6 +397,8 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *cancel
 // obligation extended from the one blessed abort instruction to every
 // failure mode speculation can hit.
 func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canceler) (out []byte, bd metrics.Breakdown, err error) {
+	t0 := time.Now()
+	defer func() { bd.NativeTime += time.Since(t0) }()
 	defer func() {
 		if r := recover(); r != nil {
 			bd.PanicsContained++
@@ -419,9 +430,12 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 	fn := e.C.Natives[spec.Driver]
 	hook := recordHook(spec, a)
 
-	// Adopt each distinct input buffer once.
+	// Adopt each distinct input buffer once. Owned buffers (a shuffle
+	// fetch's fresh concatenation) wrap zero-copy; shared ones pay the
+	// transfer copy.
 	regions := make(map[*byte]*arena.Region)
-	regionFor := func(buf []byte) *arena.Region {
+	regionFor := func(in Input) *arena.Region {
+		buf := in.Buf
 		if len(buf) == 0 {
 			return a.NewRegion("empty")
 		}
@@ -429,7 +443,12 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 		if r, ok := regions[key]; ok {
 			return r
 		}
-		r := a.AdoptBytes("task-in", buf)
+		var r *arena.Region
+		if in.Owned {
+			r = a.AdoptBytesOwned("task-in", buf)
+		} else {
+			r = a.AdoptBytes("task-in", buf)
+		}
 		regions[key] = r
 		return r
 	}
@@ -438,7 +457,7 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 	for _, inv := range spec.Invocations {
 		sources := make(map[string]interp.NativeSource, len(inv))
 		for name, in := range inv {
-			sources[name] = newRegionSource(a, regionFor(in.Buf), in)
+			sources[name] = newRegionSource(a, regionFor(in), in)
 		}
 		ph := att.Child("phase", "native-execute")
 		env := &interp.Env{

@@ -55,8 +55,14 @@ type Plan struct {
 	// heap path is unaffected, so a hedged heap attempt can overtake the
 	// straggler. The stall honors cooperative cancellation.
 	NativeDelay time.Duration
+	// FetchFailures fails this many shuffle block fetch attempts before
+	// letting one through, exercising the exchange's retry-with-backoff
+	// and breaker paths. The budget is shared across the task's blocks
+	// (cross-attempt, like TransientFailures).
+	FetchFailures int
 
-	attempts atomic.Int64
+	attempts      atomic.Int64
+	fetchAttempts atomic.Int64
 }
 
 // TakeAttempt returns the 1-based number of the attempt now starting and
@@ -66,11 +72,22 @@ func (p *Plan) TakeAttempt() int64 { return p.attempts.Add(1) }
 // Attempts returns how many attempts have started against this plan.
 func (p *Plan) Attempts() int64 { return p.attempts.Load() }
 
+// TakeFetchAttempt reports whether the shuffle fetch attempt now starting
+// should fail: the first FetchFailures calls return true, every later
+// call false. Safe for concurrent use (blocks fetch in parallel).
+func (p *Plan) TakeFetchAttempt() bool {
+	return p.fetchAttempts.Add(1) <= int64(p.FetchFailures)
+}
+
+// FetchAttempts returns how many fetch attempts have rolled against this
+// plan.
+func (p *Plan) FetchAttempts() int64 { return p.fetchAttempts.Load() }
+
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (p.PanicAtRecord == 0 && p.WildReadAtRecord == 0 &&
 		p.TransientFailures == 0 && p.OOMFailures == 0 && !p.FlipInputBit &&
-		p.Delay == 0 && p.NativeDelay == 0)
+		p.Delay == 0 && p.NativeDelay == 0 && p.FetchFailures == 0)
 }
 
 func (p *Plan) String() string {
@@ -98,6 +115,9 @@ func (p *Plan) String() string {
 	}
 	if p.NativeDelay > 0 {
 		parts = append(parts, fmt.Sprintf("straggle=%v", p.NativeDelay))
+	}
+	if p.FetchFailures > 0 {
+		parts = append(parts, fmt.Sprintf("fetchfail×%d", p.FetchFailures))
 	}
 	return "faults(" + strings.Join(parts, ",") + ")"
 }
@@ -131,6 +151,13 @@ type Injector struct {
 	// attempt straggles by NativeDelay (the hedging demo workload).
 	NativeDelayRate float64
 	NativeDelay     time.Duration
+	// FetchFailRate is the fraction of reduce tasks whose first FetchFails
+	// shuffle block fetches fail, exercising the exchange's retry path.
+	FetchFailRate float64
+	// FetchFails is how many fetch attempts fail per selected task
+	// (default 1; keep it under the exchange's MaxFetchRetries or the job
+	// legitimately fails).
+	FetchFails int
 	// MaxRecord bounds the record index at which record-targeted faults
 	// fire (default 8); the actual index is seed-derived in [1,MaxRecord].
 	MaxRecord int64
@@ -150,6 +177,8 @@ func Chaos(seed int64) *Injector {
 		OOMRate:       0.20,
 		DelayRate:     0.15,
 		Delay:         200 * time.Microsecond,
+		FetchFailRate: 0.25,
+		FetchFails:    1,
 		MaxRecord:     6,
 	}
 }
@@ -212,6 +241,12 @@ func (inj *Injector) ForTask(task string) *Plan {
 	}
 	if inj.NativeDelay > 0 && inj.roll(task, "native-delay") < inj.NativeDelayRate {
 		p.NativeDelay = inj.NativeDelay
+	}
+	if inj.roll(task, "fetch") < inj.FetchFailRate {
+		p.FetchFailures = inj.FetchFails
+		if p.FetchFailures <= 0 {
+			p.FetchFailures = 1
+		}
 	}
 	if p.Empty() {
 		return nil

@@ -83,6 +83,39 @@ func TestPlanAttemptsAndEmpty(t *testing.T) {
 	}
 }
 
+func TestFetchFailureKnobs(t *testing.T) {
+	p := &Plan{FetchFailures: 2}
+	if p.Empty() {
+		t.Error("fetch-failure plan reported empty")
+	}
+	if s := p.String(); s != "faults(fetchfail×2)" {
+		t.Errorf("String() = %q", s)
+	}
+	// First two fetch attempts fail, every later one succeeds.
+	if !p.TakeFetchAttempt() || !p.TakeFetchAttempt() {
+		t.Error("budgeted fetch attempts did not fail")
+	}
+	if p.TakeFetchAttempt() || p.TakeFetchAttempt() {
+		t.Error("exhausted budget still failing")
+	}
+	if p.FetchAttempts() != 4 {
+		t.Errorf("fetch attempts = %d, want 4", p.FetchAttempts())
+	}
+
+	inj := &Injector{Seed: 3, FetchFailRate: 1}
+	plan := inj.ForTask("shuffle-1/r0")
+	if plan == nil || plan.FetchFailures != 1 {
+		t.Fatalf("rate-1 fetch injector gave %v (FetchFails default should be 1)", plan)
+	}
+	inj.FetchFails = 3
+	if plan := inj.ForTask("shuffle-1/r1"); plan == nil || plan.FetchFailures != 3 {
+		t.Fatalf("FetchFails=3 injector gave %v", plan)
+	}
+	if Chaos(1).FetchFailRate <= 0 {
+		t.Error("chaos preset does not inject fetch faults")
+	}
+}
+
 func TestNilInjectorForTask(t *testing.T) {
 	var inj *Injector
 	if inj.ForTask("x") != nil {

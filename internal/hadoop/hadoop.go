@@ -19,6 +19,7 @@ import (
 	"repro/internal/heap"
 	"repro/internal/metrics"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 	"repro/internal/trace"
 )
 
@@ -71,6 +72,11 @@ type JobConf struct {
 	// shuffle/merge/reduce phase spans plus the per-task spans every
 	// executor emits.
 	Trace *trace.Tracer
+	// Shuffle configures the exchange between mappers and reducers:
+	// memory budget (spill threshold), block compression, simulated
+	// transport, fetch retry/breaker policy. Reducers, Trace and (when
+	// unset) Injector are filled from the job conf.
+	Shuffle shuffle.Config
 }
 
 func (c JobConf) withDefaults() JobConf {
@@ -178,7 +184,7 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	res.Stats.Total += time.Since(sortStart)
 	if conf.CombineDriver != "" {
 		combined, cjob, err := foldGroups(c, conf, pool, conf.CombineDriver,
-			conf.MapOutClass, mapOuts, conf.MapHeap, "combine", job)
+			conf.MapOutClass, mapOuts, conf.MapHeap, "combine", job, false)
 		if cjob != nil {
 			res.Stats.Add(cjob.Stats)
 		}
@@ -189,25 +195,47 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 		mapOuts = combined
 	}
 
-	// ---- shuffle: partition every map output to reducers ----
+	// ---- shuffle: route map outputs through the exchange ----
 	shufStart := time.Now()
 	shufSpan := job.Child("stage", "shuffle")
-	blocks := make([][]byte, conf.Reducers)
-	for _, out := range mapOuts {
-		parts, err := engine.Partition(c.Layouts, conf.MapOutClass, conf.KeyField, out, conf.Reducers)
-		if err != nil {
-			return nil, fmt.Errorf("hadoop: shuffle: %w", err)
+	scfg := conf.Shuffle
+	scfg.Partitions = conf.Reducers
+	scfg.Trace = conf.Trace
+	if scfg.Injector == nil {
+		scfg.Injector = conf.Injector
+	}
+	var codec *serde.Codec
+	if conf.Mode == engine.Baseline {
+		codec = c.Codec
+	}
+	ex, err := shuffle.NewExchange(shuffle.NewStore(), scfg, conf.Name+"-shuffle",
+		c.Layouts, conf.MapOutClass, conf.KeyField, codec)
+	if err != nil {
+		res.Wall = time.Since(start)
+		return res, fmt.Errorf("hadoop: shuffle: %w", err)
+	}
+	for i, out := range mapOuts {
+		w := ex.Writer(i)
+		if err := w.Add(out); err != nil {
+			res.Wall = time.Since(start)
+			return res, fmt.Errorf("hadoop: shuffle: %w", err)
 		}
-		for i, p := range parts {
-			blocks[i] = append(blocks[i], p...)
+		if err := w.Close(); err != nil {
+			res.Wall = time.Since(start)
+			return res, fmt.Errorf("hadoop: shuffle: %w", err)
 		}
 	}
+	blocks, err := ex.FetchAll()
+	if err != nil {
+		res.Wall = time.Since(start)
+		return res, fmt.Errorf("hadoop: shuffle: %w", err)
+	}
+	shufStats := ex.Stats()
+	shufStats.AddTo(&res.Stats)
 	res.Stats.Total += time.Since(shufStart)
-
-	for _, b := range blocks {
-		res.ShuffleBytes += int64(len(b))
-	}
-	shufSpan.End(trace.I64("shuffle_bytes", res.ShuffleBytes))
+	res.ShuffleBytes = shufStats.BytesFetched
+	shufSpan.End(trace.I64("shuffle_bytes", res.ShuffleBytes),
+		trace.I64("spills", shufStats.Spills))
 
 	// ---- reduce phase: merge-sort each reducer's blocks and fold ----
 	mergeStart := time.Now()
@@ -218,7 +246,7 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	mergeSpan.End()
 	res.Stats.Total += time.Since(mergeStart)
 	outs, rjob, err := foldGroups(c, conf, pool, conf.ReduceDriver,
-		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce", job)
+		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce", job, true)
 	if rjob != nil {
 		res.Stats.Add(rjob.Stats)
 	}
@@ -236,8 +264,11 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 }
 
 // foldGroups runs a reduce-style driver once per key group of each block.
+// owned marks the blocks as freshly assembled for their task alone (the
+// reduce side's fetched-and-merge-sorted buffers), letting the native
+// attempt adopt them into its arena zero-copy.
 func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, class string,
-	blocks [][]byte, heapCfg heap.Config, phase string, job *trace.Span) ([][]byte, *engine.JobResult, error) {
+	blocks [][]byte, heapCfg heap.Config, phase string, job *trace.Span, owned bool) ([][]byte, *engine.JobResult, error) {
 	var specs []engine.TaskSpec
 	var blockOf []int
 	for i, block := range blocks {
@@ -251,7 +282,7 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 		invocations := make([]map[string]engine.Input, 0, len(groups))
 		for _, offs := range groups {
 			invocations = append(invocations, map[string]engine.Input{
-				"in": {Class: class, Buf: block, Offs: offs},
+				"in": {Class: class, Buf: block, Offs: offs, Owned: owned},
 			})
 		}
 		specs = append(specs, engine.TaskSpec{

@@ -20,6 +20,18 @@ type Breakdown struct {
 	Ser   time.Duration
 	Deser time.Duration
 
+	// Attempt-path attribution: wall time spent inside speculative native
+	// attempts vs heap (fallback/hedge) attempts, summed over tasks.
+	NativeTime time.Duration
+	HeapTime   time.Duration
+
+	// Shuffle exchange attribution. ShuffleWrite/ShuffleRead are the
+	// map-side and reduce-side exchange wall time excluding serde (the
+	// exchange's encode/decode cost lands in Ser/Deser, where Figure 6
+	// attributes it).
+	ShuffleWrite time.Duration
+	ShuffleRead  time.Duration
+
 	PeakHeapBytes   int64
 	PeakNativeBytes int64
 
@@ -37,11 +49,19 @@ type Breakdown struct {
 	NativeSkips     int64 // native attempts skipped by the de-speculation breaker
 	Hedges          int64 // hedged heap attempts launched against straggling natives
 	HedgeWins       int64 // hedged heap attempts that finished first
+
+	// Shuffle exchange volume accounting.
+	Spills              int64 // spill runs written by map-side writers
+	ShuffleBytesWritten int64 // raw record bytes sealed into shuffle blocks
+	ShuffleBytesSpilled int64 // bytes written to spill runs on disk
+	ShuffleBytesFetched int64 // raw record bytes fetched on the reduce side
+	ShuffleFetchRetries int64 // block fetch attempts beyond each block's first
 }
 
-// Compute returns the non-GC, non-serde portion of the total.
+// Compute returns the portion of the total not attributed to GC, serde,
+// or the shuffle exchange's transport/spill work.
 func (b Breakdown) Compute() time.Duration {
-	c := b.Total - b.GC - b.Ser - b.Deser
+	c := b.Total - b.GC - b.Ser - b.Deser - b.ShuffleWrite - b.ShuffleRead
 	if c < 0 {
 		return 0
 	}
@@ -63,6 +83,10 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.GC += o.GC
 	b.Ser += o.Ser
 	b.Deser += o.Deser
+	b.NativeTime += o.NativeTime
+	b.HeapTime += o.HeapTime
+	b.ShuffleWrite += o.ShuffleWrite
+	b.ShuffleRead += o.ShuffleRead
 	b.Aborts += o.Aborts
 	b.MinorGCs += o.MinorGCs
 	b.MajorGCs += o.MajorGCs
@@ -75,6 +99,11 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.NativeSkips += o.NativeSkips
 	b.Hedges += o.Hedges
 	b.HedgeWins += o.HedgeWins
+	b.Spills += o.Spills
+	b.ShuffleBytesWritten += o.ShuffleBytesWritten
+	b.ShuffleBytesSpilled += o.ShuffleBytesSpilled
+	b.ShuffleBytesFetched += o.ShuffleBytesFetched
+	b.ShuffleFetchRetries += o.ShuffleFetchRetries
 	if o.PeakHeapBytes > b.PeakHeapBytes {
 		b.PeakHeapBytes = o.PeakHeapBytes
 	}

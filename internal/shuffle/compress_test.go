@@ -1,0 +1,122 @@
+package shuffle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c Compression, raw []byte) []byte {
+	t.Helper()
+	payload, err := compressBlock(c, raw)
+	if err != nil {
+		t.Fatalf("%v: compress: %v", c, err)
+	}
+	got, err := decompressBlock(c, payload, len(raw))
+	if err != nil {
+		t.Fatalf("%v: decompress: %v", c, err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("%v: round trip diverged (%d bytes in, %d out)", c, len(raw), len(got))
+	}
+	return payload
+}
+
+func TestCompressionRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 10_000)
+	rng.Read(random)
+	repetitive := bytes.Repeat([]byte("the quick brown fox "), 500)
+	runs := bytes.Repeat([]byte{0xAB}, 5_000)
+	short := []byte{1, 2, 3}
+	var mixed []byte
+	for i := 0; i < 200; i++ {
+		mixed = append(mixed, repetitive[:50]...)
+		var r [17]byte
+		rng.Read(r[:])
+		mixed = append(mixed, r[:]...)
+	}
+	cases := map[string][]byte{
+		"empty": nil, "short": short, "random": random,
+		"repetitive": repetitive, "runs": runs, "mixed": mixed,
+	}
+	for _, c := range []Compression{None, Flate, LZ4} {
+		for name, raw := range cases {
+			payload := roundTrip(t, c, raw)
+			if c != None && name == "repetitive" && len(payload) >= len(raw) {
+				t.Errorf("%v: repetitive input did not shrink (%d -> %d)", c, len(raw), len(payload))
+			}
+			if c != None && name == "runs" && len(payload) >= len(raw)/10 {
+				t.Errorf("%v: byte run compressed poorly (%d -> %d)", c, len(raw), len(payload))
+			}
+		}
+	}
+}
+
+func TestLZ4RandomizedRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("abcd")
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(4096)
+		raw := make([]byte, n)
+		// Low-entropy alphabet produces plenty of matches, including
+		// overlapping ones; vary entropy with i.
+		for j := range raw {
+			if i%3 == 0 {
+				raw[j] = byte(rng.Intn(256))
+			} else {
+				raw[j] = alphabet[rng.Intn(len(alphabet))]
+			}
+		}
+		roundTrip(t, LZ4, raw)
+	}
+}
+
+func TestLZ4LongMatchLengthExtensions(t *testing.T) {
+	// A single 100KB run forces multi-byte (255-continuation) match
+	// length extensions and window-capped offsets.
+	raw := bytes.Repeat([]byte{7}, 100_000)
+	payload := roundTrip(t, LZ4, raw)
+	if len(payload) > 500 {
+		t.Errorf("100KB run compressed to %d bytes, want < 500", len(payload))
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	raw := bytes.Repeat([]byte("hello world "), 100)
+	for _, c := range []Compression{Flate, LZ4} {
+		payload, err := compressBlock(c, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decompressBlock(c, payload, len(raw)+1); err == nil {
+			t.Errorf("%v: wrong rawLen accepted", c)
+		}
+		if _, err := decompressBlock(c, payload[:len(payload)/2], len(raw)); err == nil {
+			t.Errorf("%v: truncated payload accepted", c)
+		}
+	}
+	if _, err := decompressBlock(None, raw, len(raw)-1); err == nil {
+		t.Error("None: wrong rawLen accepted")
+	}
+	// LZ4: an offset pointing before the start of the output must be
+	// rejected, not read wild.
+	bad := []byte{0x10, 'a', 0xFF, 0xFF}
+	if _, err := lz4Decompress(bad, 100); err == nil {
+		t.Error("lz4: wild back-reference accepted")
+	}
+}
+
+func TestParseCompression(t *testing.T) {
+	for in, want := range map[string]Compression{
+		"": None, "none": None, "flate": Flate, "DEFLATE": Flate, "lz4": LZ4, " LZ4 ": LZ4,
+	} {
+		got, err := ParseCompression(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCompression(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseCompression("zstd"); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}

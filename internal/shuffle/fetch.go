@@ -1,0 +1,195 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// FetchAll runs the reduce-side fetch: for every reducer it pulls that
+// reducer's block from each registered map output over the simulated
+// transport (bounded concurrency, retry-with-backoff over injected
+// fetch faults, circuit-breaker bypass for persistently failing
+// sources), decompresses, and concatenates the raw record bytes in
+// ascending map-task order. In Baseline mode every assembled record
+// then pays a real serde decode — the reduce-side deserialization point;
+// in Gerenuk mode the assembled native bytes are returned untouched for
+// zero-copy adoption into the task arena.
+//
+// The returned slice is indexed by reducer; a reducer nothing hashed to
+// gets an empty buffer. The exchange's blocks are released from the
+// store afterwards, and the exchange span closes: FetchAll is terminal.
+func (ex *Exchange) FetchAll() ([][]byte, error) {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return nil, fmt.Errorf("shuffle: exchange %s fetched twice", ex.name)
+	}
+	ex.closed = true
+	ex.mu.Unlock()
+	defer ex.store.release(ex.name)
+
+	maps := ex.mapIDs()
+	out := make([][]byte, ex.cfg.Partitions)
+	var err error
+	for r := 0; r < ex.cfg.Partitions; r++ {
+		out[r], err = ex.fetchReducer(r, maps)
+		if err != nil {
+			ex.span.End(trace.Str("error", err.Error()))
+			return nil, err
+		}
+	}
+	st := ex.Stats()
+	ex.span.End(trace.I64("bytes_written", st.BytesWritten),
+		trace.I64("bytes_fetched", st.BytesFetched),
+		trace.I64("spills", st.Spills), trace.I64("fetch_retries", st.FetchRetries))
+	return out, nil
+}
+
+// fetchReducer assembles one reducer's input. Blocks fetch concurrently
+// under the configured semaphore; assembly order is ascending map task,
+// so the result is deterministic regardless of fetch completion order.
+func (ex *Exchange) fetchReducer(reducer int, maps []int) ([]byte, error) {
+	t0 := time.Now()
+	sp := ex.span.Child("shuffle", "fetch", trace.I64("reducer", int64(reducer)))
+	var plan *faults.Plan
+	if ex.cfg.Injector != nil {
+		plan = ex.cfg.Injector.ForTask(fmt.Sprintf("%s/r%d", ex.name, reducer))
+	}
+
+	type fetched struct {
+		raw []byte
+		st  Stats
+		err error
+	}
+	results := make([]fetched, len(maps))
+	sem := make(chan struct{}, ex.cfg.FetchConcurrency)
+	var wg sync.WaitGroup
+	for i, mapTask := range maps {
+		id := blockID{ex.name, mapTask, reducer}
+		if _, ok := ex.store.get(id); !ok {
+			continue // this map task produced nothing for this reducer
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id blockID) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			raw, st, err := ex.fetchBlock(sp, id, plan)
+			results[i] = fetched{raw: raw, st: st, err: err}
+		}(i, id)
+	}
+	wg.Wait()
+
+	var st Stats
+	var buf []byte
+	var records int64
+	for _, f := range results {
+		if f.err != nil {
+			return nil, f.err
+		}
+		st.add(f.st)
+		buf = append(buf, f.raw...)
+	}
+	if ex.codec != nil && len(buf) > 0 {
+		// Baseline reduce-side deserialization: one real decode per record.
+		td := time.Now()
+		decodes := ex.reg().Counter("shuffle_read_decodes_total")
+		for off := 0; off < len(buf); {
+			if _, _, err := ex.codec.Decode(ex.class, buf, off); err != nil {
+				return nil, fmt.Errorf("shuffle: reducer %d: deserialize: %w", reducer, err)
+			}
+			sp.Instant("shuffle", "shuffle-record-decode", trace.I64("off", int64(off)))
+			decodes.Add(1)
+			records++
+			off += serde.RecordSize(buf, off)
+		}
+		st.DeserTime = time.Since(td)
+	}
+	// ReadTime is the fetch/assembly wall excluding the serde cost, which
+	// Stats.AddTo reports under Deser instead.
+	st.ReadTime = time.Since(t0) - st.DeserTime
+	ex.reg().Counter("shuffle_records_fetched_total").Add(st.Records)
+	ex.addStats(st)
+	sp.End(trace.I64("bytes", int64(len(buf))), trace.I64("blocks", int64(len(maps))),
+		trace.I64("decoded_records", records))
+	return buf, nil
+}
+
+// fetchBlock pulls one block through the simulated transport, retrying
+// injected fetch faults with exponential backoff. A source whose breaker
+// has tripped open bypasses the fault-prone transport entirely — the
+// model of falling back to a local/replicated copy — paying neither
+// latency nor fault rolls.
+func (ex *Exchange) fetchBlock(parent *trace.Span, id blockID, plan *faults.Plan) ([]byte, Stats, error) {
+	var st Stats
+	b, ok := ex.store.get(id)
+	if !ok {
+		return nil, st, fmt.Errorf("shuffle: block %s/map-%d/r%d vanished", id.exchange, id.mapTask, id.reducer)
+	}
+	src := fmt.Sprintf("%s/map-%d", id.exchange, id.mapTask)
+	latHist := ex.reg().Histogram("shuffle_fetch_latency_ns", trace.LatencyBuckets()...)
+
+	var lastErr error
+	for attempt := 1; attempt <= ex.cfg.MaxFetchRetries; attempt++ {
+		if attempt > 1 {
+			st.FetchRetries++
+			ex.reg().Counter("shuffle_fetch_retries_total").Add(1)
+			time.Sleep(engine.BackoffDelay(ex.cfg.FetchBackoff, attempt))
+		}
+		t0 := time.Now()
+		if ex.cfg.Breaker != nil && !ex.cfg.Breaker.Allow(src) {
+			parent.Instant("shuffle", "fetch-bypass", trace.Str("source", src))
+			latHist.Observe(float64(time.Since(t0).Nanoseconds()))
+			lastErr = nil
+			break
+		}
+		if d := ex.cfg.Transport.delay(len(b.Payload)); d > 0 {
+			time.Sleep(d)
+		}
+		if plan != nil && plan.TakeFetchAttempt() {
+			lastErr = fmt.Errorf("shuffle: injected fetch failure from %s (attempt %d)", src, attempt)
+			parent.Instant("shuffle", "fetch-fault", trace.Str("source", src),
+				trace.I64("attempt", int64(attempt)))
+			if ex.cfg.Breaker != nil {
+				ex.cfg.Breaker.Record(src, true)
+			}
+			continue
+		}
+		if ex.cfg.Breaker != nil {
+			ex.cfg.Breaker.Record(src, false)
+		}
+		latHist.Observe(float64(time.Since(t0).Nanoseconds()))
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return nil, st, fmt.Errorf("shuffle: fetch of %s/r%d failed after %d attempts: %w",
+			src, id.reducer, ex.cfg.MaxFetchRetries, lastErr)
+	}
+
+	raw := b.Payload
+	if b.Codec != None {
+		ds := parent.Child("shuffle", "decompress", trace.Str("codec", b.Codec.String()),
+			trace.I64("wire_bytes", int64(len(b.Payload))), trace.I64("raw_bytes", int64(b.RawLen)))
+		var err error
+		raw, err = decompressBlock(b.Codec, b.Payload, b.RawLen)
+		ds.End()
+		if err != nil {
+			return nil, st, err
+		}
+	} else if len(raw) != b.RawLen {
+		return nil, st, fmt.Errorf("shuffle: raw block is %d bytes, header says %d", len(raw), b.RawLen)
+	}
+	st.WireBytesFetched += int64(len(b.Payload))
+	st.BytesFetched += int64(len(raw))
+	st.Records += int64(b.Records)
+	ex.reg().Counter("shuffle_blocks_fetched_total").Add(1)
+	ex.reg().Counter("shuffle_bytes_fetched_total").Add(int64(len(raw)))
+	return raw, st, nil
+}

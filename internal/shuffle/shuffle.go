@@ -1,0 +1,300 @@
+// Package shuffle is the exchange subsystem both drivers (spark, hadoop)
+// route their wide operations through: a map-side Writer that hash-
+// partitions wire records into per-reducer blocks under a bounded memory
+// budget — spilling sorted runs to disk and merging them on close — a
+// Store registering every sealed block, and a reduce-side fetch path
+// that streams blocks through a simulated transport with bounded
+// concurrency, optional block compression, and retry-with-backoff over
+// injected fetch faults.
+//
+// The exchange is where the paper's S/D elimination becomes measurable
+// per phase. In Baseline mode the exchange pays real serde per record:
+// the writer decodes and re-encodes every record crossing it (the
+// map-side serialization point) and the fetch path decodes every record
+// again (the reduce-side deserialization point) — the codec is canonical,
+// so the bytes are unchanged and only the cost is modeled. In Gerenuk
+// mode records cross the exchange as inlined native bytes untouched, and
+// the fetched block is adopted into the reduce task's arena zero-copy
+// (engine.Input.Owned → arena.AdoptBytesOwned): no decode spans, no
+// transfer copy.
+//
+// Determinism contract: for a fixed input, every storage configuration —
+// unbounded in-memory, any spill budget, any compression — produces
+// byte-identical per-reducer blocks. Writers order each reducer's records
+// by (canonical key bytes, arrival sequence); the in-memory path sorts
+// once at close, the spill path writes runs already in that order and
+// k-way merges them, and both orders are total, so they agree. The
+// gerenukbench shuffle pass pins this across every app in both modes.
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dsa"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// Transport simulates the network between map outputs and reduce
+// fetches. The zero value is an instantaneous local exchange.
+type Transport struct {
+	// Latency is the fixed per-block fetch latency (connection setup,
+	// request round trip).
+	Latency time.Duration
+	// BytesPerSec bounds the simulated bandwidth; the wire payload
+	// (post-compression) is what crosses it. 0 means unbounded.
+	BytesPerSec int64
+}
+
+// delay returns the simulated transfer time for a wire payload.
+func (t Transport) delay(wireBytes int) time.Duration {
+	d := t.Latency
+	if t.BytesPerSec > 0 {
+		d += time.Duration(int64(wireBytes) * int64(time.Second) / t.BytesPerSec)
+	}
+	return d
+}
+
+// Config configures one exchange. The zero value is an unbounded
+// in-memory exchange: no spilling, no compression, no transport delay,
+// no fault injection.
+type Config struct {
+	// Partitions is the reducer count (filled by the driver).
+	Partitions int
+	// MemoryBudget bounds each writer's buffered bytes; once exceeded the
+	// buffered entries spill to disk as one sorted run. 0 = unbounded.
+	MemoryBudget int64
+	// SpillDir is where spill runs are written (default os.TempDir()).
+	SpillDir string
+	// Compression is the per-block codec applied when a writer seals a
+	// block and undone by the fetch path.
+	Compression Compression
+	// Transport simulates per-block fetch latency and bandwidth.
+	Transport Transport
+	// FetchConcurrency bounds in-flight block fetches per reducer
+	// (default 4).
+	FetchConcurrency int
+	// MaxFetchRetries bounds attempts per block over injected fetch
+	// faults (default 3; 1 disables retries).
+	MaxFetchRetries int
+	// FetchBackoff is the delay before a block's second fetch attempt,
+	// doubling per retry via engine.BackoffDelay (default 0).
+	FetchBackoff time.Duration
+	// Breaker, when set, tracks per-map-output fetch health with the
+	// engine's circuit-breaker semantics: a source whose fetches keep
+	// failing trips open and subsequent fetches bypass the fault-prone
+	// transport path (modeling a fallback to the replicated/local copy)
+	// instead of burning retries.
+	Breaker *engine.Breaker
+	// Injector, when set, derives a deterministic fetch fault plan per
+	// reducer (faults.Plan.FetchFailures).
+	Injector *faults.Injector
+	// Trace receives shuffle-write/spill/merge/fetch/decompress spans and
+	// the shuffle metrics (byte counters, fetch-latency histogram).
+	Trace *trace.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.FetchConcurrency <= 0 {
+		c.FetchConcurrency = 4
+	}
+	if c.MaxFetchRetries <= 0 {
+		c.MaxFetchRetries = 3
+	}
+	return c
+}
+
+// Stats is one exchange's accounting, folded into the job's cost
+// breakdown by the driver.
+type Stats struct {
+	BytesWritten     int64 // raw record bytes written into blocks
+	BytesSpilled     int64 // bytes written to spill runs on disk
+	BytesFetched     int64 // raw record bytes fetched (post-decompression)
+	WireBytesFetched int64 // bytes that crossed the simulated transport
+	Spills           int64 // spill runs written
+	FetchRetries     int64 // block fetch attempts beyond each block's first
+	Records          int64 // records fetched
+
+	WriteTime time.Duration // map-side wall time, serde excluded
+	ReadTime  time.Duration // reduce-side wall time, serde excluded
+	SerTime   time.Duration // baseline per-record encode cost (map side)
+	DeserTime time.Duration // baseline per-record decode cost (reduce side)
+}
+
+func (s *Stats) add(o Stats) {
+	s.BytesWritten += o.BytesWritten
+	s.BytesSpilled += o.BytesSpilled
+	s.BytesFetched += o.BytesFetched
+	s.WireBytesFetched += o.WireBytesFetched
+	s.Spills += o.Spills
+	s.FetchRetries += o.FetchRetries
+	s.Records += o.Records
+	s.WriteTime += o.WriteTime
+	s.ReadTime += o.ReadTime
+	s.SerTime += o.SerTime
+	s.DeserTime += o.DeserTime
+}
+
+// AddTo folds the exchange accounting into a job cost breakdown: shuffle
+// wall time into the ShuffleWrite/ShuffleRead attribution buckets, the
+// exchange serde into Ser/Deser (it is real serialization cost, the very
+// cost Gerenuk eliminates), and the volume counters.
+func (s Stats) AddTo(bd *metrics.Breakdown) {
+	bd.ShuffleWrite += s.WriteTime
+	bd.ShuffleRead += s.ReadTime
+	bd.Ser += s.SerTime
+	bd.Deser += s.DeserTime
+	bd.Spills += s.Spills
+	bd.ShuffleBytesWritten += s.BytesWritten
+	bd.ShuffleBytesSpilled += s.BytesSpilled
+	bd.ShuffleBytesFetched += s.BytesFetched
+	bd.ShuffleFetchRetries += s.FetchRetries
+}
+
+// Block is one sealed map output for one reducer: records ordered by
+// (key, arrival), possibly compressed.
+type Block struct {
+	Payload []byte // wire form (compressed when Codec != None)
+	RawLen  int    // uncompressed length
+	Records int
+	Codec   Compression
+}
+
+type blockID struct {
+	exchange string
+	mapTask  int
+	reducer  int
+}
+
+// Store is the registry of sealed shuffle blocks — the simulated shuffle
+// service mappers publish to and reducers fetch from. Safe for
+// concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	blocks map[blockID]*Block
+}
+
+// NewStore returns an empty block store.
+func NewStore() *Store { return &Store{blocks: make(map[blockID]*Block)} }
+
+func (s *Store) put(id blockID, b *Block) {
+	s.mu.Lock()
+	s.blocks[id] = b
+	s.mu.Unlock()
+}
+
+func (s *Store) get(id blockID) (*Block, bool) {
+	s.mu.Lock()
+	b, ok := s.blocks[id]
+	s.mu.Unlock()
+	return b, ok
+}
+
+// release drops every block of one exchange, bounding the store to the
+// exchanges still in flight.
+func (s *Store) release(exchange string) {
+	s.mu.Lock()
+	for id := range s.blocks {
+		if id.exchange == exchange {
+			delete(s.blocks, id)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of registered blocks.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blocks)
+}
+
+// Exchange is one shuffle: a set of map-side writers publishing into a
+// store and a reduce-side fetch pass consuming them. Writers run one at
+// a time (driver-side map loop); FetchAll fetches blocks concurrently.
+type Exchange struct {
+	store    *Store
+	cfg      Config
+	name     string
+	layouts  *dsa.Result
+	class    string
+	keyField string
+	// codec non-nil selects the baseline exchange: every record crossing
+	// pays a decode+encode on the write side and a decode on the fetch
+	// side. nil is the Gerenuk exchange: bytes cross untouched.
+	codec *serde.Codec
+
+	span *trace.Span
+
+	mu     sync.Mutex
+	maps   []int
+	stats  Stats
+	closed bool
+}
+
+// NewExchange validates the key field against the class layout — even an
+// exchange whose every partition turns out empty must reject a missing
+// key field loudly — and opens the exchange span.
+func NewExchange(store *Store, cfg Config, name string, layouts *dsa.Result,
+	class, keyField string, codec *serde.Codec) (*Exchange, error) {
+	l := layouts.Layout(class)
+	if l == nil {
+		return nil, fmt.Errorf("shuffle: no layout for class %s", class)
+	}
+	if _, ok := l.FieldOff[keyField]; !ok {
+		return nil, fmt.Errorf("shuffle: no key field %s.%s", class, keyField)
+	}
+	if store == nil {
+		store = NewStore()
+	}
+	cfg = cfg.withDefaults()
+	ex := &Exchange{
+		store: store, cfg: cfg, name: name,
+		layouts: layouts, class: class, keyField: keyField, codec: codec,
+	}
+	ex.span = cfg.Trace.StartSpan("shuffle", name,
+		trace.Str("class", class), trace.Str("key", keyField),
+		trace.I64("partitions", int64(cfg.Partitions)),
+		trace.Str("compression", cfg.Compression.String()))
+	return ex, nil
+}
+
+// Stats returns the exchange accounting so far.
+func (ex *Exchange) Stats() Stats {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.stats
+}
+
+func (ex *Exchange) addStats(o Stats) {
+	ex.mu.Lock()
+	ex.stats.add(o)
+	ex.mu.Unlock()
+}
+
+func (ex *Exchange) addMap(mapTask int) {
+	ex.mu.Lock()
+	ex.maps = append(ex.maps, mapTask)
+	ex.mu.Unlock()
+}
+
+// mapIDs returns the registered map task ids in ascending order, the
+// deterministic assembly order of every reducer's fetch.
+func (ex *Exchange) mapIDs() []int {
+	ex.mu.Lock()
+	ids := append([]int(nil), ex.maps...)
+	ex.mu.Unlock()
+	sort.Ints(ids)
+	return ids
+}
+
+func (ex *Exchange) reg() *trace.Registry { return ex.cfg.Trace.Registry() }

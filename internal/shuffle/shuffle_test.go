@@ -1,0 +1,316 @@
+package shuffle_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+	. "repro/internal/shuffle"
+	"repro/internal/trace"
+)
+
+func pairCompiled(t *testing.T) *engine.Compiled {
+	t.Helper()
+	reg := model.NewRegistry()
+	reg.DefineString()
+	reg.Define(model.ClassDef{Name: "Pair", Fields: []model.FieldDef{
+		{Name: "key", Type: model.Prim(model.KindLong)},
+		{Name: "value", Type: model.Prim(model.KindDouble)},
+	}})
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"Pair"}
+	return engine.Compile(prog)
+}
+
+// encodeParts builds nParts map-side partitions of n records each, keys
+// cycling mod keyMod so every reducer sees multi-record key groups.
+func encodeParts(t *testing.T, c *engine.Compiled, nParts, n, keyMod int) [][]byte {
+	t.Helper()
+	parts := make([][]byte, nParts)
+	var err error
+	for p := 0; p < nParts; p++ {
+		for i := 0; i < n; i++ {
+			parts[p], err = c.Codec.Encode("Pair",
+				serde.Obj{"key": int64((p*n + i) % keyMod), "value": float64(p*n + i)}, parts[p])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return parts
+}
+
+// runExchange pushes parts through one exchange and returns the fetched
+// reducer blocks plus the accounting.
+func runExchange(t *testing.T, c *engine.Compiled, cfg Config, codec *serde.Codec, parts [][]byte) ([][]byte, Stats) {
+	t.Helper()
+	cfg.SpillDir = t.TempDir()
+	ex, err := NewExchange(nil, cfg, "test", c.Layouts, "Pair", "key", codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		w := ex.Writer(i)
+		if err := w.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocks, err := ex.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blocks, ex.Stats()
+}
+
+func countRecords(blocks [][]byte) int {
+	n := 0
+	for _, b := range blocks {
+		for off := 0; off < len(b); off += serde.RecordSize(b, off) {
+			n++
+		}
+	}
+	return n
+}
+
+// The determinism contract: unbounded in-memory, tiny spill budgets, and
+// every compression codec must produce byte-identical reducer blocks, in
+// both the baseline (serde-paying) and gerenuk (native bytes) exchanges.
+func TestExchangeDeterministicAcrossConfigs(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 3, 40, 17)
+
+	for _, mode := range []string{"gerenuk", "baseline"} {
+		var codec *serde.Codec
+		if mode == "baseline" {
+			codec = c.Codec
+		}
+		ref, refStats := runExchange(t, c, Config{Partitions: 4}, codec, parts)
+		if refStats.Spills != 0 {
+			t.Fatalf("%s: unbounded config spilled %d times", mode, refStats.Spills)
+		}
+		if got := countRecords(ref); got != 120 {
+			t.Fatalf("%s: fetched %d records, want 120", mode, got)
+		}
+		cases := []struct {
+			name string
+			cfg  Config
+		}{
+			{"spill-1b", Config{Partitions: 4, MemoryBudget: 1}},
+			{"spill-256b", Config{Partitions: 4, MemoryBudget: 256}},
+			{"spill-flate", Config{Partitions: 4, MemoryBudget: 128, Compression: Flate}},
+			{"spill-lz4", Config{Partitions: 4, MemoryBudget: 128, Compression: LZ4}},
+			{"inmem-lz4", Config{Partitions: 4, Compression: LZ4}},
+		}
+		for _, tc := range cases {
+			blocks, st := runExchange(t, c, tc.cfg, codec, parts)
+			if len(blocks) != len(ref) {
+				t.Fatalf("%s/%s: %d blocks, want %d", mode, tc.name, len(blocks), len(ref))
+			}
+			for r := range blocks {
+				if !bytes.Equal(blocks[r], ref[r]) {
+					t.Errorf("%s/%s: reducer %d diverged from in-memory reference", mode, tc.name, r)
+				}
+			}
+			if tc.cfg.MemoryBudget > 0 && st.Spills < int64(len(parts)) {
+				t.Errorf("%s/%s: %d spills, want >= one per map task (%d)", mode, tc.name, st.Spills, len(parts))
+			}
+			if st.BytesFetched != refStats.BytesFetched {
+				t.Errorf("%s/%s: fetched %d bytes, reference fetched %d", mode, tc.name, st.BytesFetched, refStats.BytesFetched)
+			}
+		}
+	}
+}
+
+// Satellite fix: a missing key field must error at exchange creation,
+// before any record is seen — even a shuffle whose partitions are all
+// empty rejects it.
+func TestMissingKeyFieldErrorsBeforeAnyRecord(t *testing.T) {
+	c := pairCompiled(t)
+	if _, err := NewExchange(nil, Config{Partitions: 2}, "t", c.Layouts, "Pair", "nope", nil); err == nil {
+		t.Fatal("missing key field accepted")
+	}
+	if _, err := NewExchange(nil, Config{Partitions: 2}, "t", c.Layouts, "NoSuch", "key", nil); err == nil {
+		t.Fatal("missing class accepted")
+	}
+	// A valid exchange with zero input still works and yields empty blocks.
+	ex, err := NewExchange(nil, Config{Partitions: 2}, "t", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ex.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || len(blocks[0]) != 0 || len(blocks[1]) != 0 {
+		t.Fatalf("empty exchange produced non-empty blocks: %v", blocks)
+	}
+}
+
+func TestFetchRetryRecoversInjectedFaults(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 2, 30, 7)
+	ref, _ := runExchange(t, c, Config{Partitions: 3}, nil, parts)
+
+	inj := &faults.Injector{Seed: 42, FetchFailRate: 1, FetchFails: 2}
+	blocks, st := runExchange(t, c, Config{Partitions: 3, MaxFetchRetries: 4, Injector: inj}, nil, parts)
+	for r := range blocks {
+		if !bytes.Equal(blocks[r], ref[r]) {
+			t.Errorf("reducer %d diverged under fetch faults", r)
+		}
+	}
+	if st.FetchRetries < 2 {
+		t.Errorf("fetch retries = %d, want >= 2 (2 injected failures per reducer)", st.FetchRetries)
+	}
+}
+
+func TestFetchRetryExhaustionFailsTheJob(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 1, 10, 3)
+	inj := &faults.Injector{Seed: 7, FetchFailRate: 1, FetchFails: 100}
+	cfg := Config{Partitions: 1, MaxFetchRetries: 2, Injector: inj, SpillDir: t.TempDir()}
+	ex, err := NewExchange(nil, cfg, "t", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ex.Writer(0)
+	if err := w.Add(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.FetchAll(); err == nil {
+		t.Fatal("exhausted retries still succeeded")
+	}
+}
+
+// An open breaker routes around the fault-prone transport (the local-
+// copy fallback), so even a permanently failing source completes.
+func TestBreakerBypassesPersistentFetchFaults(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 1, 20, 5)
+	ref, _ := runExchange(t, c, Config{Partitions: 1}, nil, parts)
+
+	inj := &faults.Injector{Seed: 7, FetchFailRate: 1, FetchFails: 1 << 30}
+	br := engine.NewBreaker(2)
+	blocks, st := runExchange(t, c,
+		Config{Partitions: 1, MaxFetchRetries: 8, Injector: inj, Breaker: br}, nil, parts)
+	if !bytes.Equal(blocks[0], ref[0]) {
+		t.Error("bypassed fetch diverged from reference")
+	}
+	if st.FetchRetries < 2 {
+		t.Errorf("fetch retries = %d, want >= breaker threshold", st.FetchRetries)
+	}
+	if !br.Open("test/map-0") {
+		t.Error("breaker never opened for the failing source")
+	}
+}
+
+// The acceptance criterion made unit-sized: the baseline exchange decodes
+// every fetched record (one decode span + counter tick per record); the
+// gerenuk exchange decodes none.
+func TestBaselineDecodesPerRecordGerenukZero(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 2, 25, 9)
+	const total = 50
+
+	for _, mode := range []string{"baseline", "gerenuk"} {
+		tr := trace.New()
+		var codec *serde.Codec
+		if mode == "baseline" {
+			codec = c.Codec
+		}
+		cfg := Config{Partitions: 3, MemoryBudget: 200, Compression: LZ4, Trace: tr}
+		cfg.SpillDir = t.TempDir()
+		ex, err := NewExchange(nil, cfg, "t", c.Layouts, "Pair", "key", codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range parts {
+			w := ex.Writer(i)
+			if err := w.Add(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := ex.FetchAll(); err != nil {
+			t.Fatal(err)
+		}
+		decodes := tr.Registry().Counter("shuffle_read_decodes_total").Value()
+		spans := 0
+		for _, e := range tr.Events() {
+			if e.Name == "shuffle-record-decode" {
+				spans++
+			}
+		}
+		want := int64(0)
+		if mode == "baseline" {
+			want = total
+		}
+		if decodes != want || int64(spans) != want {
+			t.Errorf("%s: decode counter = %d, decode spans = %d, want %d",
+				mode, decodes, spans, want)
+		}
+		if got := tr.Registry().Counter("shuffle_records_fetched_total").Value(); got != total {
+			t.Errorf("%s: records fetched counter = %d, want %d", mode, got, total)
+		}
+	}
+}
+
+func TestWriterRejectsDoubleCloseAndFetchTwice(t *testing.T) {
+	c := pairCompiled(t)
+	ex, err := NewExchange(nil, Config{Partitions: 1}, "t", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ex.Writer(0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double close accepted")
+	}
+	if _, err := ex.FetchAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.FetchAll(); err == nil {
+		t.Error("second FetchAll accepted")
+	}
+}
+
+func TestStoreReleasedAfterFetch(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 2, 10, 4)
+	store := NewStore()
+	ex, err := NewExchange(store, Config{Partitions: 2}, "t", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		w := ex.Writer(i)
+		if err := w.Add(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Len() == 0 {
+		t.Fatal("no blocks registered")
+	}
+	if _, err := ex.FetchAll(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Errorf("store still holds %d blocks after fetch", store.Len())
+	}
+}

@@ -1,0 +1,330 @@
+package shuffle
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/serde"
+	"repro/internal/trace"
+)
+
+// entry is one record staged for the exchange: its canonical key bytes,
+// its arrival sequence within the writer (the tiebreak that makes the
+// per-reducer order total, and with it the output bytes independent of
+// budget and compression), and the wire record itself.
+type entry struct {
+	key []byte
+	seq uint64
+	rec []byte
+}
+
+func entryLess(a, b entry) bool {
+	if c := bytes.Compare(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// Writer stages one map task's output: records are hash-partitioned by
+// key into per-reducer buffers; when the buffered bytes exceed the
+// memory budget everything spills to disk as one sorted run, and Close
+// merges the runs back into per-reducer blocks registered in the store.
+// Not safe for concurrent use (one writer per map task).
+type Writer struct {
+	ex      *Exchange
+	mapTask int
+	span    *trace.Span
+
+	buf      [][]entry // per-reducer staged entries
+	bufBytes int64
+	seq      uint64
+	runs     []string // sorted spill run files, merge order
+	st       Stats
+	closed   bool
+}
+
+// Writer opens the map-side writer for one map task.
+func (ex *Exchange) Writer(mapTask int) *Writer {
+	return &Writer{
+		ex: ex, mapTask: mapTask,
+		buf: make([][]entry, ex.cfg.Partitions),
+		span: ex.span.Child("shuffle", "shuffle-write",
+			trace.I64("map_task", int64(mapTask))),
+	}
+}
+
+// Add stages every size-prefixed record in buf. In Baseline mode each
+// record pays a real decode + canonical re-encode here — the map-side
+// serialization point of a conventional runtime; in Gerenuk mode the
+// native bytes are staged untouched.
+func (w *Writer) Add(buf []byte) error {
+	t0 := time.Now()
+	var serT time.Duration
+	defer func() {
+		w.st.WriteTime += time.Since(t0) - serT
+		w.st.SerTime += serT
+	}()
+	ex := w.ex
+	for off := 0; off < len(buf); {
+		if off+serde.SizePrefixBytes > len(buf) {
+			return fmt.Errorf("shuffle: corrupt record at offset %d of map task %d", off, w.mapTask)
+		}
+		sz := serde.RecordSize(buf, off)
+		if off+sz > len(buf) {
+			return fmt.Errorf("shuffle: corrupt record at offset %d of map task %d", off, w.mapTask)
+		}
+		rec := buf[off : off+sz]
+		key, err := engine.KeyOf(ex.layouts, ex.class, ex.keyField, buf, off)
+		if err != nil {
+			return fmt.Errorf("shuffle: map task %d: %w", w.mapTask, err)
+		}
+		if ex.codec != nil {
+			ts := time.Now()
+			v, _, err := ex.codec.Decode(ex.class, buf, off)
+			if err != nil {
+				return fmt.Errorf("shuffle: map task %d: serialize: %w", w.mapTask, err)
+			}
+			obj, ok := v.(serde.Obj)
+			if !ok {
+				return fmt.Errorf("shuffle: map task %d: record decoded to %T, want object", w.mapTask, v)
+			}
+			enc, err := ex.codec.Encode(ex.class, obj, nil)
+			if err != nil {
+				return fmt.Errorf("shuffle: map task %d: serialize: %w", w.mapTask, err)
+			}
+			rec = enc // canonical: byte-identical to the input record
+			serT += time.Since(ts)
+			ex.reg().Counter("shuffle_write_encodes_total").Add(1)
+		} else {
+			rec = append([]byte(nil), rec...)
+		}
+		reducer := int(engine.HashKey(key) % uint64(ex.cfg.Partitions))
+		w.buf[reducer] = append(w.buf[reducer], entry{key: key, seq: w.seq, rec: rec})
+		w.seq++
+		w.bufBytes += int64(len(key) + len(rec))
+		off += sz
+		if ex.cfg.MemoryBudget > 0 && w.bufBytes > ex.cfg.MemoryBudget {
+			if err := w.spill(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// spill sorts the staged entries and writes them to disk as one run:
+// per-reducer groups in ascending reducer order, each group's entries in
+// (key, seq) order — exactly the order Close's merge consumes.
+func (w *Writer) spill() error {
+	sp := w.span.Child("shuffle", "spill",
+		trace.I64("map_task", int64(w.mapTask)), trace.I64("bytes", w.bufBytes))
+	f, err := os.CreateTemp(w.ex.cfg.SpillDir, "shuffle-*.run")
+	if err != nil {
+		return fmt.Errorf("shuffle: spill: %w", err)
+	}
+	bw := bytes.Buffer{}
+	var u32 [4]byte
+	var u64 [8]byte
+	for r, es := range w.buf {
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool { return entryLess(es[i], es[j]) })
+		binary.LittleEndian.PutUint32(u32[:], uint32(r))
+		bw.Write(u32[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(es)))
+		bw.Write(u32[:])
+		for _, e := range es {
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(e.key)))
+			bw.Write(u32[:])
+			bw.Write(e.key)
+			binary.LittleEndian.PutUint64(u64[:], e.seq)
+			bw.Write(u64[:])
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(e.rec)))
+			bw.Write(u32[:])
+			bw.Write(e.rec)
+		}
+	}
+	n, err := f.Write(bw.Bytes())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("shuffle: spill: %w", err)
+	}
+	w.runs = append(w.runs, f.Name())
+	w.st.Spills++
+	w.st.BytesSpilled += int64(n)
+	w.ex.reg().Counter("shuffle_spills_total").Add(1)
+	w.ex.reg().Counter("shuffle_bytes_spilled_total").Add(int64(n))
+	for r := range w.buf {
+		w.buf[r] = nil
+	}
+	w.bufBytes = 0
+	sp.End(trace.I64("run_bytes", int64(n)))
+	return nil
+}
+
+// readRun loads one spill run back as per-reducer entry groups, each
+// already in (key, seq) order.
+func readRun(path string, partitions int) ([][]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: merge: %w", err)
+	}
+	groups := make([][]entry, partitions)
+	p := 0
+	need := func(n int) error {
+		if p+n > len(data) {
+			return fmt.Errorf("shuffle: merge: truncated run %s at offset %d", path, p)
+		}
+		return nil
+	}
+	for p < len(data) {
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		r := int(binary.LittleEndian.Uint32(data[p:]))
+		count := int(binary.LittleEndian.Uint32(data[p+4:]))
+		p += 8
+		if r < 0 || r >= partitions {
+			return nil, fmt.Errorf("shuffle: merge: run %s names reducer %d of %d", path, r, partitions)
+		}
+		es := make([]entry, 0, count)
+		for i := 0; i < count; i++ {
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			kl := int(binary.LittleEndian.Uint32(data[p:]))
+			p += 4
+			if err := need(kl + 12); err != nil {
+				return nil, err
+			}
+			key := data[p : p+kl : p+kl]
+			p += kl
+			seq := binary.LittleEndian.Uint64(data[p:])
+			p += 8
+			rl := int(binary.LittleEndian.Uint32(data[p:]))
+			p += 4
+			if err := need(rl); err != nil {
+				return nil, err
+			}
+			rec := data[p : p+rl : p+rl]
+			p += rl
+			es = append(es, entry{key: key, seq: seq, rec: rec})
+		}
+		groups[r] = append(groups[r], es...)
+	}
+	return groups, nil
+}
+
+// mergeRuns k-way merges per-reducer sorted runs by (key, seq). Every
+// seq is unique within the writer, so the merge order equals the global
+// sort order the in-memory path produces.
+func mergeRuns(runs [][]entry) []entry {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([]entry, 0, total)
+	cur := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if cur[i] >= len(r) {
+				continue
+			}
+			if best < 0 || entryLess(r[cur[i]], runs[best][cur[best]]) {
+				best = i
+			}
+		}
+		out = append(out, runs[best][cur[best]])
+		cur[best]++
+	}
+	return out
+}
+
+// Close seals the map output: spilled runs are merged with any still-
+// buffered entries, each reducer's records are concatenated in (key,
+// seq) order, compressed per the exchange config, and registered in the
+// block store. The spill files are deleted.
+func (w *Writer) Close() error {
+	if w.closed {
+		return fmt.Errorf("shuffle: writer for map task %d closed twice", w.mapTask)
+	}
+	w.closed = true
+	t0 := time.Now()
+	ex := w.ex
+
+	perReducer := make([][][]entry, ex.cfg.Partitions)
+	if len(w.runs) > 0 && w.bufBytes > 0 {
+		// Flush the tail so the merge sees every record as a sorted run.
+		if err := w.spill(); err != nil {
+			return err
+		}
+	}
+	for _, path := range w.runs {
+		groups, err := readRun(path, ex.cfg.Partitions)
+		if err != nil {
+			return err
+		}
+		for r, g := range groups {
+			if len(g) > 0 {
+				perReducer[r] = append(perReducer[r], g)
+			}
+		}
+	}
+	for r, es := range w.buf {
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool { return entryLess(es[i], es[j]) })
+		perReducer[r] = append(perReducer[r], es)
+	}
+
+	var mergeSpan *trace.Span
+	if len(w.runs) > 0 {
+		mergeSpan = w.span.Child("shuffle", "merge",
+			trace.I64("map_task", int64(w.mapTask)), trace.I64("runs", int64(len(w.runs))))
+	}
+	var written, records int64
+	for r := 0; r < ex.cfg.Partitions; r++ {
+		es := mergeRuns(perReducer[r])
+		if len(es) == 0 {
+			continue
+		}
+		var raw bytes.Buffer
+		for _, e := range es {
+			raw.Write(e.rec)
+		}
+		payload, err := compressBlock(ex.cfg.Compression, raw.Bytes())
+		if err != nil {
+			return err
+		}
+		ex.store.put(blockID{ex.name, w.mapTask, r}, &Block{
+			Payload: payload, RawLen: raw.Len(), Records: len(es), Codec: ex.cfg.Compression,
+		})
+		written += int64(raw.Len())
+		records += int64(len(es))
+	}
+	mergeSpan.End(trace.I64("records", records))
+	for _, path := range w.runs {
+		os.Remove(path)
+	}
+	w.runs = nil
+	w.buf = nil
+	w.st.BytesWritten += written
+	ex.reg().Counter("shuffle_bytes_written_total").Add(written)
+	w.st.WriteTime += time.Since(t0)
+	ex.addMap(w.mapTask)
+	ex.addStats(w.st)
+	w.span.End(trace.I64("bytes", written), trace.I64("records", records),
+		trace.I64("spills", w.st.Spills))
+	return nil
+}

@@ -22,6 +22,8 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
 	"repro/internal/trace"
 )
 
@@ -60,11 +62,19 @@ type Context struct {
 	// Trace, when set, receives stage spans from the context and
 	// task/attempt/phase spans from every executor it creates.
 	Trace *trace.Tracer
+	// Shuffle configures the exchange every wide operation routes
+	// through: memory budget (spill threshold), block compression,
+	// simulated transport, fetch retry/breaker policy. Partitions, Trace
+	// and (when unset) Injector are filled from the context per shuffle.
+	Shuffle shuffle.Config
 
 	Stats  metrics.Breakdown
 	Wall   time.Duration
 	Stages int
 	Tasks  int
+
+	shuffleStore *shuffle.Store
+	shuffleSeq   int
 }
 
 // NewContext creates a context with sane defaults.
@@ -184,25 +194,52 @@ func (r *RDD) MapPartitions(driver, outClass string) (*RDD, error) {
 	return &RDD{ctx: r.ctx, Class: outClass, Parts: outs}, nil
 }
 
-// shuffle partitions every input partition's records by key hash and
-// regroups them into Partitions reduce-side blocks. It works on wire
-// bytes in both modes (canonical key bytes), modeling map-side shuffle
-// writes plus network transfer; the time is framework work both modes
-// pay and is measured into the job total.
+// shuffle routes every wide operation through the exchange subsystem:
+// one map-side writer per input partition (hash-partitioning, budgeted
+// buffering with sorted spills, optional compression) and a fetch pass
+// assembling the Partitions reduce-side blocks over the simulated
+// transport. In Baseline mode the exchange pays real serde per record
+// crossing it; in Gerenuk mode native bytes cross untouched and the
+// fetched blocks are Owned — adopted zero-copy by the reduce tasks.
+// The exchange validates the key field up front, so a missing key field
+// errors even when every partition is empty.
 func (r *RDD) shuffle(keyField string) ([][]byte, error) {
+	ctx := r.ctx
 	start := time.Now()
-	defer func() { r.ctx.Stats.Total += time.Since(start) }()
-	n := r.ctx.Partitions
-	blocks := make([][]byte, n)
-	for _, p := range r.Parts {
-		parts, err := engine.Partition(r.ctx.C.Layouts, r.Class, keyField, p, n)
-		if err != nil {
-			return nil, err
+	defer func() { ctx.Stats.Total += time.Since(start) }()
+	cfg := ctx.Shuffle
+	cfg.Partitions = ctx.Partitions
+	cfg.Trace = ctx.Trace
+	if cfg.Injector == nil {
+		cfg.Injector = ctx.Injector
+	}
+	var codec *serde.Codec
+	if ctx.Mode == engine.Baseline {
+		codec = ctx.C.Codec
+	}
+	if ctx.shuffleStore == nil {
+		ctx.shuffleStore = shuffle.NewStore()
+	}
+	ctx.shuffleSeq++
+	name := fmt.Sprintf("shuffle-%d-%s.%s", ctx.shuffleSeq, r.Class, keyField)
+	ex, err := shuffle.NewExchange(ctx.shuffleStore, cfg, name, ctx.C.Layouts, r.Class, keyField, codec)
+	if err != nil {
+		return nil, fmt.Errorf("spark: %w", err)
+	}
+	for i, p := range r.Parts {
+		w := ex.Writer(i)
+		if err := w.Add(p); err != nil {
+			return nil, fmt.Errorf("spark: %w", err)
 		}
-		for i, b := range parts {
-			blocks[i] = append(blocks[i], b...)
+		if err := w.Close(); err != nil {
+			return nil, fmt.Errorf("spark: %w", err)
 		}
 	}
+	blocks, err := ex.FetchAll()
+	if err != nil {
+		return nil, fmt.Errorf("spark: %w", err)
+	}
+	ex.Stats().AddTo(&ctx.Stats)
 	return blocks, nil
 }
 
@@ -223,7 +260,7 @@ func (r *RDD) ReduceByKey(combineDriver, keyField string) (*RDD, error) {
 		invocations := make([]map[string]engine.Input, 0, len(groups))
 		for _, offs := range groups {
 			invocations = append(invocations, map[string]engine.Input{
-				"in": {Class: r.Class, Buf: block, Offs: offs},
+				"in": {Class: r.Class, Buf: block, Offs: offs, Owned: true},
 			})
 		}
 		if len(invocations) == 0 {
@@ -307,8 +344,8 @@ func (r *RDD) JoinPairs(other *RDD, joinDriver, leftKey, rightKey, outClass stri
 					len(lGroups[k]), len(ro))
 			}
 			invocations = append(invocations, map[string]engine.Input{
-				"left":  {Class: r.Class, Buf: lBlocks[i], Offs: lGroups[k]},
-				"right": {Class: other.Class, Buf: rBlocks[i], Offs: ro},
+				"left":  {Class: r.Class, Buf: lBlocks[i], Offs: lGroups[k], Owned: true},
+				"right": {Class: other.Class, Buf: rBlocks[i], Offs: ro, Owned: true},
 			})
 		}
 		if len(invocations) == 0 {
@@ -369,8 +406,8 @@ func (r *RDD) JoinMany(other *RDD, joinDriver, leftKey, rightKey, outClass strin
 				return nil, fmt.Errorf("spark: JoinMany requires unique left keys (%d found)", len(lGroups[k]))
 			}
 			invocations = append(invocations, map[string]engine.Input{
-				"left":  {Class: r.Class, Buf: lBlocks[i], Offs: lGroups[k]},
-				"right": {Class: other.Class, Buf: rBlocks[i], Offs: ro},
+				"left":  {Class: r.Class, Buf: lBlocks[i], Offs: lGroups[k], Owned: true},
+				"right": {Class: other.Class, Buf: rBlocks[i], Offs: ro, Owned: true},
 			})
 		}
 		if len(invocations) == 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/model"
 	"repro/internal/serde"
+	"repro/internal/shuffle"
 )
 
 // buildPairProgram defines Pair{key long, value double} with a doubling
@@ -204,5 +205,76 @@ func TestForcedAbortFallsBackToSlowPath(t *testing.T) {
 	want := map[int64]float64{0: 20, 1: 20, 2: 20, 3: 20}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("slow path results wrong: %v", got)
+	}
+}
+
+// Satellite fix: a shuffle on a missing key field must fail even when
+// every partition is empty — exchange creation validates the layout
+// before any record flows.
+func TestShuffleMissingKeyFieldEmptyPartitions(t *testing.T) {
+	prog := buildPairProgram(t)
+	comp := engine.Compile(prog)
+	ctx := NewContext(comp, engine.Gerenuk)
+	ctx.Partitions = 2
+
+	empty := ctx.Parallelize("Pair", [][]byte{nil, nil})
+	if _, err := empty.ReduceByKey("sumStage", "noSuchField"); err == nil {
+		t.Fatal("missing key field accepted on empty partitions")
+	}
+	// The same field works when it exists — empty input, empty output.
+	out, err := empty.ReduceByKey("sumStage", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.CollectBytes(); len(got) != 0 {
+		t.Fatalf("empty shuffle produced %d bytes", len(got))
+	}
+}
+
+// The whole-job differential for the shuffle subsystem: a spilling,
+// compressed exchange must produce the same sums as the in-memory one
+// in both executor modes, and the accounting must show it actually
+// spilled and shipped bytes.
+func TestShuffleSpillCompressedJobMatchesInMemory(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+		ref, _ := runJob(t, mode)
+		for _, comp := range []shuffle.Compression{shuffle.Flate, shuffle.LZ4} {
+			prog := buildPairProgram(t)
+			c := engine.Compile(prog)
+			ctx := NewContext(c, mode)
+			ctx.Workers = 2
+			ctx.Partitions = 3
+			ctx.Shuffle = shuffle.Config{
+				MemoryBudget: 64, // forces spills on every map task
+				SpillDir:     t.TempDir(),
+				Compression:  comp,
+			}
+			var pairs [][2]float64
+			for i := 0; i < 60; i++ {
+				pairs = append(pairs, [2]float64{float64(i % 5), float64(i)})
+			}
+			rdd := ctx.Parallelize("Pair", encodePairs(t, c.Codec, pairs, 3))
+			doubled, err := rdd.MapPartitions("doubleStage", "Pair")
+			if err != nil {
+				t.Fatal(err)
+			}
+			summed, err := doubled.ReduceByKey("sumStage", "key")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := decodeSums(t, c.Codec, summed.CollectBytes())
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%v/%v: spilled shuffle = %v, in-memory = %v", mode, comp, got, ref)
+			}
+			if ctx.Stats.Spills == 0 {
+				t.Errorf("%v/%v: budgeted shuffle never spilled", mode, comp)
+			}
+			if ctx.Stats.ShuffleBytesFetched == 0 || ctx.Stats.ShuffleBytesWritten == 0 {
+				t.Errorf("%v/%v: shuffle byte accounting empty: %+v", mode, comp, ctx.Stats)
+			}
+			if ctx.Stats.ShuffleWrite == 0 || ctx.Stats.ShuffleRead == 0 {
+				t.Errorf("%v/%v: shuffle time accounting empty", mode, comp)
+			}
+		}
 	}
 }

@@ -31,6 +31,16 @@ type ChromeTraceFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// toChrome converts one recorded event to its Chrome trace form.
+func toChrome(e Event) ChromeEvent {
+	return ChromeEvent{
+		Name: e.Name, Cat: e.Cat, Ph: e.Ph,
+		TS:  float64(e.TS) / 1e3,
+		Dur: float64(e.Dur) / 1e3,
+		PID: 1, TID: e.TID, S: e.Scope, Args: e.Args,
+	}
+}
+
 // ChromeTrace converts the recorded events to the Chrome trace file
 // structure, sorted by timestamp.
 func (t *Tracer) ChromeTrace() ChromeTraceFile {
@@ -38,14 +48,92 @@ func (t *Tracer) ChromeTrace() ChromeTraceFile {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 	out := ChromeTraceFile{DisplayTimeUnit: "ns", TraceEvents: make([]ChromeEvent, len(events))}
 	for i, e := range events {
-		out.TraceEvents[i] = ChromeEvent{
-			Name: e.Name, Cat: e.Cat, Ph: e.Ph,
-			TS:  float64(e.TS) / 1e3,
-			Dur: float64(e.Dur) / 1e3,
-			PID: 1, TID: e.TID, S: e.Scope, Args: e.Args,
-		}
+		out.TraceEvents[i] = toChrome(e)
 	}
 	return out
+}
+
+// ---- streaming Chrome exporter ----
+
+// streamWriter incrementally writes the Chrome trace JSON object as
+// events are emitted, so a long traced run never buffers its whole event
+// log in tracer memory. Always accessed under the tracer's mutex.
+type streamWriter struct {
+	w     io.Writer
+	wrote bool // at least one event written (comma bookkeeping)
+	err   error
+}
+
+func (sw *streamWriter) event(e Event) {
+	if sw.err != nil {
+		return
+	}
+	sep := ",\n"
+	if !sw.wrote {
+		sep = "\n"
+	}
+	payload, err := json.Marshal(toChrome(e))
+	if err == nil {
+		_, err = fmt.Fprintf(sw.w, "%s %s", sep, payload)
+	}
+	if err != nil {
+		sw.err = err
+		return
+	}
+	sw.wrote = true
+}
+
+// StreamTo switches the tracer into streaming mode: the Chrome trace
+// JSON header and every already-buffered event are written to w
+// immediately, each future event is appended as it is emitted (and not
+// retained in memory), and CloseStream terminates the JSON object. The
+// streamed file holds events in emission order — spans appear when they
+// End — which Perfetto accepts; only the buffered exporter sorts.
+func (t *Tracer) StreamTo(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stream != nil {
+		return fmt.Errorf("trace: already streaming")
+	}
+	if _, err := fmt.Fprintf(w, "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": ["); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	sw := &streamWriter{w: w}
+	for _, e := range t.events {
+		sw.event(e)
+	}
+	if sw.err != nil {
+		return fmt.Errorf("trace: %w", sw.err)
+	}
+	t.events = nil
+	t.stream = sw
+	return nil
+}
+
+// CloseStream ends streaming mode, writing the closing brackets of the
+// Chrome trace JSON object and reporting any write error swallowed along
+// the way. The tracer buffers events again afterwards.
+func (t *Tracer) CloseStream() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sw := t.stream
+	if sw == nil {
+		return fmt.Errorf("trace: not streaming")
+	}
+	t.stream = nil
+	if sw.err != nil {
+		return fmt.Errorf("trace: %w", sw.err)
+	}
+	if _, err := fmt.Fprintf(sw.w, "\n]}\n"); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
 // WriteChromeTrace writes the Chrome trace JSON to w.

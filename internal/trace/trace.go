@@ -68,6 +68,7 @@ type Tracer struct {
 	events  []Event
 	nextTID int64
 	metrics *Registry
+	stream  *streamWriter // non-nil: events flush to it instead of buffering
 }
 
 // New returns an enabled tracer using the real clock.
@@ -107,7 +108,11 @@ func (t *Tracer) since() int64 { return t.now().Sub(t.start).Nanoseconds() }
 
 func (t *Tracer) emit(e Event) {
 	t.mu.Lock()
-	t.events = append(t.events, e)
+	if t.stream != nil {
+		t.stream.event(e)
+	} else {
+		t.events = append(t.events, e)
+	}
 	t.mu.Unlock()
 }
 

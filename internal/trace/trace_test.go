@@ -261,3 +261,78 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		task.End()
 	}
 }
+
+// TestStreamingExporter: switching to streaming mode flushes the events
+// buffered so far, appends later events incrementally instead of
+// retaining them, and CloseStream produces a well-formed Chrome trace
+// JSON object.
+func TestStreamingExporter(t *testing.T) {
+	tr := NewWithClock(fakeClock(time.Millisecond))
+	pre := tr.StartSpan("job", "before-stream")
+	pre.End()
+
+	var buf bytes.Buffer
+	if err := tr.StreamTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.StreamTo(&buf); err == nil {
+		t.Error("second StreamTo accepted")
+	}
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("tracer retained %d events after StreamTo", n)
+	}
+	mid := buf.Len()
+
+	s := tr.StartSpan("task", "while-streaming", Str("k", "v"))
+	s.Instant("gc", "minor-gc", I64("pause_ns", 7))
+	s.End()
+	if buf.Len() <= mid {
+		t.Error("streamed events were not written incrementally")
+	}
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("tracer retained %d events while streaming", n)
+	}
+
+	if err := tr.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CloseStream(); err == nil {
+		t.Error("second CloseStream accepted")
+	}
+
+	var file ChromeTraceFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("streamed output is not valid trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	if file.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	names := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"before-stream", "while-streaming", "minor-gc"} {
+		if !names[want] {
+			t.Errorf("streamed trace missing event %q (got %v)", want, names)
+		}
+	}
+
+	// After CloseStream the tracer buffers again.
+	tr.Instant("fault", "post-stream")
+	if n := len(tr.Events()); n != 1 {
+		t.Errorf("post-stream buffering broken: %d events", n)
+	}
+}
+
+func TestStreamNilAndNotStreaming(t *testing.T) {
+	var nilTr *Tracer
+	if err := nilTr.StreamTo(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer StreamTo: %v", err)
+	}
+	if err := nilTr.CloseStream(); err != nil {
+		t.Errorf("nil tracer CloseStream: %v", err)
+	}
+	if err := New().CloseStream(); err == nil {
+		t.Error("CloseStream without StreamTo accepted")
+	}
+}
