@@ -21,6 +21,14 @@
 // byte-equal output against the in-memory configuration and the serde
 // ledger (baseline decodes every fetched record, gerenuk none).
 //
+// -recovery-check runs the durability verification pass instead: every
+// app in both modes under injected replica loss, reduce-task kills, and
+// checkpoint corruption, asserting byte-equal output against the
+// fault-free run and that losses were repaired by replica failover,
+// lineage re-execution, and checkpoint resume rather than breaker
+// bypass. The -replicas, -checkpoint-every, and -stage-deadline knobs
+// arm the same machinery in the regular experiments.
+//
 // -hedge-after / -hedge-mult arm straggler hedging in every experiment
 // executor (see engine.HedgeConfig). The -shuffle-* knobs configure the
 // exchange every experiment routes through; -trace streams its file
@@ -46,12 +54,16 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
 	shuffleCheck := flag.Bool("shuffle-check", false, "run the shuffle verification pass (spill/compressed vs in-memory, all apps)")
+	recoveryCheck := flag.Bool("recovery-check", false, "run the recovery verification pass (replica loss, reduce kills, checkpoint corruption vs fault-free, all apps)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
 	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off)")
 	shufBudget := flag.Int64("shuffle-budget", 0, "map-side shuffle memory budget in bytes (0 = in-memory, >0 spills sorted runs)")
 	shufCompress := flag.String("shuffle-compress", "", "shuffle block codec: none|flate|lz4")
 	shufLatency := flag.Duration("shuffle-latency", 0, "simulated per-block fetch latency")
 	shufBW := flag.Int64("shuffle-bw", 0, "simulated fetch bandwidth in bytes/sec (0 = infinite)")
+	replicas := flag.Int("replicas", 0, "shuffle block replica count (0/1 = no replication)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint task fold state every N invocations (0 = off)")
+	stageDeadline := flag.Duration("stage-deadline", 0, "watchdog deadline per stage; hangs become retryable timeouts (0 = off)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON of all runs to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
@@ -76,7 +88,8 @@ func main() {
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
 		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
-		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW}
+		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW,
+		Replicas: *replicas, CheckpointEvery: *ckptEvery, StageDeadline: *stageDeadline}
 	defer func() {
 		if traceFile != nil {
 			if err := tr.CloseStream(); err != nil {
@@ -107,6 +120,17 @@ func main() {
 	}
 	if *shuffleCheck {
 		r, err := bench.ShuffleCheck(cfg)
+		if r != nil {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *recoveryCheck {
+		r, err := bench.RecoveryCheck(cfg)
 		if r != nil {
 			fmt.Println(r.Render())
 		}

@@ -8,7 +8,8 @@
 //	           [-hedge-after 5ms] [-hedge-mult 3] [-trace out.json]
 //	           [-metrics-json out.json] [-shuffle-budget N]
 //	           [-shuffle-compress none|flate|lz4] [-shuffle-latency 1ms]
-//	           [-shuffle-bw N]
+//	           [-shuffle-bw N] [-replicas 2] [-checkpoint-every N]
+//	           [-stage-deadline 5s] [-recovery-faults seed]
 //
 // -trace streams a Chrome trace_event JSON file incrementally (load it
 // in Perfetto or chrome://tracing) with job/stage/task/attempt/phase
@@ -21,6 +22,14 @@
 // sorted spill runs on the map side, the codec compresses blocks at
 // rest and on the wire, and latency/bandwidth model the fetch
 // transport.
+//
+// The durability knobs arm the recovery layer: -replicas keeps N copies
+// of every shuffle block, -checkpoint-every checkpoints reduce-side
+// fold state every N invocations, and -stage-deadline converts stage
+// hangs into retryable timeouts. -recovery-faults seeds the
+// RecoveryChaos injector (replica loss, reduce-task kills, checkpoint
+// corruption) so the recovery spans and counters show up in the trace
+// and metrics output; output must stay byte-equal regardless.
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -47,6 +57,10 @@ func main() {
 	shufCompress := flag.String("shuffle-compress", "", "shuffle block codec: none|flate|lz4")
 	shufLatency := flag.Duration("shuffle-latency", 0, "simulated per-block fetch latency")
 	shufBW := flag.Int64("shuffle-bw", 0, "simulated fetch bandwidth in bytes/sec (0 = infinite)")
+	replicas := flag.Int("replicas", 0, "shuffle block replica count (0/1 = no replication)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint task fold state every N invocations (0 = off)")
+	stageDeadline := flag.Duration("stage-deadline", 0, "watchdog deadline per stage; hangs become retryable timeouts (0 = off)")
+	recoveryFaults := flag.Int64("recovery-faults", 0, "inject recovery chaos (replica loss, kills, checkpoint corruption) with this seed (0 = off)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	flag.Parse()
@@ -74,7 +88,17 @@ func main() {
 		Trace: tr, HeapName: *heapName,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
 		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
-		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW}
+		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW,
+		Replicas: *replicas, CheckpointEvery: *ckptEvery, StageDeadline: *stageDeadline}
+	if *recoveryFaults != 0 {
+		cfg.Injector = faults.RecoveryChaos(*recoveryFaults)
+		if cfg.Replicas == 0 {
+			cfg.Replicas = 2
+		}
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = 1
+		}
+	}
 	t := &metrics.Table{
 		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
 		Header: []string{"mode", "total", "compute", "gc", "ser", "deser",

@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	tracelint [-metrics metrics.json] [-require cat,cat,...] trace.json
+//	tracelint [-metrics metrics.json] [-require cat,cat,...]
+//	          [-require-counters name,name,...] trace.json
 //
 // Exit status is non-zero when the file fails to parse or a required
 // event category is missing. By default at least one "task" span is
-// required; -require overrides the category list.
+// required; -require overrides the category list. -require-counters
+// (needs -metrics) lists counters that must appear in the metrics
+// snapshot with a value greater than zero — the CI recovery smoke uses
+// it to prove injected losses were actually repaired, not skipped.
 package main
 
 import (
@@ -33,9 +37,13 @@ func fail(format string, args ...any) {
 func main() {
 	metricsPath := flag.String("metrics", "", "also validate this metrics JSON file")
 	require := flag.String("require", "task", "comma-separated event categories that must appear")
+	requireCounters := flag.String("require-counters", "", "comma-separated metrics counters that must be > 0 (needs -metrics)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fail("usage: tracelint [-metrics metrics.json] [-require cat,...] trace.json")
+		fail("usage: tracelint [-metrics metrics.json] [-require cat,...] [-require-counters name,...] trace.json")
+	}
+	if *requireCounters != "" && *metricsPath == "" {
+		fail("-require-counters needs -metrics")
 	}
 
 	raw, err := os.ReadFile(flag.Arg(0))
@@ -78,6 +86,18 @@ func main() {
 		}
 		if mf.Schema != trace.MetricsSchemaVersion {
 			fail("%s: schema %d, want %d", *metricsPath, mf.Schema, trace.MetricsSchemaVersion)
+		}
+		for _, name := range strings.Split(*requireCounters, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			v, ok := mf.Counters[name]
+			if !ok {
+				fail("%s: counter %q missing", *metricsPath, name)
+			}
+			if v <= 0 {
+				fail("%s: counter %q = %d, want > 0", *metricsPath, name, v)
+			}
 		}
 		fmt.Printf("tracelint: %s ok — %d counters, %d gauges, %d histograms\n",
 			*metricsPath, len(mf.Counters), len(mf.Gauges), len(mf.Histograms))

@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps/hadoopapps"
 	"repro/internal/apps/sparkapps"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/hadoop"
 	"repro/internal/heap"
 	"repro/internal/metrics"
@@ -61,6 +62,20 @@ type Config struct {
 	// zero values fetch instantly.
 	ShuffleLatency     time.Duration
 	ShuffleBytesPerSec int64
+	// Replicas is the shuffle block replica count every exchange
+	// registers (default 1 = no replication).
+	Replicas int
+	// CheckpointEvery persists each task's fold state every N completed
+	// invocations so killed attempts resume instead of restarting
+	// (0 = off).
+	CheckpointEvery int
+	// StageDeadline runs every stage under the recovery watchdog,
+	// converting hangs into retryable timeouts (0 = off).
+	StageDeadline time.Duration
+	// Injector threads a deterministic fault plan through every job the
+	// experiments run; setting it also arms the mutate-input canary and
+	// widens the retry budget.
+	Injector *faults.Injector
 }
 
 // shuffleConfig resolves the Config's shuffle knobs into the exchange
@@ -75,6 +90,7 @@ func (c Config) shuffleConfig() (shuffle.Config, error) {
 		SpillDir:     c.ShuffleSpillDir,
 		Compression:  comp,
 		Transport:    shuffle.Transport{Latency: c.ShuffleLatency, BytesPerSec: c.ShuffleBytesPerSec},
+		Replicas:     c.Replicas,
 	}, nil
 }
 
@@ -203,6 +219,13 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.Hedge = cfg.Hedge
 		ctx.Trace = cfg.Trace
 		ctx.Shuffle = scfg
+		ctx.CheckpointEvery = cfg.CheckpointEvery
+		ctx.StageDeadline = cfg.StageDeadline
+		if cfg.Injector != nil {
+			ctx.Injector = cfg.Injector
+			ctx.VerifyInputs = true
+			ctx.MaxAttempts = 4
+		}
 		return ctx, comp
 	}
 	done := func(ctx *spark.Context, out []byte) (sparkAppResult, error) {
@@ -448,6 +471,13 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.Hedge = cfg.Hedge
 	conf.Trace = cfg.Trace
 	conf.Shuffle = scfg
+	conf.CheckpointEvery = cfg.CheckpointEvery
+	conf.StageDeadline = cfg.StageDeadline
+	if cfg.Injector != nil {
+		conf.Injector = cfg.Injector
+		conf.VerifyInputs = true
+		conf.MaxAttempts = 4
+	}
 	comp := engine.Compile(prog)
 	splits, err := hadoopSplits(comp, app, cfg)
 	if err != nil {

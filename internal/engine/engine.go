@@ -25,6 +25,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/serde"
 	"repro/internal/trace"
 	"repro/internal/transform"
@@ -143,6 +144,16 @@ type TaskSpec struct {
 	// task (see internal/faults). The plan carries the cross-attempt
 	// counter, so retries of the same spec see successive attempts.
 	Faults *faults.Plan
+	// CheckpointEvery persists the partial fold output every N completed
+	// invocations (0 = off): a killed or faulted attempt then resumes
+	// from the last checkpoint instead of record zero. Checkpoints cover
+	// only completed invocations — deterministic, byte-equal across the
+	// native and heap paths — so a checkpoint saved by either path
+	// soundly resumes the other. Requires Checkpoints.
+	CheckpointEvery int
+	// Checkpoints is the job-level store partial folds persist to; the
+	// pool drops a task's entry once the task completes.
+	Checkpoints *recovery.CheckpointStore
 }
 
 // TaskResult is the outcome of one task.
@@ -339,8 +350,16 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *cancel
 	h := heap.New(e.C.Prog.Reg, cfg)
 	sink := &collectSink{}
 	fn := e.C.Prog.Fn(spec.Driver)
+	hook := killHook(spec)
 
-	for _, inv := range spec.Invocations {
+	// Resume from the last checkpoint, if one survives: the persisted
+	// fold output seeds the sink (serialized heap state) and the loop
+	// skips the invocations it covers.
+	resume := e.restoreCheckpoint(spec, att, func(seed []byte) {
+		sink.out = append(sink.out, seed...)
+	})
+	for i := resume; i < len(spec.Invocations); i++ {
+		inv := spec.Invocations[i]
 		sources := make(map[string]interp.Source, len(inv))
 		for name, in := range inv {
 			sources[name] = newWireSource(in)
@@ -349,7 +368,8 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *cancel
 		env := &interp.Env{
 			Mode: interp.ModeHeap, Prog: e.C.Prog, Heap: h, Codec: e.C.Codec,
 			Layouts: e.C.Layouts, Sources: sources, Sink: sink,
-			Trace: ph, Cancel: cancel.cancelFlag(),
+			RecordHook: hook,
+			Trace:      ph, Cancel: cancel.cancelFlag(),
 		}
 		if spec.EpochPerInvocation {
 			h.EpochStart()
@@ -366,6 +386,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *cancel
 				return nil, bd, err
 			}
 		}
+		e.maybeCheckpoint(spec, att, i+1, sink.out)
 	}
 	st := h.Stats()
 	bd.GC += st.GCTime
@@ -382,7 +403,7 @@ func (e *Executor) runHeapAttempt(spec TaskSpec, att *trace.Span, cancel *cancel
 	if out := int64(len(sink.out)); out > bd.PeakNativeBytes {
 		bd.PeakNativeBytes = out
 	}
-	bd.Records += countRecords(spec)
+	bd.Records += countRecords(spec.Invocations[resume:])
 	return sink.out, bd, nil
 }
 
@@ -453,8 +474,17 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 		return r
 	}
 
+	// Resume from the last checkpoint, if one survives: the persisted
+	// fold state is adopted into an arena region — restored fold output
+	// lives in native memory, like the live output it prefixes — and
+	// seeds the sink.
+	resume := e.restoreCheckpoint(spec, att, func(seed []byte) {
+		r := a.AdoptBytes("ckpt-restore", seed)
+		sink.out = append(sink.out, a.Slice(r.AddrOf(0), r.Len())...)
+	})
 	var aborted error
-	for _, inv := range spec.Invocations {
+	for i := resume; i < len(spec.Invocations); i++ {
+		inv := spec.Invocations[i]
 		sources := make(map[string]interp.NativeSource, len(inv))
 		for name, in := range inv {
 			sources[name] = newRegionSource(a, regionFor(in), in)
@@ -477,6 +507,7 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 			aborted = err
 			break
 		}
+		e.maybeCheckpoint(spec, att, i+1, sink.out)
 	}
 	hst := h.Stats()
 	bd.GC += hst.GCTime
@@ -494,7 +525,7 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 	if aborted != nil {
 		return nil, bd, aborted
 	}
-	bd.Records += countRecords(spec)
+	bd.Records += countRecords(spec.Invocations[resume:])
 	// Copy output bytes out, then free all regions wholesale — the
 	// region-based reclamation the confinement guarantee enables.
 	result := append([]byte(nil), sink.Bytes()...)
@@ -503,14 +534,21 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 
 // recordHook builds the per-record fault hook for a native attempt, or
 // nil when the spec injects no record-targeted faults. Record numbers
-// are per driver invocation (1-based).
+// are per driver invocation (1-based); the injected kill (killHook)
+// instead counts cumulatively across invocations.
 func recordHook(spec TaskSpec, a *arena.Arena) func(int64) error {
 	p := spec.Faults
+	kill := killHook(spec)
 	if p == nil || (p.PanicAtRecord == 0 && p.WildReadAtRecord == 0 && !p.FlipInputBit) {
-		return nil
+		return kill
 	}
 	flipped := false
 	return func(n int64) error {
+		if kill != nil {
+			if err := kill(n); err != nil {
+				return err
+			}
+		}
 		if p.FlipInputBit && !flipped {
 			flipped = true
 			flipInputBit(spec)
@@ -545,9 +583,9 @@ func flipInputBit(spec TaskSpec) {
 	}
 }
 
-func countRecords(spec TaskSpec) int64 {
+func countRecords(invs []map[string]Input) int64 {
 	var n int64
-	for _, inv := range spec.Invocations {
+	for _, inv := range invs {
 		for _, in := range inv {
 			if in.Offs != nil {
 				n += int64(len(in.Offs))

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/heap"
 	"repro/internal/interp"
+	"repro/internal/recovery"
 )
 
 // FaultClass partitions task failures by the recovery they admit,
@@ -87,6 +88,11 @@ func Classify(err error) FaultClass {
 	}
 	if errors.Is(err, heap.ErrOutOfMemory) {
 		return FaultOOM
+	}
+	if errors.Is(err, recovery.ErrStageTimeout) {
+		// A watchdog-expired stage is presumed hung, not wrong: the
+		// driver may retry it like any other transient fault.
+		return FaultTransient
 	}
 	return FaultPermanent
 }

@@ -217,6 +217,11 @@ type Pool struct {
 	// Backoff is the delay before the second attempt, doubling per
 	// retry (default 0: retry immediately).
 	Backoff time.Duration
+	// Jitter, when set, randomizes each retry's delay with full jitter
+	// (uniform in [0, the deterministic cap]) so tasks that failed
+	// together do not retry in lockstep. nil keeps the deterministic
+	// schedule.
+	Jitter *Jitter
 }
 
 // JobResult aggregates a set of task results.
@@ -376,7 +381,7 @@ func (p *Pool) runWithRetry(worker *Executor, exec func() *Executor, spec TaskSp
 				trace.I64("heap_escalations", int64(oomRetries)))
 			e.Trace.Registry().Counter("retries_total").Add(1)
 			if p.Backoff > 0 {
-				time.Sleep(BackoffDelay(p.Backoff, attempt))
+				time.Sleep(p.Jitter.Delay(p.Backoff, attempt))
 			}
 		}
 		res, err := e.RunTask(spec)
@@ -386,6 +391,9 @@ func (p *Pool) runWithRetry(worker *Executor, exec func() *Executor, spec TaskSp
 		agg.Add(res.Stats)
 		if err == nil {
 			res.Stats = agg
+			// A finished task's checkpoint can never be resumed (the
+			// name may recur in a later iteration's stage); drop it.
+			spec.Checkpoints.Drop(spec.Name)
 			return res, nil
 		}
 		lastErr = err

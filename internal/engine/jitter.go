@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter is a seedable source of full-jitter retry backoff. The
+// deterministic BackoffDelay schedule has a thundering-herd flaw: tasks
+// that failed together retry together, re-colliding on whatever
+// resource failed them. Full jitter (delay uniform in [0, cap]) spreads
+// the herd while keeping the same exponential cap — and seeding the
+// source keeps chaos tests reproducible.
+//
+// A nil *Jitter is the un-jittered policy: Delay returns the
+// deterministic cap unchanged, so existing callers keep their exact
+// timing until they opt in. Safe for concurrent use.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a jitter source seeded for reproducibility: two
+// sources with the same seed emit the same delay sequence.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the backoff before the given 1-based attempt: uniform in
+// [0, BackoffDelay(base, attempt)] — AWS-style full jitter — or exactly
+// BackoffDelay for a nil receiver.
+func (j *Jitter) Delay(base time.Duration, attempt int) time.Duration {
+	d := BackoffDelay(base, attempt)
+	if j == nil || d <= 0 {
+		return d
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return time.Duration(j.rng.Int63n(int64(d) + 1))
+}

@@ -60,9 +60,29 @@ type Plan struct {
 	// and breaker paths. The budget is shared across the task's blocks
 	// (cross-attempt, like TransientFailures).
 	FetchFailures int
+	// LoseBlockReplicas drops this many replicas of the reduce task's
+	// first fetched block before the fetch starts — N at least the
+	// replication factor loses every copy, forcing lineage re-execution
+	// of the producing map task. Fires once per plan. 0 disables.
+	LoseBlockReplicas int
+	// KillReduceAtRecord kills the task attempt (a retryable transient
+	// failure, modeling a shot executor) when its cumulative processed
+	// record count reaches N — in whichever mode's attempt gets there
+	// first. Fires once per plan, so the retry runs to completion and the
+	// checkpoint-resume path is exercised. 0 disables.
+	KillReduceAtRecord int64
+	// CheckpointCorrupt flips one bit of the task's persisted checkpoint
+	// as the injected kill fires (the dying executor mangles its last
+	// checkpoint write); the resume path must detect the bad checksum and
+	// restart from record zero rather than fold over corrupt state.
+	// Fires once per plan and only alongside KillReduceAtRecord.
+	CheckpointCorrupt bool
 
 	attempts      atomic.Int64
 	fetchAttempts atomic.Int64
+	replicaLosses atomic.Int64
+	kills         atomic.Int64
+	ckptCorrupts  atomic.Int64
 }
 
 // TakeAttempt returns the 1-based number of the attempt now starting and
@@ -83,11 +103,41 @@ func (p *Plan) TakeFetchAttempt() bool {
 // plan.
 func (p *Plan) FetchAttempts() int64 { return p.fetchAttempts.Load() }
 
+// TakeReplicaLoss reports whether replica loss should be injected now
+// (the first call of a plan with LoseBlockReplicas > 0) and returns how
+// many replicas to drop. Safe for concurrent use.
+func (p *Plan) TakeReplicaLoss() (int, bool) {
+	if p == nil || p.LoseBlockReplicas <= 0 {
+		return 0, false
+	}
+	return p.LoseBlockReplicas, p.replicaLosses.Add(1) == 1
+}
+
+// TakeKill reports whether the injected kill should fire now (the first
+// call of a plan with KillReduceAtRecord > 0). Safe for concurrent use:
+// a hedged pair of attempts racing to the fatal record kills only one.
+func (p *Plan) TakeKill() bool {
+	if p == nil || p.KillReduceAtRecord <= 0 {
+		return false
+	}
+	return p.kills.Add(1) == 1
+}
+
+// TakeCheckpointCorrupt reports whether checkpoint corruption should be
+// injected now (the first call of a plan with CheckpointCorrupt set).
+func (p *Plan) TakeCheckpointCorrupt() bool {
+	if p == nil || !p.CheckpointCorrupt {
+		return false
+	}
+	return p.ckptCorrupts.Add(1) == 1
+}
+
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (p.PanicAtRecord == 0 && p.WildReadAtRecord == 0 &&
 		p.TransientFailures == 0 && p.OOMFailures == 0 && !p.FlipInputBit &&
-		p.Delay == 0 && p.NativeDelay == 0 && p.FetchFailures == 0)
+		p.Delay == 0 && p.NativeDelay == 0 && p.FetchFailures == 0 &&
+		p.LoseBlockReplicas == 0 && p.KillReduceAtRecord == 0 && !p.CheckpointCorrupt)
 }
 
 func (p *Plan) String() string {
@@ -118,6 +168,15 @@ func (p *Plan) String() string {
 	}
 	if p.FetchFailures > 0 {
 		parts = append(parts, fmt.Sprintf("fetchfail×%d", p.FetchFailures))
+	}
+	if p.LoseBlockReplicas > 0 {
+		parts = append(parts, fmt.Sprintf("losereplicas×%d", p.LoseBlockReplicas))
+	}
+	if p.KillReduceAtRecord > 0 {
+		parts = append(parts, fmt.Sprintf("kill@%d", p.KillReduceAtRecord))
+	}
+	if p.CheckpointCorrupt {
+		parts = append(parts, "ckptcorrupt")
 	}
 	return "faults(" + strings.Join(parts, ",") + ")"
 }
@@ -158,6 +217,22 @@ type Injector struct {
 	// (default 1; keep it under the exchange's MaxFetchRetries or the job
 	// legitimately fails).
 	FetchFails int
+	// ReplicaLossRate is the fraction of reduce tasks that lose
+	// ReplicaLosses replicas of their first fetched block before the
+	// fetch starts (losing all of them forces lineage re-execution).
+	ReplicaLossRate float64
+	// ReplicaLosses is how many replicas each selected task loses
+	// (default 1; use a value at least the replication factor to lose
+	// every copy).
+	ReplicaLosses int
+	// KillRate is the fraction of tasks killed (a retryable transient
+	// failure) at a seed-derived cumulative record index, exercising the
+	// checkpoint-resume path on the retry.
+	KillRate float64
+	// CheckpointCorruptRate is the fraction of killed tasks whose next
+	// persisted checkpoint gets one bit flipped, exercising checksum
+	// detection on resume. Only meaningful alongside KillRate.
+	CheckpointCorruptRate float64
 	// MaxRecord bounds the record index at which record-targeted faults
 	// fire (default 8); the actual index is seed-derived in [1,MaxRecord].
 	MaxRecord int64
@@ -180,6 +255,25 @@ func Chaos(seed int64) *Injector {
 		FetchFailRate: 0.25,
 		FetchFails:    1,
 		MaxRecord:     6,
+	}
+}
+
+// RecoveryChaos returns an injector aimed at the durable-recovery paths:
+// replica loss (all copies, forcing lineage re-execution), reduce-task
+// kills resuming from checkpoints, and checkpoint corruption — plus a
+// light dose of fetch faults so replication and retries interleave. All
+// budgets are one-shot, so a correct runtime completes the job within
+// the default retry policy.
+func RecoveryChaos(seed int64) *Injector {
+	return &Injector{
+		Seed:                  seed,
+		ReplicaLossRate:       0.7,
+		ReplicaLosses:         99, // more than any sane replication factor: every copy dies
+		KillRate:              0.5,
+		CheckpointCorruptRate: 0.4,
+		FetchFailRate:         0.2,
+		FetchFails:            1,
+		MaxRecord:             10,
 	}
 }
 
@@ -246,6 +340,18 @@ func (inj *Injector) ForTask(task string) *Plan {
 		p.FetchFailures = inj.FetchFails
 		if p.FetchFailures <= 0 {
 			p.FetchFailures = 1
+		}
+	}
+	if inj.roll(task, "replica-loss") < inj.ReplicaLossRate {
+		p.LoseBlockReplicas = inj.ReplicaLosses
+		if p.LoseBlockReplicas <= 0 {
+			p.LoseBlockReplicas = 1
+		}
+	}
+	if inj.roll(task, "kill") < inj.KillRate {
+		p.KillReduceAtRecord = inj.record(task, "kill")
+		if inj.roll(task, "ckpt-corrupt") < inj.CheckpointCorruptRate {
+			p.CheckpointCorrupt = true
 		}
 	}
 	if p.Empty() {

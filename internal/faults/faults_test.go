@@ -1,6 +1,9 @@
 package faults
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -120,5 +123,105 @@ func TestNilInjectorForTask(t *testing.T) {
 	var inj *Injector
 	if inj.ForTask("x") != nil {
 		t.Errorf("nil injector produced a plan")
+	}
+}
+
+// TestFetchFailureBudgetSharedAcrossAttempts pins the cross-attempt
+// semantics of FetchFailures: the budget lives in the plan, not the
+// fetch loop, so concurrent block fetches and later retries of the same
+// task all draw from one counter — exactly FetchFailures attempts fail
+// in total, no matter how they are distributed over blocks or attempts.
+func TestFetchFailureBudgetSharedAcrossAttempts(t *testing.T) {
+	p := &Plan{FetchFailures: 5}
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	// 4 "blocks" × 3 "attempts" each, fetching concurrently.
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := 0; a < 3; a++ {
+				if p.TakeFetchAttempt() {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 5 {
+		t.Errorf("shared budget failed %d attempts, want exactly 5", failed.Load())
+	}
+	if p.FetchAttempts() != 12 {
+		t.Errorf("fetch attempts = %d, want 12", p.FetchAttempts())
+	}
+}
+
+func TestRecoveryKnobs(t *testing.T) {
+	p := &Plan{LoseBlockReplicas: 2, KillReduceAtRecord: 4, CheckpointCorrupt: true}
+	if p.Empty() {
+		t.Error("recovery plan reported empty")
+	}
+	if s := p.String(); s != "faults(losereplicas×2,kill@4,ckptcorrupt)" {
+		t.Errorf("String() = %q", s)
+	}
+	// Each knob fires exactly once per plan.
+	if n, ok := p.TakeReplicaLoss(); !ok || n != 2 {
+		t.Errorf("TakeReplicaLoss = %d, %v", n, ok)
+	}
+	if _, ok := p.TakeReplicaLoss(); ok {
+		t.Error("replica loss fired twice")
+	}
+	if !p.TakeKill() || p.TakeKill() {
+		t.Error("kill did not fire exactly once")
+	}
+	if !p.TakeCheckpointCorrupt() || p.TakeCheckpointCorrupt() {
+		t.Error("checkpoint corruption did not fire exactly once")
+	}
+	// Disabled knobs never fire.
+	z := &Plan{}
+	if _, ok := z.TakeReplicaLoss(); ok || z.TakeKill() || z.TakeCheckpointCorrupt() {
+		t.Error("zero plan fired a recovery fault")
+	}
+	var nilPlan *Plan
+	if _, ok := nilPlan.TakeReplicaLoss(); ok || nilPlan.TakeKill() || nilPlan.TakeCheckpointCorrupt() {
+		t.Error("nil plan fired a recovery fault")
+	}
+}
+
+func TestRecoveryChaosPreset(t *testing.T) {
+	inj := RecoveryChaos(7)
+	sawLoss, sawKill, sawCorrupt := false, false, false
+	for i := 0; i < 40; i++ {
+		p := inj.ForTask(fmt.Sprintf("job-reduce%d", i))
+		if p == nil {
+			continue
+		}
+		if p.LoseBlockReplicas > 0 {
+			sawLoss = true
+			if p.LoseBlockReplicas < 2 {
+				t.Errorf("preset loses %d replicas; must exceed any replication factor", p.LoseBlockReplicas)
+			}
+		}
+		if p.KillReduceAtRecord > 0 {
+			sawKill = true
+		}
+		if p.CheckpointCorrupt {
+			sawCorrupt = true
+			if p.KillReduceAtRecord == 0 {
+				t.Error("checkpoint corruption selected without a kill to resume from")
+			}
+		}
+	}
+	if !sawLoss || !sawKill || !sawCorrupt {
+		t.Errorf("preset never fired: loss=%v kill=%v corrupt=%v", sawLoss, sawKill, sawCorrupt)
+	}
+	// Same seed, same plans.
+	a, b := RecoveryChaos(3).ForTask("t9"), RecoveryChaos(3).ForTask("t9")
+	if (a == nil) != (b == nil) {
+		t.Fatal("RecoveryChaos not deterministic")
+	}
+	if a != nil && (a.LoseBlockReplicas != b.LoseBlockReplicas ||
+		a.KillReduceAtRecord != b.KillReduceAtRecord || a.CheckpointCorrupt != b.CheckpointCorrupt) {
+		t.Errorf("RecoveryChaos plans differ: %v vs %v", a, b)
 	}
 }

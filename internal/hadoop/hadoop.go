@@ -10,6 +10,7 @@
 package hadoop
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/heap"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/serde"
 	"repro/internal/shuffle"
 	"repro/internal/trace"
@@ -64,6 +66,17 @@ type JobConf struct {
 	// Hedge, when enabled, races the untransformed heap attempt against
 	// straggling native attempts in every phase (map, combine, reduce).
 	Hedge engine.HedgeConfig
+	// CheckpointEvery persists each task's fold state every N completed
+	// invocations so a killed attempt resumes from its last checkpoint
+	// instead of restarting (0 = off).
+	CheckpointEvery int
+	// StageDeadline runs each phase (map, combine, reduce, shuffle fetch)
+	// under a watchdog that converts a hang into a retryable timeout;
+	// timed-out pool phases are re-executed once (0 = no watchdog).
+	StageDeadline time.Duration
+	// Jitter randomizes task-retry and shuffle-fetch backoff with full
+	// jitter; nil keeps the deterministic delay schedule.
+	Jitter *engine.Jitter
 	// Injector, when set, derives a deterministic fault plan for every
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
@@ -74,9 +87,13 @@ type JobConf struct {
 	Trace *trace.Tracer
 	// Shuffle configures the exchange between mappers and reducers:
 	// memory budget (spill threshold), block compression, simulated
-	// transport, fetch retry/breaker policy. Reducers, Trace and (when
-	// unset) Injector are filled from the job conf.
+	// transport, fetch retry/breaker policy, block replication. Reducers,
+	// Trace and (when unset) Injector are filled from the job conf.
 	Shuffle shuffle.Config
+
+	// ckpts is the per-job checkpoint store, created in Run when
+	// CheckpointEvery is on and threaded to every phase's specs.
+	ckpts *recovery.CheckpointStore
 }
 
 func (c JobConf) withDefaults() JobConf {
@@ -117,6 +134,9 @@ type Result struct {
 // Run executes the job over the given input splits.
 func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	conf = conf.withDefaults()
+	if conf.CheckpointEvery > 0 {
+		conf.ckpts = recovery.NewCheckpointStore()
+	}
 	res := &Result{}
 	start := time.Now()
 
@@ -148,16 +168,19 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 			ClosureBytes:       conf.ClosureBytes,
 			EpochPerInvocation: conf.EpochPerTask,
 			Faults:             conf.Injector.ForTask(fmt.Sprintf("%s-map%d", conf.Name, i)),
+			CheckpointEvery:    conf.CheckpointEvery,
+			Checkpoints:        conf.ckpts,
 		}
 	}
-	pool := &engine.Pool{Workers: conf.Workers, MaxAttempts: conf.MaxAttempts, Backoff: conf.RetryBackoff}
+	pool := &engine.Pool{Workers: conf.Workers, MaxAttempts: conf.MaxAttempts,
+		Backoff: conf.RetryBackoff, Jitter: conf.Jitter}
 	mapExec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
 			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
 			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
 	mapStage := job.Child("stage", "map", trace.I64("tasks", int64(len(mapSpecs))))
-	mapJob, err := pool.Run(mapExec, mapSpecs)
+	mapJob, err := runPhase(conf, pool, mapExec, conf.Name+"/map", mapSpecs)
 	mapStage.End()
 	if mapJob != nil {
 		// Partial accounting: even a failed phase's completed tasks count.
@@ -204,11 +227,18 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	if scfg.Injector == nil {
 		scfg.Injector = conf.Injector
 	}
+	if scfg.Jitter == nil {
+		scfg.Jitter = conf.Jitter
+	}
+	if scfg.Lineage == nil {
+		scfg.Lineage = recovery.NewLineage()
+	}
 	var codec *serde.Codec
 	if conf.Mode == engine.Baseline {
 		codec = c.Codec
 	}
-	ex, err := shuffle.NewExchange(shuffle.NewStore(), scfg, conf.Name+"-shuffle",
+	exName := conf.Name + "-shuffle"
+	ex, err := shuffle.NewExchange(shuffle.NewStore(), scfg, exName,
 		c.Layouts, conf.MapOutClass, conf.KeyField, codec)
 	if err != nil {
 		res.Wall = time.Since(start)
@@ -224,8 +254,19 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 			res.Wall = time.Since(start)
 			return res, fmt.Errorf("hadoop: shuffle: %w", err)
 		}
+		// Block lineage: losing every replica of this map output re-runs
+		// just this writer over the retained (sorted, combined) bytes.
+		part := out
+		mapTask := i
+		scfg.Lineage.Register(exName, mapTask, func() error {
+			rw := ex.RecoveryWriter(mapTask)
+			if err := rw.Add(part); err != nil {
+				return err
+			}
+			return rw.Close()
+		})
 	}
-	blocks, err := ex.FetchAll()
+	blocks, err := guardedFetch(conf, exName, ex)
 	if err != nil {
 		res.Wall = time.Since(start)
 		return res, fmt.Errorf("hadoop: shuffle: %w", err)
@@ -292,6 +333,8 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 			ClosureBytes:       conf.ClosureBytes,
 			EpochPerInvocation: conf.EpochPerTask,
 			Faults:             conf.Injector.ForTask(fmt.Sprintf("%s-%s%d", conf.Name, phase, i)),
+			CheckpointEvery:    conf.CheckpointEvery,
+			Checkpoints:        conf.ckpts,
 		})
 		blockOf = append(blockOf, i)
 	}
@@ -305,7 +348,7 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
 	stage := job.Child("stage", phase, trace.I64("tasks", int64(len(specs))))
-	result, err := pool.Run(exec, specs)
+	result, err := runPhase(conf, pool, exec, conf.Name+"/"+phase, specs)
 	stage.End()
 	if err != nil {
 		// result carries the partial accounting; the caller folds it in.
@@ -315,6 +358,36 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 		outs[blockOf[k]] = out
 	}
 	return outs, result, nil
+}
+
+// runPhase executes one phase's pool under the stage watchdog; a phase
+// whose deadline expires is presumed hung and re-executed once, with
+// checkpointed tasks resuming from their last persisted fold state.
+func runPhase(conf JobConf, pool *engine.Pool, exec func() *engine.Executor,
+	name string, specs []engine.TaskSpec) (*engine.JobResult, error) {
+	if conf.StageDeadline <= 0 {
+		return pool.Run(exec, specs)
+	}
+	wd := recovery.Watchdog{Deadline: conf.StageDeadline, Trace: conf.Trace}
+	run := func() (any, error) { return pool.Run(exec, specs) }
+	res, err := wd.Guard(name, run)
+	if err != nil && errors.Is(err, recovery.ErrStageTimeout) {
+		res, err = wd.Guard(name+"#retry", run)
+	}
+	job, _ := res.(*engine.JobResult)
+	return job, err
+}
+
+// guardedFetch bounds the reduce-side fetch with the stage watchdog;
+// the exchange is terminal, so a timeout surfaces as the job error.
+func guardedFetch(conf JobConf, name string, ex *shuffle.Exchange) ([][]byte, error) {
+	if conf.StageDeadline <= 0 {
+		return ex.FetchAll()
+	}
+	wd := recovery.Watchdog{Deadline: conf.StageDeadline, Trace: conf.Trace}
+	res, err := wd.Guard(name+"/fetch", func() (any, error) { return ex.FetchAll() })
+	blocks, _ := res.([][]byte)
+	return blocks, err
 }
 
 // SortByKey rebuilds buf with its records sorted by canonical key bytes —

@@ -100,6 +100,11 @@ func (in *Interp) deserialize(t *ir.Deserialize) (int64, error) {
 		return 0, err
 	}
 	in.env.records++
+	if in.env.RecordHook != nil {
+		if err := in.env.RecordHook(in.env.records); err != nil {
+			return 0, err
+		}
+	}
 	return a, nil
 }
 

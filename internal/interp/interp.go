@@ -145,11 +145,12 @@ type Env struct {
 	// (used by the Figure 10(b) forced-abort experiment); 0 disables.
 	AbortAfterRecords int64
 
-	// RecordHook, when set, runs after each native-mode input record is
-	// fetched, with the running record count (1-based). Fault injectors
-	// use it to force failures at deterministic record offsets: it may
-	// return an error (propagated like any statement error) or panic
-	// (contained by the engine's recovery layer).
+	// RecordHook, when set, runs after each input record is fetched —
+	// a native-mode GetAddress or a heap-mode deserialize — with the
+	// running record count (1-based). Fault injectors use it to force
+	// failures at deterministic record offsets: it may return an error
+	// (propagated like any statement error) or panic (contained by the
+	// engine's recovery layer).
 	RecordHook func(n int64) error
 
 	steps   int64

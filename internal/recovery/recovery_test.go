@@ -1,0 +1,170 @@
+package recovery
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestCheckpointSaveLoadDrop(t *testing.T) {
+	s := NewCheckpointStore()
+	if _, ok, corrupt := s.Load("t1"); ok || corrupt {
+		t.Fatalf("empty store: ok=%v corrupt=%v", ok, corrupt)
+	}
+	data := []byte("partial fold state")
+	s.Save("t1", 3, data)
+	data[0] = 'X' // caller keeps ownership; the store must have copied
+	ck, ok, corrupt := s.Load("t1")
+	if !ok || corrupt {
+		t.Fatalf("Load: ok=%v corrupt=%v", ok, corrupt)
+	}
+	if ck.Seq != 3 || string(ck.Data) != "partial fold state" {
+		t.Fatalf("Load = %d %q", ck.Seq, ck.Data)
+	}
+	ck.Data[0] = 'Y' // returned copy must not alias the stored bytes
+	if ck2, _, _ := s.Load("t1"); string(ck2.Data) != "partial fold state" {
+		t.Fatalf("stored bytes aliased: %q", ck2.Data)
+	}
+	s.Save("t1", 5, []byte("later state"))
+	if ck, _, _ := s.Load("t1"); ck.Seq != 5 {
+		t.Fatalf("overwrite kept seq %d", ck.Seq)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Drop("t1")
+	if s.Len() != 0 {
+		t.Fatalf("Len after Drop = %d", s.Len())
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	s := NewCheckpointStore()
+	s.Save("t1", 2, []byte("state"))
+	if !s.Corrupt("t1") {
+		t.Fatal("Corrupt found no checkpoint")
+	}
+	ck, ok, corrupt := s.Load("t1")
+	if ok || !corrupt {
+		t.Fatalf("corrupted Load: ok=%v corrupt=%v ck=%+v", ok, corrupt, ck)
+	}
+	// The corrupt entry must have been discarded, not resurface later.
+	if _, ok, corrupt := s.Load("t1"); ok || corrupt {
+		t.Fatalf("second Load after corruption: ok=%v corrupt=%v", ok, corrupt)
+	}
+	if s.Corrupt("missing") {
+		t.Fatal("Corrupt invented a checkpoint")
+	}
+}
+
+func TestNilCheckpointStoreIsInert(t *testing.T) {
+	var s *CheckpointStore
+	s.Save("t", 1, []byte("x"))
+	if _, ok, corrupt := s.Load("t"); ok || corrupt {
+		t.Fatal("nil store returned a checkpoint")
+	}
+	s.Drop("t")
+	if s.Corrupt("t") || s.Len() != 0 {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestLineageRebuild(t *testing.T) {
+	l := NewLineage()
+	if err := l.Rebuild("ex", 0); !errors.Is(err, ErrNoLineage) {
+		t.Fatalf("unregistered Rebuild: %v", err)
+	}
+	calls := 0
+	l.Register("ex", 0, func() error { calls++; return nil })
+	if err := l.Rebuild("ex", 0); err != nil || calls != 1 {
+		t.Fatalf("Rebuild: err=%v calls=%d", err, calls)
+	}
+	// Idempotent: a second rebuild replays the closure.
+	if err := l.Rebuild("ex", 0); err != nil || calls != 2 {
+		t.Fatalf("second Rebuild: err=%v calls=%d", err, calls)
+	}
+	if err := l.Rebuild("ex", 1); !errors.Is(err, ErrNoLineage) {
+		t.Fatalf("wrong map task: %v", err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	var nilL *Lineage
+	nilL.Register("ex", 0, func() error { return nil })
+	if err := nilL.Rebuild("ex", 0); !errors.Is(err, ErrNoLineage) {
+		t.Fatalf("nil lineage: %v", err)
+	}
+}
+
+func TestLineageRebuildSerializesPerProducer(t *testing.T) {
+	l := NewLineage()
+	inFlight := 0
+	var mu sync.Mutex
+	l.Register("ex", 0, func() error {
+		mu.Lock()
+		inFlight++
+		if inFlight != 1 {
+			mu.Unlock()
+			t.Error("concurrent rebuilds of one producer")
+			return nil
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+		return nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Rebuild("ex", 0); err != nil {
+				t.Errorf("Rebuild: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWatchdogPassesResultsThrough(t *testing.T) {
+	w := Watchdog{Deadline: time.Second}
+	v, err := w.Guard("s", func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("Guard = %v, %v", v, err)
+	}
+	want := errors.New("boom")
+	if _, err := w.Guard("s", func() (any, error) { return nil, want }); !errors.Is(err, want) {
+		t.Fatalf("Guard error = %v", err)
+	}
+	// Disabled watchdog runs inline.
+	w0 := Watchdog{}
+	if v, err := w0.Guard("s", func() (any, error) { return "ok", nil }); err != nil || v.(string) != "ok" {
+		t.Fatalf("disabled Guard = %v, %v", v, err)
+	}
+}
+
+func TestWatchdogTimesOutHungStage(t *testing.T) {
+	tr := trace.New()
+	w := Watchdog{Deadline: 5 * time.Millisecond, Trace: tr}
+	release := make(chan struct{})
+	defer close(release)
+	_, err := w.Guard("hung", func() (any, error) {
+		<-release
+		return nil, nil
+	})
+	if !errors.Is(err, ErrStageTimeout) {
+		t.Fatalf("Guard = %v, want stage timeout", err)
+	}
+	var ste *StageTimeoutError
+	if !errors.As(err, &ste) || ste.Stage != "hung" {
+		t.Fatalf("timeout error = %#v", err)
+	}
+	if got := tr.Registry().Counter("recovery_watchdog_timeouts_total").Value(); got != 1 {
+		t.Fatalf("watchdog counter = %d", got)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/serde"
 	"repro/internal/trace"
@@ -61,6 +60,17 @@ func (ex *Exchange) fetchReducer(reducer int, maps []int) ([]byte, error) {
 	if ex.cfg.Injector != nil {
 		plan = ex.cfg.Injector.ForTask(fmt.Sprintf("%s/r%d", ex.name, reducer))
 	}
+	if k, ok := plan.TakeReplicaLoss(); ok {
+		// Injected replica loss: the dying "node" takes k replicas of
+		// this reducer's first live block with it.
+		for _, mapTask := range maps {
+			if dropped := ex.store.Drop(ex.name, mapTask, reducer, k); dropped > 0 {
+				sp.Instant("recovery", "replica-loss", trace.I64("map_task", int64(mapTask)),
+					trace.I64("replicas_lost", int64(dropped)))
+				break
+			}
+		}
+	}
 
 	type fetched struct {
 		raw []byte
@@ -72,7 +82,7 @@ func (ex *Exchange) fetchReducer(reducer int, maps []int) ([]byte, error) {
 	var wg sync.WaitGroup
 	for i, mapTask := range maps {
 		id := blockID{ex.name, mapTask, reducer}
-		if _, ok := ex.store.get(id); !ok {
+		if !ex.store.has(id) {
 			continue // this map task produced nothing for this reducer
 		}
 		wg.Add(1)
@@ -121,30 +131,93 @@ func (ex *Exchange) fetchReducer(reducer int, maps []int) ([]byte, error) {
 	return buf, nil
 }
 
-// fetchBlock pulls one block through the simulated transport, retrying
-// injected fetch faults with exponential backoff. A source whose breaker
-// has tripped open bypasses the fault-prone transport entirely — the
-// model of falling back to a local/replicated copy — paying neither
-// latency nor fault rolls.
+// fetchBlock pulls one block, failing over replica by replica and — when
+// every replica is lost or exhausted — re-executing the producing map
+// task from lineage and fetching the rebuilt block. Lineage is the last
+// line of defense: it is tried exactly once per block.
 func (ex *Exchange) fetchBlock(parent *trace.Span, id blockID, plan *faults.Plan) ([]byte, Stats, error) {
+	raw, st, err := ex.fetchReplicas(parent, id, plan, 0)
+	if err == nil || ex.cfg.Lineage == nil {
+		return raw, st, err
+	}
+	rb := parent.Child("recovery", "lineage-reexec",
+		trace.I64("map_task", int64(id.mapTask)), trace.Str("cause", err.Error()))
+	rerr := ex.cfg.Lineage.Rebuild(ex.name, id.mapTask)
+	rb.End()
+	if rerr != nil {
+		return nil, st, fmt.Errorf("%w (lineage rebuild: %v)", err, rerr)
+	}
+	ex.reg().Counter("recovery_reexec_total").Add(1)
+	raw, st2, err2 := ex.fetchReplicas(parent, id, plan, st.FetchRetries)
+	st.add(st2)
+	return raw, st, err2
+}
+
+// fetchReplicas walks the block's live replicas in slot order, fetching
+// each through the simulated transport until one succeeds. prior is the
+// attempt count already consumed for this block (so retry accounting
+// stays "attempts beyond the block's first" across a lineage rebuild).
+func (ex *Exchange) fetchReplicas(parent *trace.Span, id blockID, plan *faults.Plan, prior int64) ([]byte, Stats, error) {
 	var st Stats
-	b, ok := ex.store.get(id)
+	reps, ok := ex.store.replicas(id)
 	if !ok {
 		return nil, st, fmt.Errorf("shuffle: block %s/map-%d/r%d vanished", id.exchange, id.mapTask, id.reducer)
 	}
 	src := fmt.Sprintf("%s/map-%d", id.exchange, id.mapTask)
+
+	live := 0
+	attempts := prior
+	var lastErr error
+	for ri, b := range reps {
+		if b == nil {
+			continue // lost replica
+		}
+		if live++; live > 1 {
+			ex.reg().Counter("recovery_replica_failover_total").Add(1)
+			parent.Instant("recovery", "replica-failover", trace.Str("source", src),
+				trace.I64("replica", int64(ri)))
+		}
+		raw, rst, err := ex.fetchReplica(parent, id, ri, b, plan, &attempts)
+		st.add(rst)
+		if err == nil {
+			return raw, st, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shuffle: all %d replicas of %s/r%d lost", len(reps), src, id.reducer)
+	}
+	return nil, st, lastErr
+}
+
+// fetchReplica pulls one replica through the simulated transport,
+// retrying injected fetch faults with (optionally jittered) exponential
+// backoff under the per-replica deadline. A source whose breaker has
+// tripped open bypasses the fault-prone transport entirely — the model
+// of falling back to a local copy — paying neither latency nor fault
+// rolls.
+func (ex *Exchange) fetchReplica(parent *trace.Span, id blockID, replica int, b *Block,
+	plan *faults.Plan, attempts *int64) ([]byte, Stats, error) {
+	var st Stats
+	src := fmt.Sprintf("%s/map-%d", id.exchange, id.mapTask)
 	latHist := ex.reg().Histogram("shuffle_fetch_latency_ns", trace.LatencyBuckets()...)
+	start := time.Now()
 
 	var lastErr error
 	for attempt := 1; attempt <= ex.cfg.MaxFetchRetries; attempt++ {
-		if attempt > 1 {
+		if *attempts++; *attempts > 1 {
 			st.FetchRetries++
 			ex.reg().Counter("shuffle_fetch_retries_total").Add(1)
-			time.Sleep(engine.BackoffDelay(ex.cfg.FetchBackoff, attempt))
+			time.Sleep(ex.cfg.Jitter.Delay(ex.cfg.FetchBackoff, attempt))
+		}
+		if d := ex.cfg.ReplicaDeadline; d > 0 && time.Since(start) >= d {
+			return nil, st, fmt.Errorf("shuffle: replica %d of %s/r%d exceeded deadline %v (attempt %d)",
+				replica, src, id.reducer, d, attempt)
 		}
 		t0 := time.Now()
 		if ex.cfg.Breaker != nil && !ex.cfg.Breaker.Allow(src) {
 			parent.Instant("shuffle", "fetch-bypass", trace.Str("source", src))
+			ex.reg().Counter("shuffle_fetch_bypass_total").Add(1)
 			latHist.Observe(float64(time.Since(t0).Nanoseconds()))
 			lastErr = nil
 			break

@@ -37,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/serde"
 	"repro/internal/trace"
 )
@@ -86,6 +87,21 @@ type Config struct {
 	// FetchBackoff is the delay before a block's second fetch attempt,
 	// doubling per retry via engine.BackoffDelay (default 0).
 	FetchBackoff time.Duration
+	// Replicas is how many copies of each sealed block the writer
+	// registers (default 1). The fetch path fails over replica by
+	// replica before declaring the block lost.
+	Replicas int
+	// ReplicaDeadline bounds the total time spent on one replica
+	// (attempts plus backoff) before failing over to the next; 0 means
+	// retries alone decide.
+	ReplicaDeadline time.Duration
+	// Lineage, when set, is the last line of defense: when every replica
+	// of a block is lost or exhausted, the fetch path re-runs the
+	// producing map task from its recorded lineage and fetches again.
+	Lineage *recovery.Lineage
+	// Jitter randomizes fetch retry backoff (full jitter); nil keeps the
+	// deterministic engine.BackoffDelay schedule.
+	Jitter *engine.Jitter
 	// Breaker, when set, tracks per-map-output fetch health with the
 	// engine's circuit-breaker semantics: a source whose fetches keep
 	// failing trips open and subsequent fetches bypass the fault-prone
@@ -109,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFetchRetries <= 0 {
 		c.MaxFetchRetries = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	return c
 }
@@ -176,27 +195,68 @@ type blockID struct {
 }
 
 // Store is the registry of sealed shuffle blocks — the simulated shuffle
-// service mappers publish to and reducers fetch from. Safe for
-// concurrent use.
+// service mappers publish to and reducers fetch from. Each block is held
+// as a slice of replica slots; a nil slot is a lost replica, and an entry
+// whose every slot is nil is a fully lost block only lineage can bring
+// back. Safe for concurrent use.
 type Store struct {
 	mu     sync.Mutex
-	blocks map[blockID]*Block
+	blocks map[blockID][]*Block
 }
 
 // NewStore returns an empty block store.
-func NewStore() *Store { return &Store{blocks: make(map[blockID]*Block)} }
+func NewStore() *Store { return &Store{blocks: make(map[blockID][]*Block)} }
 
-func (s *Store) put(id blockID, b *Block) {
+func (s *Store) put(id blockID, b *Block, replicas int) {
+	if replicas < 1 {
+		replicas = 1
+	}
+	reps := make([]*Block, replicas)
+	for i := range reps {
+		reps[i] = b
+	}
 	s.mu.Lock()
-	s.blocks[id] = b
+	s.blocks[id] = reps
 	s.mu.Unlock()
 }
 
-func (s *Store) get(id blockID) (*Block, bool) {
+// replicas returns a snapshot of the block's replica slots (nil slots
+// are lost replicas); the second result is false when the block was
+// never registered.
+func (s *Store) replicas(id blockID) ([]*Block, bool) {
 	s.mu.Lock()
-	b, ok := s.blocks[id]
+	reps, ok := s.blocks[id]
+	out := append([]*Block(nil), reps...)
 	s.mu.Unlock()
-	return b, ok
+	return out, ok
+}
+
+func (s *Store) has(id blockID) bool {
+	s.mu.Lock()
+	_, ok := s.blocks[id]
+	s.mu.Unlock()
+	return ok
+}
+
+// Drop marks up to k live replicas of one block as lost and returns how
+// many it actually dropped. This is the injection point for replica-loss
+// chaos (and the test hook); a block whose every replica is dropped stays
+// registered so the fetch path sees "lost", not "never written".
+func (s *Store) Drop(exchange string, mapTask, reducer, k int) int {
+	id := blockID{exchange, mapTask, reducer}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for i, b := range s.blocks[id] {
+		if dropped == k {
+			break
+		}
+		if b != nil {
+			s.blocks[id][i] = nil
+			dropped++
+		}
+	}
+	return dropped
 }
 
 // release drops every block of one exchange, bounding the store to the
@@ -211,11 +271,21 @@ func (s *Store) release(exchange string) {
 	s.mu.Unlock()
 }
 
-// Len returns the number of registered blocks.
+// Len returns the number of registered blocks with at least one live
+// replica.
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.blocks)
+	n := 0
+	for _, reps := range s.blocks {
+		for _, b := range reps {
+			if b != nil {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 // Exchange is one shuffle: a set of map-side writers publishing into a

@@ -266,18 +266,28 @@ func TestBaselineDecodesPerRecordGerenukZero(t *testing.T) {
 	}
 }
 
-func TestWriterRejectsDoubleCloseAndFetchTwice(t *testing.T) {
+// Double-Close is an idempotent no-op (defer-friendly); a second
+// FetchAll is still an error — the exchange is gone after the first.
+func TestWriterDoubleCloseIdempotentFetchTwiceRejected(t *testing.T) {
 	c := pairCompiled(t)
-	ex, err := NewExchange(nil, Config{Partitions: 1}, "t", c.Layouts, "Pair", "key", nil)
+	parts := encodeParts(t, c, 1, 5, 3)
+	store := NewStore()
+	ex, err := NewExchange(store, Config{Partitions: 1}, "t", c.Layouts, "Pair", "key", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	w := ex.Writer(0)
+	if err := w.Add(parts[0]); err != nil {
+		t.Fatal(err)
+	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Close(); err == nil {
-		t.Error("double close accepted")
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close not idempotent: %v", err)
+	}
+	if got := store.Len(); got != 1 {
+		t.Errorf("double close left %d blocks, want 1", got)
 	}
 	if _, err := ex.FetchAll(); err != nil {
 		t.Fatal(err)

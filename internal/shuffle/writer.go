@@ -46,6 +46,7 @@ type Writer struct {
 	runs     []string // sorted spill run files, merge order
 	st       Stats
 	closed   bool
+	rebuild  bool // lineage re-execution: re-register blocks, not the map ID
 }
 
 // Writer opens the map-side writer for one map task.
@@ -56,6 +57,29 @@ func (ex *Exchange) Writer(mapTask int) *Writer {
 		span: ex.span.Child("shuffle", "shuffle-write",
 			trace.I64("map_task", int64(mapTask))),
 	}
+}
+
+// RecoveryWriter opens a writer that re-runs an already-registered map
+// task from lineage: Close re-registers the rebuilt blocks (restoring
+// the full replica count) but does not re-add the map ID, so the fetch
+// assembly order is unchanged. The writer is deterministic, so the
+// rebuilt blocks are byte-identical to the lost ones.
+func (ex *Exchange) RecoveryWriter(mapTask int) *Writer {
+	return &Writer{
+		ex: ex, mapTask: mapTask, rebuild: true,
+		buf: make([][]entry, ex.cfg.Partitions),
+		span: ex.span.Child("recovery", "rebuild-write",
+			trace.I64("map_task", int64(mapTask))),
+	}
+}
+
+// discardRuns removes any spill run files still on disk — the error-path
+// cleanup that keeps a failed merge or close from leaking temp files.
+func (w *Writer) discardRuns() {
+	for _, path := range w.runs {
+		os.Remove(path)
+	}
+	w.runs = nil
 }
 
 // Add stages every size-prefixed record in buf. In Baseline mode each
@@ -253,10 +277,12 @@ func mergeRuns(runs [][]entry) []entry {
 // Close seals the map output: spilled runs are merged with any still-
 // buffered entries, each reducer's records are concatenated in (key,
 // seq) order, compressed per the exchange config, and registered in the
-// block store. The spill files are deleted.
+// block store with the configured replica count. The spill files are
+// deleted — on the error paths too. Closing an already-closed writer is
+// a no-op.
 func (w *Writer) Close() error {
 	if w.closed {
-		return fmt.Errorf("shuffle: writer for map task %d closed twice", w.mapTask)
+		return nil
 	}
 	w.closed = true
 	t0 := time.Now()
@@ -266,12 +292,14 @@ func (w *Writer) Close() error {
 	if len(w.runs) > 0 && w.bufBytes > 0 {
 		// Flush the tail so the merge sees every record as a sorted run.
 		if err := w.spill(); err != nil {
+			w.discardRuns()
 			return err
 		}
 	}
 	for _, path := range w.runs {
 		groups, err := readRun(path, ex.cfg.Partitions)
 		if err != nil {
+			w.discardRuns()
 			return err
 		}
 		for r, g := range groups {
@@ -305,25 +333,26 @@ func (w *Writer) Close() error {
 		}
 		payload, err := compressBlock(ex.cfg.Compression, raw.Bytes())
 		if err != nil {
+			mergeSpan.End(trace.Str("error", err.Error()))
+			w.discardRuns()
 			return err
 		}
 		ex.store.put(blockID{ex.name, w.mapTask, r}, &Block{
 			Payload: payload, RawLen: raw.Len(), Records: len(es), Codec: ex.cfg.Compression,
-		})
+		}, ex.cfg.Replicas)
 		written += int64(raw.Len())
 		records += int64(len(es))
 	}
 	mergeSpan.End(trace.I64("records", records))
-	for _, path := range w.runs {
-		os.Remove(path)
-	}
-	w.runs = nil
+	w.discardRuns()
 	w.buf = nil
 	w.st.BytesWritten += written
 	ex.reg().Counter("shuffle_bytes_written_total").Add(written)
 	w.st.WriteTime += time.Since(t0)
-	ex.addMap(w.mapTask)
-	ex.addStats(w.st)
+	if !w.rebuild {
+		ex.addMap(w.mapTask)
+		ex.addStats(w.st)
+	}
 	w.span.End(trace.I64("bytes", written), trace.I64("records", records),
 		trace.I64("spills", w.st.Spills))
 	return nil

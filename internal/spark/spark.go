@@ -13,6 +13,7 @@
 package spark
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/recovery"
 	"repro/internal/serde"
 	"repro/internal/shuffle"
 	"repro/internal/trace"
@@ -55,6 +57,18 @@ type Context struct {
 	// any native attempt that outlives the hedge delay (straggler
 	// mitigation); the zero value keeps serial recovery.
 	Hedge engine.HedgeConfig
+	// CheckpointEvery persists each task's fold state every N completed
+	// invocations, so a killed attempt resumes from its last checkpoint
+	// instead of restarting (0 = off).
+	CheckpointEvery int
+	// StageDeadline runs every stage under a watchdog: a stage exceeding
+	// it is presumed hung, converted into a retryable timeout, and
+	// re-executed once — checkpointed tasks resume where they were
+	// (0 = no watchdog).
+	StageDeadline time.Duration
+	// Jitter randomizes task-retry and shuffle-fetch backoff with full
+	// jitter; nil keeps the deterministic delay schedule.
+	Jitter *engine.Jitter
 	// Injector, when set, derives a deterministic fault plan for every
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
@@ -75,6 +89,17 @@ type Context struct {
 
 	shuffleStore *shuffle.Store
 	shuffleSeq   int
+	checkpoints  *recovery.CheckpointStore
+	lineage      *recovery.Lineage
+}
+
+// ckpts lazily creates the context's checkpoint store; nil when
+// checkpointing is off.
+func (ctx *Context) ckpts() *recovery.CheckpointStore {
+	if ctx.CheckpointEvery > 0 && ctx.checkpoints == nil {
+		ctx.checkpoints = recovery.NewCheckpointStore()
+	}
+	return ctx.checkpoints
 }
 
 // NewContext creates a context with sane defaults.
@@ -146,14 +171,22 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 			specs[i].Faults = ctx.Injector.ForTask(specs[i].Name)
 		}
 	}
+	if ctx.CheckpointEvery > 0 {
+		store := ctx.ckpts()
+		for i := range specs {
+			specs[i].CheckpointEvery = ctx.CheckpointEvery
+			specs[i].Checkpoints = store
+		}
+	}
 	if ctx.Breaker != nil && ctx.Breaker.Trace == nil {
 		ctx.Breaker.Trace = ctx.Trace
 	}
 	stage := ctx.Trace.StartSpan("stage", name,
 		trace.Str("mode", ctx.Mode.String()), trace.I64("tasks", int64(len(specs))))
 	start := time.Now()
-	pool := &engine.Pool{Workers: ctx.Workers, MaxAttempts: ctx.MaxAttempts, Backoff: ctx.RetryBackoff}
-	job, err := pool.Run(ctx.executor, specs)
+	pool := &engine.Pool{Workers: ctx.Workers, MaxAttempts: ctx.MaxAttempts,
+		Backoff: ctx.RetryBackoff, Jitter: ctx.Jitter}
+	job, err := ctx.guarded(name, pool, specs)
 	// The pool returns partial results alongside a job error; fold them
 	// into the context either way so a failed stage's completed tasks
 	// still show up in the accounting.
@@ -169,6 +202,24 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 	}
 	stage.End(trace.Str("outcome", "ok"))
 	return job.Outputs, nil
+}
+
+// guarded runs the stage's pool under the stage watchdog. A stage whose
+// deadline expires is presumed hung, not wrong: it is re-executed once
+// from scratch, and checkpointed tasks resume from their last persisted
+// fold state instead of repeating finished work.
+func (ctx *Context) guarded(name string, pool *engine.Pool, specs []engine.TaskSpec) (*engine.JobResult, error) {
+	if ctx.StageDeadline <= 0 {
+		return pool.Run(ctx.executor, specs)
+	}
+	wd := recovery.Watchdog{Deadline: ctx.StageDeadline, Trace: ctx.Trace}
+	run := func() (any, error) { return pool.Run(ctx.executor, specs) }
+	res, err := wd.Guard(name, run)
+	if err != nil && errors.Is(err, recovery.ErrStageTimeout) {
+		res, err = wd.Guard(name+"#retry", run)
+	}
+	job, _ := res.(*engine.JobResult)
+	return job, err
 }
 
 // MapPartitions runs the named stage driver once per partition. The
@@ -213,6 +264,15 @@ func (r *RDD) shuffle(keyField string) ([][]byte, error) {
 	if cfg.Injector == nil {
 		cfg.Injector = ctx.Injector
 	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = ctx.Jitter
+	}
+	if cfg.Lineage == nil {
+		if ctx.lineage == nil {
+			ctx.lineage = recovery.NewLineage()
+		}
+		cfg.Lineage = ctx.lineage
+	}
 	var codec *serde.Codec
 	if ctx.Mode == engine.Baseline {
 		codec = ctx.C.Codec
@@ -234,13 +294,38 @@ func (r *RDD) shuffle(keyField string) ([][]byte, error) {
 		if err := w.Close(); err != nil {
 			return nil, fmt.Errorf("spark: %w", err)
 		}
+		// Record the block lineage: losing every replica of this map
+		// task's output re-runs exactly this writer, whose determinism
+		// makes the rebuilt blocks byte-identical to the lost ones.
+		part := p
+		mapTask := i
+		cfg.Lineage.Register(name, mapTask, func() error {
+			rw := ex.RecoveryWriter(mapTask)
+			if err := rw.Add(part); err != nil {
+				return err
+			}
+			return rw.Close()
+		})
 	}
-	blocks, err := ex.FetchAll()
+	blocks, err := ctx.guardedFetch(name, ex)
 	if err != nil {
 		return nil, fmt.Errorf("spark: %w", err)
 	}
 	ex.Stats().AddTo(&ctx.Stats)
 	return blocks, nil
+}
+
+// guardedFetch bounds the reduce-side fetch with the stage watchdog. A
+// fetch has no second act (the exchange is terminal), so a timeout here
+// surfaces as a retryable stage error to the caller.
+func (ctx *Context) guardedFetch(name string, ex *shuffle.Exchange) ([][]byte, error) {
+	if ctx.StageDeadline <= 0 {
+		return ex.FetchAll()
+	}
+	wd := recovery.Watchdog{Deadline: ctx.StageDeadline, Trace: ctx.Trace}
+	res, err := wd.Guard(name+"/fetch", func() (any, error) { return ex.FetchAll() })
+	blocks, _ := res.([][]byte)
+	return blocks, err
 }
 
 // ReduceByKey shuffles by keyField and folds each key group through the
