@@ -6,6 +6,9 @@
 //	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...] [-faults seed]
 //	             [-hedge-after 5ms] [-hedge-mult 3] [-shuffle-check]
 //	             [-shuffle-budget N] [-shuffle-compress none|flate|lz4]
+//	             [-bench-json out.json] [-apps PR,WC,...]
+//	             [-obs-addr 127.0.0.1:9477] [-obs-hold 30s]
+//	             [-flame out.folded] [-profiles profiles.json]
 //
 // Experiment ids: fig4 fig5 table1 table2 fig6a fig6b fig7a fig7b table3
 // fig8a fig8b fig9 fig10a fig10b static. Default runs everything.
@@ -29,10 +32,21 @@
 // bypass. The -replicas, -checkpoint-every, and -stage-deadline knobs
 // arm the same machinery in the regular experiments.
 //
+// -bench-json runs every app (or the -apps subset) in both modes and
+// writes one machine-readable JSON report — schema-versioned, one
+// record per (app, mode) with wall time, the full cost breakdown, and
+// that run's registry counters. It replaces the figure/table pass.
+//
 // -hedge-after / -hedge-mult arm straggler hedging in every experiment
 // executor (see engine.HedgeConfig). The -shuffle-* knobs configure the
 // exchange every experiment routes through; -trace streams its file
 // incrementally so long runs never buffer the whole event log.
+//
+// The observability flags mirror gerenukrun: -obs-addr serves /metrics,
+// /healthz, /statusz, /flamez and /debug/pprof/ for the duration of the
+// suite (-obs-hold lingers for a scrape), -flame writes collapsed-stack
+// flame graph text, -profiles accumulates the per-(app,mode,stage)
+// store, and any of them arms the GC-pause attribution sampler.
 package main
 
 import (
@@ -40,11 +54,19 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+	os.Exit(1)
+}
 
 func main() {
 	scale := flag.Int("scale", 2, "workload scale multiplier")
@@ -66,31 +88,97 @@ func main() {
 	stageDeadline := flag.Duration("stage-deadline", 0, "watchdog deadline per stage; hangs become retryable timeouts (0 = off)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON of all runs to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
+	benchJSON := flag.String("bench-json", "", "run every app in both modes and write the machine-readable report to this file (replaces the figure pass)")
+	benchApps := flag.String("apps", "", "comma-separated app subset for -bench-json (default: all apps)")
+	obsAddr := flag.String("obs-addr", "", "serve the observability plane (/metrics /healthz /statusz /flamez /debug/pprof) on this address")
+	obsHold := flag.Duration("obs-hold", 0, "after the suite, wait up to this long for at least one /metrics scrape before exiting (needs -obs-addr)")
+	flameOut := flag.String("flame", "", "write the span stream as collapsed-stack flame graph text to this file")
+	profilesPath := flag.String("profiles", "", "accumulate per-(app,mode,stage) profiles into this JSON store")
 	flag.Parse()
 
+	obsOn := *obsAddr != "" || *flameOut != "" || *profilesPath != ""
 	var tr *trace.Tracer
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || obsOn {
 		tr = trace.New()
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		traceFile = f
 		if err := tr.StreamTo(f); err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+
+	var server *obs.Server
+	var flame *obs.Flame
+	var gcAttr *obs.GCAttributor
+	var profiles *obs.ProfileStore
+	if *obsAddr != "" {
+		server = obs.NewServer(tr)
+		server.AddStatus("bench", func() any {
+			return map[string]any{"scale": *scale, "workers": *workers}
+		})
+		if err := server.Start(*obsAddr); err != nil {
+			fatal(err)
+		}
+		flame = server.Flame()
+		fmt.Printf("obs: serving http://%s/{metrics,healthz,statusz,flamez,debug/pprof}\n", server.Addr())
+	} else if *flameOut != "" {
+		flame = obs.NewFlame()
+		tr.Subscribe(flame.Observe)
+	}
+	if obsOn {
+		gcAttr = obs.NewGCAttributor(tr)
+	}
+	if *profilesPath != "" {
+		ps, err := obs.OpenProfileStore(*profilesPath)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = ps
+	}
+
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
 		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
 		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW,
 		Replicas: *replicas, CheckpointEvery: *ckptEvery, StageDeadline: *stageDeadline}
+	if obsOn {
+		cfg.StageHook = func(app string, mode engine.Mode, stage string, stats *metrics.Breakdown, wall time.Duration) {
+			stats.GCAttributed += gcAttr.StageEnd(app, mode.String(), stage)
+			profiles.Record(app, mode.String(), stage, stats, wall)
+		}
+	}
 	defer func() {
+		if server != nil && *obsHold > 0 {
+			if server.Scrapes() == 0 {
+				fmt.Printf("obs: holding up to %v for a /metrics scrape\n", *obsHold)
+			}
+			if !server.WaitScraped(*obsHold) {
+				fmt.Fprintln(os.Stderr, "gerenukbench: obs-hold expired with no scrape")
+			}
+		}
+		if *flameOut != "" {
+			tr.Instant("obs", "flame-export",
+				trace.Str("path", *flameOut), trace.I64("spans", flame.Spans()))
+			if err := flame.WriteFoldedFile(*flameOut); err != nil {
+				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			} else {
+				fmt.Printf("flame: wrote %s (%d spans folded)\n", *flameOut, flame.Spans())
+			}
+		}
+		if profiles != nil {
+			if err := profiles.Save(); err != nil {
+				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			} else {
+				fmt.Printf("profiles: %s now holds %d (app,mode,stage) records\n",
+					*profilesPath, profiles.Len())
+			}
+		}
 		if traceFile != nil {
 			if err := tr.CloseStream(); err != nil {
 				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
@@ -105,7 +193,29 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
 			}
 		}
+		if server != nil {
+			server.Close()
+		}
 	}()
+
+	if *benchJSON != "" {
+		var apps []string
+		for _, a := range strings.Split(*benchApps, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				apps = append(apps, a)
+			}
+		}
+		rep, err := bench.BuildBenchReport(cfg, apps)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBenchReportFile(*benchJSON, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench-json: wrote %s (%d runs, schema %d)\n",
+			*benchJSON, len(rep.Runs), rep.Schema)
+		return
+	}
 
 	if *faultSeed != 0 {
 		r, err := bench.Chaos(cfg, *faultSeed)

@@ -10,6 +10,8 @@
 //	           [-shuffle-compress none|flate|lz4] [-shuffle-latency 1ms]
 //	           [-shuffle-bw N] [-replicas 2] [-checkpoint-every N]
 //	           [-stage-deadline 5s] [-recovery-faults seed]
+//	           [-obs-addr 127.0.0.1:9477] [-obs-hold 30s]
+//	           [-flame out.folded] [-profiles profiles.json]
 //
 // -trace streams a Chrome trace_event JSON file incrementally (load it
 // in Perfetto or chrome://tracing) with job/stage/task/attempt/phase
@@ -30,19 +32,40 @@
 // RecoveryChaos injector (replica loss, reduce-task kills, checkpoint
 // corruption) so the recovery spans and counters show up in the trace
 // and metrics output; output must stay byte-equal regardless.
+//
+// The observability plane is opt-in: -obs-addr serves /metrics
+// (Prometheus text exposition), /healthz, /statusz, /flamez and
+// /debug/pprof/ for the duration of the run; -obs-hold keeps the
+// process alive after the run until at least one /metrics scrape lands
+// (or the duration expires), so an external scraper can always observe
+// a short run. -flame writes the span stream folded into Brendan
+// Gregg collapsed-stack text (feed it to flamegraph.pl or speedscope).
+// -profiles accumulates per-(app,mode,stage) cost profiles into a
+// versioned JSON store, merging with any previous runs' records. Any
+// of these flags also arms the GC-pause attribution sampler, which
+// charges real runtime GC pauses to the active job at each stage
+// boundary (the gcAttr column and the gc_pause_ns{job,mode} histogram
+// family).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
+	os.Exit(1)
+}
 
 func main() {
 	app := flag.String("app", "PR", "application name")
@@ -63,27 +86,63 @@ func main() {
 	recoveryFaults := flag.Int64("recovery-faults", 0, "inject recovery chaos (replica loss, kills, checkpoint corruption) with this seed (0 = off)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
+	obsAddr := flag.String("obs-addr", "", "serve the observability plane (/metrics /healthz /statusz /flamez /debug/pprof) on this address")
+	obsHold := flag.Duration("obs-hold", 0, "after the run, wait up to this long for at least one /metrics scrape before exiting (needs -obs-addr)")
+	flameOut := flag.String("flame", "", "write the span stream as collapsed-stack flame graph text to this file")
+	profilesPath := flag.String("profiles", "", "accumulate per-(app,mode,stage) profiles into this JSON store")
 	flag.Parse()
 
+	// The observability plane is strictly opt-in: with none of its flags
+	// set, no tracer subscriber exists, no runtime/metrics read happens,
+	// and no server goroutine starts.
+	obsOn := *obsAddr != "" || *flameOut != "" || *profilesPath != ""
 	var tr *trace.Tracer
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || obsOn {
 		tr = trace.New()
 	}
 	var traceFile *os.File
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		traceFile = f
 		// Stream events as they are emitted so long runs never hold the
 		// whole trace in memory.
 		if err := tr.StreamTo(f); err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+
+	var server *obs.Server
+	var flame *obs.Flame
+	var gcAttr *obs.GCAttributor
+	var profiles *obs.ProfileStore
+	if *obsAddr != "" {
+		server = obs.NewServer(tr)
+		server.AddStatus("run", func() any {
+			return map[string]any{"app": *app, "scale": *scale}
+		})
+		if err := server.Start(*obsAddr); err != nil {
+			fatal(err)
+		}
+		flame = server.Flame()
+		fmt.Printf("obs: serving http://%s/{metrics,healthz,statusz,flamez,debug/pprof}\n", server.Addr())
+	} else if *flameOut != "" {
+		flame = obs.NewFlame()
+		tr.Subscribe(flame.Observe)
+	}
+	if obsOn {
+		gcAttr = obs.NewGCAttributor(tr)
+	}
+	if *profilesPath != "" {
+		ps, err := obs.OpenProfileStore(*profilesPath)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = ps
+	}
+
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters,
 		Trace: tr, HeapName: *heapName,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
@@ -99,9 +158,20 @@ func main() {
 			cfg.CheckpointEvery = 1
 		}
 	}
+	if obsOn {
+		// At every stage boundary: charge the GC pauses that landed in
+		// the stage's window to the active (app, mode), fold the charge
+		// into the stage's breakdown (it propagates into job totals),
+		// and feed the enriched stats to the profile store.
+		cfg.StageHook = func(app string, mode engine.Mode, stage string, stats *metrics.Breakdown, wall time.Duration) {
+			stats.GCAttributed += gcAttr.StageEnd(app, mode.String(), stage)
+			profiles.Record(app, mode.String(), stage, stats, wall)
+		}
+	}
+
 	t := &metrics.Table{
 		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
-		Header: []string{"mode", "total", "compute", "gc", "ser", "deser",
+		Header: []string{"mode", "total", "compute", "gc", "gcAttr", "ser", "deser",
 			"shufW", "shufR", "spills", "native", "onheap", "peak mem",
 			"aborts", "attempts", "retries", "panics", "skips", "hedges"},
 	}
@@ -110,13 +180,13 @@ func main() {
 	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
 		stats, err := bench.RunApp(*app, cfg, mode)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		rows[mode.String()] = stats
 		order = append(order, stats)
 		t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
-			metrics.D(stats.GC), metrics.D(stats.Ser), metrics.D(stats.Deser),
+			metrics.D(stats.GC), metrics.D(stats.GCAttributed),
+			metrics.D(stats.Ser), metrics.D(stats.Deser),
 			metrics.D(stats.ShuffleWrite), metrics.D(stats.ShuffleRead),
 			fmt.Sprint(stats.Spills),
 			metrics.D(stats.NativeTime), metrics.D(stats.HeapTime),
@@ -130,14 +200,39 @@ func main() {
 		metrics.Ratio(float64(order[0].Total), float64(order[1].Total)),
 		metrics.Ratio(float64(order[1].PeakBytes()), float64(order[0].PeakBytes())))
 
+	if server != nil && *obsHold > 0 {
+		if server.Scrapes() == 0 {
+			fmt.Printf("obs: holding up to %v for a /metrics scrape\n", *obsHold)
+		}
+		if !server.WaitScraped(*obsHold) {
+			fmt.Fprintln(os.Stderr, "gerenukrun: obs-hold expired with no scrape")
+		}
+	}
+	if *flameOut != "" {
+		// Export before CloseStream so the flame-export instant is part
+		// of the streamed trace.
+		tr.Instant("obs", "flame-export",
+			trace.Str("path", *flameOut), trace.I64("spans", flame.Spans()))
+		if err := flame.WriteFoldedFile(*flameOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("flame: wrote %s (%d spans folded; render with flamegraph.pl)\n",
+			*flameOut, flame.Spans())
+	}
+	if profiles != nil {
+		if err := profiles.Save(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profiles: %s now holds %d (app,mode,stage) records\n",
+			*profilesPath, profiles.Len())
+	}
+
 	if traceFile != nil {
 		if err := tr.CloseStream(); err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := traceFile.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("trace: streamed %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
@@ -148,9 +243,11 @@ func main() {
 			"modes": rows,
 		}
 		if err := tr.WriteMetricsJSONFile(*metricsOut, extra); err != nil {
-			fmt.Fprintf(os.Stderr, "gerenukrun: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("metrics: wrote %s\n", *metricsOut)
+	}
+	if server != nil {
+		server.Close()
 	}
 }

@@ -1,21 +1,28 @@
 // Command tracelint validates the observability artifacts the runtime
 // emits: a Chrome trace_event JSON file (from gerenukrun/gerenukbench
-// -trace) and optionally a metrics JSON file (from -metrics-json). It
-// is the CI smoke check that keeps the trace pipeline honest — the file
+// -trace), optionally a metrics JSON file (from -metrics-json), and
+// optionally a collapsed-stack flame graph file (from -flame). It is
+// the CI smoke check that keeps the trace pipeline honest — the files
 // must parse, and must actually contain the spans the instrumentation
 // promises.
 //
 // Usage:
 //
 //	tracelint [-metrics metrics.json] [-require cat,cat,...]
-//	          [-require-counters name,name,...] trace.json
+//	          [-require-counters name,name,...] [-flame out.folded]
+//	          [trace.json]
 //
-// Exit status is non-zero when the file fails to parse or a required
+// Exit status is non-zero when a file fails to parse or a required
 // event category is missing. By default at least one "task" span is
 // required; -require overrides the category list. -require-counters
-// (needs -metrics) lists counters that must appear in the metrics
-// snapshot with a value greater than zero — the CI recovery smoke uses
-// it to prove injected losses were actually repaired, not skipped.
+// (needs -metrics) lists instruments that must appear in the metrics
+// snapshot with a value/count greater than zero — an exact counter
+// name, or the base family name of a labeled histogram (gc_pause_ns
+// matches gc_pause_ns{job="PR",mode="gerenuk"}). -flame validates a
+// collapsed-stack file: every line `frames weight`, every frame
+// `cat:name`, and lifecycle frames strictly ordered job → stage → task
+// → attempt → phase within each stack. The trace argument is optional
+// when -flame is given.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -37,71 +45,116 @@ func fail(format string, args ...any) {
 func main() {
 	metricsPath := flag.String("metrics", "", "also validate this metrics JSON file")
 	require := flag.String("require", "task", "comma-separated event categories that must appear")
-	requireCounters := flag.String("require-counters", "", "comma-separated metrics counters that must be > 0 (needs -metrics)")
+	requireCounters := flag.String("require-counters", "", "comma-separated instruments that must be > 0: exact counter names or labeled-histogram families (needs -metrics)")
+	flamePath := flag.String("flame", "", "also validate this collapsed-stack flame graph file")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fail("usage: tracelint [-metrics metrics.json] [-require cat,...] [-require-counters name,...] trace.json")
+	if flag.NArg() > 1 || (flag.NArg() == 0 && *flamePath == "" && *metricsPath == "") {
+		fail("usage: tracelint [-metrics metrics.json] [-require cat,...] [-require-counters name,...] [-flame out.folded] [trace.json]")
 	}
 	if *requireCounters != "" && *metricsPath == "" {
 		fail("-require-counters needs -metrics")
 	}
 
-	raw, err := os.ReadFile(flag.Arg(0))
+	if flag.NArg() == 1 {
+		lintTrace(flag.Arg(0), *require)
+	}
+	if *metricsPath != "" {
+		lintMetrics(*metricsPath, *requireCounters)
+	}
+	if *flamePath != "" {
+		lintFlame(*flamePath)
+	}
+}
+
+func lintTrace(path, require string) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
 	}
 	var tf trace.ChromeTraceFile
 	if err := json.Unmarshal(raw, &tf); err != nil {
-		fail("%s: not valid Chrome trace JSON: %v", flag.Arg(0), err)
+		fail("%s: not valid Chrome trace JSON: %v", path, err)
 	}
 	if len(tf.TraceEvents) == 0 {
-		fail("%s: trace contains no events", flag.Arg(0))
+		fail("%s: trace contains no events", path)
 	}
 
 	byCat := map[string]int{}
 	for _, e := range tf.TraceEvents {
 		if e.Ph == "" || e.Name == "" {
-			fail("%s: event with empty ph/name: %+v", flag.Arg(0), e)
+			fail("%s: event with empty ph/name: %+v", path, e)
 		}
 		byCat[e.Cat]++
 	}
-	for _, cat := range strings.Split(*require, ",") {
+	for _, cat := range strings.Split(require, ",") {
 		if cat = strings.TrimSpace(cat); cat == "" {
 			continue
 		}
 		if byCat[cat] == 0 {
-			fail("%s: no %q events (have: %s)", flag.Arg(0), cat, catList(byCat))
+			fail("%s: no %q events (have: %s)", path, cat, catList(byCat))
 		}
 	}
-	fmt.Printf("tracelint: %s ok — %d events (%s)\n", flag.Arg(0), len(tf.TraceEvents), catList(byCat))
+	fmt.Printf("tracelint: %s ok — %d events (%s)\n", path, len(tf.TraceEvents), catList(byCat))
+}
 
-	if *metricsPath != "" {
-		raw, err := os.ReadFile(*metricsPath)
-		if err != nil {
-			fail("%v", err)
-		}
-		var mf trace.MetricsFile
-		if err := json.Unmarshal(raw, &mf); err != nil {
-			fail("%s: not valid metrics JSON: %v", *metricsPath, err)
-		}
-		if mf.Schema != trace.MetricsSchemaVersion {
-			fail("%s: schema %d, want %d", *metricsPath, mf.Schema, trace.MetricsSchemaVersion)
-		}
-		for _, name := range strings.Split(*requireCounters, ",") {
-			if name = strings.TrimSpace(name); name == "" {
-				continue
-			}
-			v, ok := mf.Counters[name]
-			if !ok {
-				fail("%s: counter %q missing", *metricsPath, name)
-			}
-			if v <= 0 {
-				fail("%s: counter %q = %d, want > 0", *metricsPath, name, v)
-			}
-		}
-		fmt.Printf("tracelint: %s ok — %d counters, %d gauges, %d histograms\n",
-			*metricsPath, len(mf.Counters), len(mf.Gauges), len(mf.Histograms))
+func lintMetrics(path, requireCounters string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
 	}
+	var mf trace.MetricsFile
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		fail("%s: not valid metrics JSON: %v", path, err)
+	}
+	if mf.Schema != trace.MetricsSchemaVersion {
+		fail("%s: schema %d, want %d", path, mf.Schema, trace.MetricsSchemaVersion)
+	}
+	for _, name := range strings.Split(requireCounters, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if !instrumentPresent(mf, name) {
+			fail("%s: instrument %q missing or zero", path, name)
+		}
+	}
+	fmt.Printf("tracelint: %s ok — %d counters, %d gauges, %d histograms\n",
+		path, len(mf.Counters), len(mf.Gauges), len(mf.Histograms))
+}
+
+// instrumentPresent reports whether the named instrument exists with a
+// positive value: an exact counter match, or a histogram whose name is
+// exact or whose base family matches (labeled series are stored as
+// `name{label="v",...}`), with at least one observation. An empty
+// exact-name histogram does not mask a populated labeled family of the
+// same name.
+func instrumentPresent(mf trace.MetricsFile, name string) bool {
+	if v, ok := mf.Counters[name]; ok {
+		return v > 0
+	}
+	if h, ok := mf.Histograms[name]; ok && h.Count > 0 {
+		return true
+	}
+	prefix := name + "{"
+	for hn, h := range mf.Histograms {
+		if strings.HasPrefix(hn, prefix) && h.Count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func lintFlame(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	stats, err := obs.ValidateFolded(f)
+	if err != nil {
+		fail("%s: %v", path, err)
+	}
+	fmt.Printf("tracelint: %s ok — %d stacks, %d frames, %d full job→phase chains, %dns total\n",
+		path, stats.Stacks, stats.Frames, stats.FullChains, stats.TotalNs)
 }
 
 func catList(byCat map[string]int) string {

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// BenchJSONSchemaVersion identifies the -bench-json layout (documented
+// in DESIGN.md §11). Bump on any field-meaning change.
+const BenchJSONSchemaVersion = 1
+
+// BreakdownJSON is the machine-readable form of metrics.Breakdown, all
+// durations in nanoseconds.
+type BreakdownJSON struct {
+	TotalNs        int64 `json:"total_ns"`
+	ComputeNs      int64 `json:"compute_ns"`
+	GCNs           int64 `json:"gc_ns"`
+	GCAttributedNs int64 `json:"gc_attributed_ns"`
+	SerNs          int64 `json:"ser_ns"`
+	DeserNs        int64 `json:"deser_ns"`
+	NativeNs       int64 `json:"native_ns"`
+	HeapNs         int64 `json:"heap_ns"`
+	ShuffleWriteNs int64 `json:"shuffle_write_ns"`
+	ShuffleReadNs  int64 `json:"shuffle_read_ns"`
+
+	PeakHeapBytes   int64 `json:"peak_heap_bytes"`
+	PeakNativeBytes int64 `json:"peak_native_bytes"`
+
+	Records         int64 `json:"records"`
+	Attempts        int64 `json:"attempts"`
+	Retries         int64 `json:"retries"`
+	Aborts          int64 `json:"aborts"`
+	NativeSkips     int64 `json:"native_skips"`
+	Hedges          int64 `json:"hedges"`
+	HedgeWins       int64 `json:"hedge_wins"`
+	MinorGCs        int64 `json:"minor_gcs"`
+	MajorGCs        int64 `json:"major_gcs"`
+	AllocBytes      int64 `json:"alloc_bytes"`
+	Spills          int64 `json:"spills"`
+	ShuffleBytes    int64 `json:"shuffle_bytes_written"`
+	ShuffleFetched  int64 `json:"shuffle_bytes_fetched"`
+	ShuffleRefetch  int64 `json:"shuffle_fetch_retries"`
+	PanicsContained int64 `json:"panics_contained"`
+}
+
+func toBreakdownJSON(b metrics.Breakdown) BreakdownJSON {
+	return BreakdownJSON{
+		TotalNs:        b.Total.Nanoseconds(),
+		ComputeNs:      b.Compute().Nanoseconds(),
+		GCNs:           b.GC.Nanoseconds(),
+		GCAttributedNs: b.GCAttributed.Nanoseconds(),
+		SerNs:          b.Ser.Nanoseconds(),
+		DeserNs:        b.Deser.Nanoseconds(),
+		NativeNs:       b.NativeTime.Nanoseconds(),
+		HeapNs:         b.HeapTime.Nanoseconds(),
+		ShuffleWriteNs: b.ShuffleWrite.Nanoseconds(),
+		ShuffleReadNs:  b.ShuffleRead.Nanoseconds(),
+
+		PeakHeapBytes:   b.PeakHeapBytes,
+		PeakNativeBytes: b.PeakNativeBytes,
+
+		Records:         b.Records,
+		Attempts:        b.Attempts,
+		Retries:         b.Retries,
+		Aborts:          b.Aborts,
+		NativeSkips:     b.NativeSkips,
+		Hedges:          b.Hedges,
+		HedgeWins:       b.HedgeWins,
+		MinorGCs:        b.MinorGCs,
+		MajorGCs:        b.MajorGCs,
+		AllocBytes:      b.AllocBytes,
+		Spills:          b.Spills,
+		ShuffleBytes:    b.ShuffleBytesWritten,
+		ShuffleFetched:  b.ShuffleBytesFetched,
+		ShuffleRefetch:  b.ShuffleFetchRetries,
+		PanicsContained: b.PanicsContained,
+	}
+}
+
+// BenchRunRecord is one (app, mode) measurement of the report.
+type BenchRunRecord struct {
+	App       string           `json:"app"`
+	Engine    string           `json:"engine"` // "spark" | "hadoop"
+	Mode      string           `json:"mode"`   // "baseline" | "gerenuk"
+	WallNs    int64            `json:"wall_ns"`
+	Breakdown BreakdownJSON    `json:"breakdown"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+}
+
+// BenchReport is the top-level -bench-json document.
+type BenchReport struct {
+	Schema      int              `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	Scale       int              `json:"scale"`
+	Workers     int              `json:"workers"`
+	Partitions  int              `json:"partitions"`
+	Iters       int              `json:"iters"`
+	Runs        []BenchRunRecord `json:"runs"`
+}
+
+// engineOf classifies an app name.
+func engineOf(app string) string {
+	for _, s := range SparkAppNames {
+		if s == app {
+			return "spark"
+		}
+	}
+	return "hadoop"
+}
+
+// AllAppNames returns every runnable app, Spark apps first.
+func AllAppNames() []string {
+	out := append([]string(nil), SparkAppNames...)
+	return append(out, hadoopapps.AllApps...)
+}
+
+// counterDelta returns after-before for every counter that moved.
+func counterDelta(before, after map[string]int64) map[string]int64 {
+	var out map[string]int64
+	for k, v := range after {
+		if d := v - before[k]; d > 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// BuildBenchReport runs every listed app (nil = all apps) in both modes
+// and assembles the machine-readable report. All runs share the
+// caller's tracer (so trace streaming, flame folding and the obs server
+// observe the whole suite); per-record counters are isolated by
+// snapshot deltas around each run.
+func BuildBenchReport(cfg Config, apps []string) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	if apps == nil {
+		apps = AllAppNames()
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.New()
+	}
+	rep := &BenchReport{
+		Schema:      BenchJSONSchemaVersion,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       cfg.Scale,
+		Workers:     cfg.Workers,
+		Partitions:  cfg.Partitions,
+		Iters:       cfg.Iters,
+	}
+	for _, app := range apps {
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			before := cfg.Trace.Registry().Snapshot().Counters
+			start := time.Now()
+			stats, err := RunApp(app, cfg, mode)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: report %s/%v: %w", app, mode, err)
+			}
+			after := cfg.Trace.Registry().Snapshot().Counters
+			rep.Runs = append(rep.Runs, BenchRunRecord{
+				App:       app,
+				Engine:    engineOf(app),
+				Mode:      mode.String(),
+				WallNs:    wall.Nanoseconds(),
+				Breakdown: toBreakdownJSON(stats),
+				Counters:  counterDelta(before, after),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteBenchReportFile writes the report as indented JSON.
+func WriteBenchReportFile(path string, rep *BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}

@@ -76,6 +76,11 @@ type Config struct {
 	// experiments run; setting it also arms the mutate-input canary and
 	// widens the retry budget.
 	Injector *faults.Injector
+	// StageHook, when set, observes every stage boundary of every job the
+	// experiments run, before the stage's stats fold into job totals.
+	// The observability plane uses it to charge real GC pause time to
+	// the active (app, mode) and to feed the persistent profile store.
+	StageHook func(app string, mode engine.Mode, stage string, stats *metrics.Breakdown, wall time.Duration)
 }
 
 // shuffleConfig resolves the Config's shuffle knobs into the exchange
@@ -221,6 +226,11 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.Shuffle = scfg
 		ctx.CheckpointEvery = cfg.CheckpointEvery
 		ctx.StageDeadline = cfg.StageDeadline
+		if cfg.StageHook != nil {
+			ctx.OnStage = func(stage string, stats *metrics.Breakdown, wall time.Duration) {
+				cfg.StageHook(app, mode, stage, stats, wall)
+			}
+		}
 		if cfg.Injector != nil {
 			ctx.Injector = cfg.Injector
 			ctx.VerifyInputs = true
@@ -473,6 +483,11 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.Shuffle = scfg
 	conf.CheckpointEvery = cfg.CheckpointEvery
 	conf.StageDeadline = cfg.StageDeadline
+	if cfg.StageHook != nil {
+		conf.OnStage = func(stage string, stats *metrics.Breakdown, wall time.Duration) {
+			cfg.StageHook(app, mode, stage, stats, wall)
+		}
+	}
 	if cfg.Injector != nil {
 		conf.Injector = cfg.Injector
 		conf.VerifyInputs = true

@@ -85,6 +85,12 @@ type JobConf struct {
 	// shuffle/merge/reduce phase spans plus the per-task spans every
 	// executor emits.
 	Trace *trace.Tracer
+	// OnStage, when set, observes each pooled phase (map, combine,
+	// reduce) as it completes: it runs before the phase's stats fold
+	// into the job result, so the hook may enrich stats (the
+	// observability plane charges real GC pause time here) and the
+	// enrichment lands in the job totals.
+	OnStage func(stage string, stats *metrics.Breakdown, wall time.Duration)
 	// Shuffle configures the exchange between mappers and reducers:
 	// memory budget (spill threshold), block compression, simulated
 	// transport, fetch retry/breaker policy, block replication. Reducers,
@@ -180,9 +186,14 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
 	mapStage := job.Child("stage", "map", trace.I64("tasks", int64(len(mapSpecs))))
+	mapStart := time.Now()
 	mapJob, err := runPhase(conf, pool, mapExec, conf.Name+"/map", mapSpecs)
+	mapWall := time.Since(mapStart)
 	mapStage.End()
 	if mapJob != nil {
+		if conf.OnStage != nil {
+			conf.OnStage("map", &mapJob.Stats, mapWall)
+		}
 		// Partial accounting: even a failed phase's completed tasks count.
 		res.Stats.Add(mapJob.Stats)
 	}
@@ -206,9 +217,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	sortSpan.End()
 	res.Stats.Total += time.Since(sortStart)
 	if conf.CombineDriver != "" {
+		combStart := time.Now()
 		combined, cjob, err := foldGroups(c, conf, pool, conf.CombineDriver,
 			conf.MapOutClass, mapOuts, conf.MapHeap, "combine", job, false)
 		if cjob != nil {
+			if conf.OnStage != nil {
+				conf.OnStage("combine", &cjob.Stats, time.Since(combStart))
+			}
 			res.Stats.Add(cjob.Stats)
 		}
 		if err != nil {
@@ -286,9 +301,13 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	}
 	mergeSpan.End()
 	res.Stats.Total += time.Since(mergeStart)
+	reduceStart := time.Now()
 	outs, rjob, err := foldGroups(c, conf, pool, conf.ReduceDriver,
 		conf.MapOutClass, blocks, conf.ReduceHeap, "reduce", job, true)
 	if rjob != nil {
+		if conf.OnStage != nil {
+			conf.OnStage("reduce", &rjob.Stats, time.Since(reduceStart))
+		}
 		res.Stats.Add(rjob.Stats)
 	}
 	if err != nil {

@@ -20,6 +20,14 @@ type Breakdown struct {
 	Ser   time.Duration
 	Deser time.Duration
 
+	// GCAttributed is real Go GC pause time charged to this run by the
+	// observability plane's attribution sampler (obs.GCAttributor) — the
+	// measured counterpart of the simulated GC above. Zero unless a live
+	// observability plane is attached. Deliberately NOT part of Compute's
+	// derivation: the simulated GC already occupies that budget, and the
+	// two columns answer different questions (model vs process).
+	GCAttributed time.Duration
+
 	// Attempt-path attribution: wall time spent inside speculative native
 	// attempts vs heap (fallback/hedge) attempts, summed over tasks.
 	NativeTime time.Duration
@@ -83,6 +91,7 @@ func (b *Breakdown) Add(o Breakdown) {
 	b.GC += o.GC
 	b.Ser += o.Ser
 	b.Deser += o.Deser
+	b.GCAttributed += o.GCAttributed
 	b.NativeTime += o.NativeTime
 	b.HeapTime += o.HeapTime
 	b.ShuffleWrite += o.ShuffleWrite

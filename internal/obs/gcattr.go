@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// GCAttributor charges real Go GC pauses to the job that was running
+// when they happened — the live counterpart of the paper's Figure 6/7
+// cost decomposition. It reads the runtime's cumulative
+// /gc/pauses:seconds histogram at construction and after every stage;
+// the count delta between reads is the set of pauses that landed inside
+// that stage, and each one is observed (at its bucket-midpoint estimate)
+// into a per-(job,mode) gc_pause_ns histogram in the tracer's registry.
+//
+// Attribution is interval-based, so it is exact only while one stage
+// runs at a time — which is how the bench harness drives jobs. When
+// stages of different jobs overlap, a pause is charged to whichever
+// stage ends first; the total across jobs is still conserved.
+//
+// Small runs may complete without a single natural GC cycle, which would
+// leave the per-job series empty and downstream dashboards blind. The
+// first time a (job,mode) pair ends a stage with zero observed pauses
+// the attributor forces one runtime.GC() and re-reads, so every traced
+// job carries at least one attributed pause.
+//
+// A nil *GCAttributor is the disabled attributor; StageEnd is a no-op
+// returning 0.
+type GCAttributor struct {
+	mu     sync.Mutex
+	tr     *trace.Tracer
+	last   []uint64 // cumulative bucket counts at the previous read
+	forced map[string]bool
+}
+
+// NewGCAttributor builds an attributor bound to tr's registry and primes
+// the pause-histogram baseline so pre-existing pauses are never charged
+// to the first stage.
+func NewGCAttributor(tr *trace.Tracer) *GCAttributor {
+	a := &GCAttributor{tr: tr, forced: make(map[string]bool)}
+	if s := ReadRuntime(); s.Pauses != nil {
+		a.last = append([]uint64(nil), s.Pauses.Counts...)
+	}
+	return a
+}
+
+// StageEnd attributes every GC pause since the previous read to the
+// given (job, mode) pair, returning the total attributed pause time.
+// Call it at each stage boundary, after the stage's work completes.
+func (a *GCAttributor) StageEnd(job, mode, stage string) time.Duration {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	total := a.attribute(job, mode, stage)
+	if total == 0 {
+		key := job + "\x00" + mode
+		if !a.forced[key] {
+			a.forced[key] = true
+			runtime.GC()
+			total = a.attribute(job, mode, stage)
+		}
+	}
+	return total
+}
+
+// attribute performs one read-diff-observe cycle under the lock.
+func (a *GCAttributor) attribute(job, mode, stage string) time.Duration {
+	s := ReadRuntime()
+	if s.Pauses == nil {
+		return 0
+	}
+	cur := s.Pauses.Counts
+	var totalNs float64
+	var pauses int64
+	reg := a.tr.Registry()
+	hist := reg.Histogram(MetricName("gc_pause_ns", "job", job, "mode", mode),
+		trace.LatencyBuckets()...)
+	for i, c := range cur {
+		var prev uint64
+		if i < len(a.last) {
+			prev = a.last[i]
+		}
+		if c <= prev {
+			continue
+		}
+		ns := bucketValueNs(s.Pauses, i)
+		for n := uint64(0); n < c-prev; n++ {
+			hist.Observe(ns)
+			totalNs += ns
+			pauses++
+		}
+	}
+	a.last = append(a.last[:0], cur...)
+	if pauses == 0 {
+		return 0
+	}
+	reg.Counter("gc_pauses_attributed_total").Add(pauses)
+	a.tr.Instant("gc", "gc-attributed",
+		trace.Str("job", job), trace.Str("mode", mode), trace.Str("stage", stage),
+		trace.I64("pauses", pauses), trace.F64("pause_ns", totalNs))
+	return time.Duration(totalNs)
+}

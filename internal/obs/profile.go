@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ProfileSchemaVersion identifies the profiles.json layout. Bump it when
+// a record's fields change meaning; Load rejects newer versions rather
+// than silently misreading them.
+const ProfileSchemaVersion = 1
+
+// ProfileKey identifies one profiled unit of work.
+type ProfileKey struct {
+	App   string `json:"app"`
+	Mode  string `json:"mode"`
+	Stage string `json:"stage"`
+}
+
+// ProfileRecord is the persisted profile of one (app, mode, stage):
+// cumulative sums across runs, so averages are Sum/Runs and a rerun
+// merges in place instead of appending. This is the substrate for
+// profile-guided admission — a stage whose historical abort rate is high
+// can skip the speculative attempt entirely.
+type ProfileRecord struct {
+	ProfileKey
+	Runs          int64 `json:"runs"`
+	WallNsSum     int64 `json:"wall_ns_sum"`
+	TotalNsSum    int64 `json:"total_ns_sum"`
+	ComputeNsSum  int64 `json:"compute_ns_sum"`
+	GCNsSum       int64 `json:"gc_ns_sum"`
+	GCAttrNsSum   int64 `json:"gc_attr_ns_sum"`
+	SerNsSum      int64 `json:"ser_ns_sum"`
+	DeserNsSum    int64 `json:"deser_ns_sum"`
+	AttemptsSum   int64 `json:"attempts_sum"`
+	AbortsSum     int64 `json:"aborts_sum"`
+	RecordsSum    int64 `json:"records_sum"`
+	AllocBytesSum int64 `json:"alloc_bytes_sum"`
+	PeakBytesMax  int64 `json:"peak_bytes_max"`
+}
+
+// AbortRate returns the historical aborts-per-attempt ratio, the signal
+// profile-guided admission would key on.
+func (r ProfileRecord) AbortRate() float64 {
+	if r.AttemptsSum == 0 {
+		return 0
+	}
+	return float64(r.AbortsSum) / float64(r.AttemptsSum)
+}
+
+// profileFile is the on-disk shape of profiles.json.
+type profileFile struct {
+	Schema    int             `json:"schema"`
+	UpdatedAt string          `json:"updated_at,omitempty"`
+	Profiles  []ProfileRecord `json:"profiles"`
+}
+
+// ProfileStore accumulates stage profiles and persists them as a
+// versioned profiles.json. All methods are safe for concurrent use; a
+// nil *ProfileStore ignores every call.
+type ProfileStore struct {
+	mu   sync.Mutex
+	path string
+	recs map[ProfileKey]*ProfileRecord
+}
+
+// OpenProfileStore loads (or initializes) the store at path. A missing
+// file yields an empty store; a file with an unknown schema version or
+// malformed JSON is an error, never silently overwritten.
+func OpenProfileStore(path string) (*ProfileStore, error) {
+	ps := &ProfileStore{path: path, recs: make(map[ProfileKey]*ProfileRecord)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ps, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile store: %w", err)
+	}
+	var f profileFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obs: profile store %s: %w", path, err)
+	}
+	if f.Schema > ProfileSchemaVersion {
+		return nil, fmt.Errorf("obs: profile store %s: schema %d newer than supported %d",
+			path, f.Schema, ProfileSchemaVersion)
+	}
+	for i := range f.Profiles {
+		r := f.Profiles[i]
+		ps.recs[r.ProfileKey] = &r
+	}
+	return ps, nil
+}
+
+// Record merges one stage observation into the profile for (app, mode,
+// stage): sums accumulate, Runs increments, so the same key recorded
+// across reruns stays one record.
+func (ps *ProfileStore) Record(app, mode, stage string, stats *metrics.Breakdown, wall time.Duration) {
+	if ps == nil || stats == nil {
+		return
+	}
+	key := ProfileKey{App: app, Mode: mode, Stage: stage}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.recs[key]
+	if !ok {
+		r = &ProfileRecord{ProfileKey: key}
+		ps.recs[key] = r
+	}
+	r.Runs++
+	r.WallNsSum += wall.Nanoseconds()
+	r.TotalNsSum += stats.Total.Nanoseconds()
+	r.ComputeNsSum += stats.Compute().Nanoseconds()
+	r.GCNsSum += stats.GC.Nanoseconds()
+	r.GCAttrNsSum += stats.GCAttributed.Nanoseconds()
+	r.SerNsSum += stats.Ser.Nanoseconds()
+	r.DeserNsSum += stats.Deser.Nanoseconds()
+	r.AttemptsSum += stats.Attempts
+	r.AbortsSum += stats.Aborts
+	r.RecordsSum += stats.Records
+	r.AllocBytesSum += stats.AllocBytes
+	if pb := stats.PeakBytes(); pb > r.PeakBytesMax {
+		r.PeakBytesMax = pb
+	}
+}
+
+// Get returns a copy of the record for (app, mode, stage) and whether it
+// exists.
+func (ps *ProfileStore) Get(app, mode, stage string) (ProfileRecord, bool) {
+	if ps == nil {
+		return ProfileRecord{}, false
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	r, ok := ps.recs[ProfileKey{App: app, Mode: mode, Stage: stage}]
+	if !ok {
+		return ProfileRecord{}, false
+	}
+	return *r, true
+}
+
+// Len returns the number of distinct profiled keys.
+func (ps *ProfileStore) Len() int {
+	if ps == nil {
+		return 0
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.recs)
+}
+
+// Save writes the store atomically (temp file + rename) with records in
+// deterministic key order, so committed profiles diff cleanly.
+func (ps *ProfileStore) Save() error {
+	if ps == nil {
+		return nil
+	}
+	ps.mu.Lock()
+	f := profileFile{
+		Schema:    ProfileSchemaVersion,
+		UpdatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, r := range ps.recs {
+		f.Profiles = append(f.Profiles, *r)
+	}
+	path := ps.path
+	ps.mu.Unlock()
+	sort.Slice(f.Profiles, func(i, j int) bool {
+		a, b := f.Profiles[i], f.Profiles[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Stage < b.Stage
+	})
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: profile store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".profiles-*.json")
+	if err != nil {
+		return fmt.Errorf("obs: profile store: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: profile store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: profile store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("obs: profile store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestProfileStoreMergeOnRerun is the acceptance criterion: recording
+// the same (app, mode, stage) across two store generations keeps one
+// record whose sums accumulate, and the schema version survives the
+// round trip.
+func TestProfileStoreMergeOnRerun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+
+	stats := &metrics.Breakdown{
+		Total: 10 * time.Millisecond, GC: 2 * time.Millisecond,
+		Ser: time.Millisecond, Deser: time.Millisecond,
+		GCAttributed: 500 * time.Microsecond,
+		Attempts:     8, Aborts: 2, Records: 100, AllocBytes: 4096,
+		PeakHeapBytes: 1 << 20,
+	}
+
+	ps, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatalf("OpenProfileStore: %v", err)
+	}
+	ps.Record("PR", "gerenuk", "s0", stats, 12*time.Millisecond)
+	ps.Record("PR", "gerenuk", "s1", stats, 12*time.Millisecond)
+	ps.Record("PR", "heaps", "s0", stats, 15*time.Millisecond)
+	if err := ps.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	// second run: reopen, record the same keys again
+	ps2, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if ps2.Len() != 3 {
+		t.Fatalf("Len after reload = %d, want 3", ps2.Len())
+	}
+	ps2.Record("PR", "gerenuk", "s0", stats, 14*time.Millisecond)
+	if err := ps2.Save(); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+
+	ps3, err := OpenProfileStore(path)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	if ps3.Len() != 3 {
+		t.Fatalf("Len after merge = %d, want 3 (rerun must merge, not append)", ps3.Len())
+	}
+	r, ok := ps3.Get("PR", "gerenuk", "s0")
+	if !ok {
+		t.Fatal("record PR/gerenuk/s0 missing")
+	}
+	if r.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", r.Runs)
+	}
+	if want := (12 + 14) * time.Millisecond; r.WallNsSum != want.Nanoseconds() {
+		t.Fatalf("WallNsSum = %d, want %d", r.WallNsSum, want.Nanoseconds())
+	}
+	if r.AttemptsSum != 16 || r.AbortsSum != 4 {
+		t.Fatalf("AttemptsSum/AbortsSum = %d/%d, want 16/4", r.AttemptsSum, r.AbortsSum)
+	}
+	if got := r.AbortRate(); got != 0.25 {
+		t.Fatalf("AbortRate = %v, want 0.25", got)
+	}
+	if r.GCAttrNsSum != (time.Millisecond).Nanoseconds() {
+		t.Fatalf("GCAttrNsSum = %d, want %d", r.GCAttrNsSum, time.Millisecond.Nanoseconds())
+	}
+	if r.PeakBytesMax != 1<<20 {
+		t.Fatalf("PeakBytesMax = %d, want %d", r.PeakBytesMax, 1<<20)
+	}
+	// untouched key unchanged
+	if r2, _ := ps3.Get("PR", "heaps", "s0"); r2.Runs != 1 {
+		t.Fatalf("heaps record Runs = %d, want 1", r2.Runs)
+	}
+
+	// raw file checks: schema version and deterministic record order
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw struct {
+		Schema   int `json:"schema"`
+		Profiles []struct {
+			App, Mode, Stage string
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("profiles.json not valid JSON: %v", err)
+	}
+	if raw.Schema != ProfileSchemaVersion {
+		t.Fatalf("schema = %d, want %d", raw.Schema, ProfileSchemaVersion)
+	}
+	for i := 1; i < len(raw.Profiles); i++ {
+		a, b := raw.Profiles[i-1], raw.Profiles[i]
+		ka := a.App + "\x00" + a.Mode + "\x00" + a.Stage
+		kb := b.App + "\x00" + b.Mode + "\x00" + b.Stage
+		if ka >= kb {
+			t.Fatalf("profiles not sorted: %q before %q", ka, kb)
+		}
+	}
+}
+
+// TestProfileStoreRejectsBadFiles: malformed JSON and future schemas
+// must error, never be silently clobbered.
+func TestProfileStoreRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := OpenProfileStore(bad); err == nil {
+		t.Fatal("OpenProfileStore accepted malformed JSON")
+	}
+
+	future := filepath.Join(dir, "future.json")
+	os.WriteFile(future, []byte(`{"schema": 999, "profiles": []}`), 0o644)
+	if _, err := OpenProfileStore(future); err == nil {
+		t.Fatal("OpenProfileStore accepted a future schema version")
+	}
+
+	// missing file is fine — fresh store
+	ps, err := OpenProfileStore(filepath.Join(dir, "absent.json"))
+	if err != nil || ps.Len() != 0 {
+		t.Fatalf("missing file: err=%v len=%d, want nil/0", err, ps.Len())
+	}
+}
+
+// TestProfileStoreNilSafety mirrors the repo-wide nil-receiver contract.
+func TestProfileStoreNilSafety(t *testing.T) {
+	var ps *ProfileStore
+	ps.Record("a", "m", "s", &metrics.Breakdown{}, time.Second)
+	if err := ps.Save(); err != nil {
+		t.Fatalf("nil Save: %v", err)
+	}
+	if _, ok := ps.Get("a", "m", "s"); ok {
+		t.Fatal("nil Get returned ok")
+	}
+	if ps.Len() != 0 {
+		t.Fatal("nil Len != 0")
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// RingEvent is the JSON shape of one retained span event as served by
+// /statusz: a completed span ("X") or an instant ("i"), never the
+// subscriber-only "B" opens (those only feed the in-flight gauges).
+type RingEvent struct {
+	Name  string `json:"name"`
+	Cat   string `json:"cat"`
+	Ph    string `json:"ph"`
+	TS    int64  `json:"ts_ns"`
+	Dur   int64  `json:"dur_ns,omitempty"`
+	TID   int64  `json:"tid,omitempty"`
+	Abort string `json:"abort,omitempty"`
+}
+
+// Ring is a bounded, concurrency-safe window over the span stream: the
+// last N completed/instant events plus a live count of open spans per
+// category, fed by subscribing to a tracer. Memory is fixed at N
+// regardless of run length. A nil *Ring ignores events and reports
+// empty state.
+type Ring struct {
+	mu       sync.Mutex
+	buf      []RingEvent
+	next     int
+	full     bool
+	inflight map[string]int
+	total    int64
+}
+
+// NewRing builds a ring retaining the last n events (n < 1 is clamped
+// to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]RingEvent, n), inflight: make(map[string]int)}
+}
+
+// Observe feeds one tracer event into the ring. It is installed via
+// Tracer.Subscribe and therefore runs under the tracer's mutex: it must
+// stay allocation-light and never call back into the tracer.
+func (r *Ring) Observe(e trace.Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e.Ph {
+	case "B":
+		r.inflight[e.Cat]++
+		return
+	case "X":
+		if n := r.inflight[e.Cat]; n > 0 {
+			r.inflight[e.Cat] = n - 1
+		}
+	case "i":
+		// retained below
+	default:
+		return
+	}
+	re := RingEvent{Name: e.Name, Cat: e.Cat, Ph: e.Ph, TS: e.TS, Dur: e.Dur, TID: e.TID}
+	if v, ok := e.Args["abort"]; ok {
+		if s, ok := v.(string); ok {
+			re.Abort = s
+		}
+	}
+	r.buf[r.next] = re
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []RingEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]RingEvent(nil), r.buf[:r.next]...)
+	}
+	out := make([]RingEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Inflight returns the current open-span count per category (only
+// categories with at least one open span).
+func (r *Ring) Inflight() map[string]int {
+	if r == nil {
+		return map[string]int{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.inflight))
+	for k, v := range r.inflight {
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Total returns the number of events the ring has ever retained
+// (including ones since evicted).
+func (r *Ring) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	rtmetrics "runtime/metrics"
+
+	"repro/internal/trace"
+)
+
+// The runtime/metrics samples the live plane reads. /gc/pauses:seconds
+// is the stop-the-world pause distribution the GC attributor diffs per
+// stage; the rest become gauges on every /metrics scrape.
+const (
+	rmGCPauses   = "/gc/pauses:seconds"
+	rmHeapGoal   = "/gc/heap/goal:bytes"
+	rmHeapLive   = "/memory/classes/heap/objects:bytes"
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+)
+
+// RuntimeSample is one point-in-time read of the Go runtime's own
+// telemetry — the real process under the simulated heaps.
+type RuntimeSample struct {
+	Goroutines    int64
+	HeapGoalBytes uint64
+	HeapLiveBytes uint64
+	GCCycles      uint64
+	// GCPauseP50Ns/GCPauseP99Ns are bucket-quantile estimates over the
+	// process-lifetime pause distribution, in nanoseconds.
+	GCPauseP50Ns float64
+	GCPauseP99Ns float64
+	// GCPauseCount is the total number of pauses observed so far.
+	GCPauseCount uint64
+	// Pauses is the raw cumulative pause histogram (counts per bucket),
+	// retained for delta computation by the attributor.
+	Pauses *rtmetrics.Float64Histogram
+}
+
+// ReadRuntime samples the runtime metrics the observability plane
+// exposes.
+func ReadRuntime() RuntimeSample {
+	samples := []rtmetrics.Sample{
+		{Name: rmGCPauses},
+		{Name: rmHeapGoal},
+		{Name: rmHeapLive},
+		{Name: rmGoroutines},
+		{Name: rmGCCycles},
+	}
+	rtmetrics.Read(samples)
+	var out RuntimeSample
+	for _, s := range samples {
+		switch s.Name {
+		case rmGCPauses:
+			if s.Value.Kind() == rtmetrics.KindFloat64Histogram {
+				out.Pauses = s.Value.Float64Histogram()
+			}
+		case rmHeapGoal:
+			if s.Value.Kind() == rtmetrics.KindUint64 {
+				out.HeapGoalBytes = s.Value.Uint64()
+			}
+		case rmHeapLive:
+			if s.Value.Kind() == rtmetrics.KindUint64 {
+				out.HeapLiveBytes = s.Value.Uint64()
+			}
+		case rmGoroutines:
+			if s.Value.Kind() == rtmetrics.KindUint64 {
+				out.Goroutines = int64(s.Value.Uint64())
+			}
+		case rmGCCycles:
+			if s.Value.Kind() == rtmetrics.KindUint64 {
+				out.GCCycles = s.Value.Uint64()
+			}
+		}
+	}
+	if out.Pauses != nil {
+		out.GCPauseCount = histCount(out.Pauses.Counts)
+		out.GCPauseP50Ns = histQuantileNs(out.Pauses, 0.5)
+		out.GCPauseP99Ns = histQuantileNs(out.Pauses, 0.99)
+	}
+	return out
+}
+
+// PublishGauges folds a runtime sample into registry gauges, so both
+// the Prometheus exposition and the metrics JSON exporter carry them.
+func (s RuntimeSample) PublishGauges(r *trace.Registry) {
+	r.Gauge("go_goroutines").Set(float64(s.Goroutines))
+	r.Gauge("go_gc_heap_goal_bytes").Set(float64(s.HeapGoalBytes))
+	r.Gauge("go_heap_live_bytes").Set(float64(s.HeapLiveBytes))
+	r.Gauge("go_gc_cycles_total").Set(float64(s.GCCycles))
+	r.Gauge("go_gc_pause_p50_ns").Set(s.GCPauseP50Ns)
+	r.Gauge("go_gc_pause_p99_ns").Set(s.GCPauseP99Ns)
+	r.Gauge("go_gc_pauses_seen").Set(float64(s.GCPauseCount))
+}
+
+func histCount(counts []uint64) uint64 {
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// bucketValueNs estimates a representative value (nanoseconds) for
+// bucket i of a runtime seconds-histogram. Runtime histograms carry
+// ±Inf sentinel edges; the estimate is the midpoint of the finite
+// edges, or the surviving finite edge when one side is infinite.
+func bucketValueNs(h *rtmetrics.Float64Histogram, i int) float64 {
+	lo, hi := h.Buckets[i], h.Buckets[i+1]
+	var sec float64
+	switch {
+	case !math.IsInf(lo, 0) && !math.IsInf(hi, 0):
+		sec = (lo + hi) / 2
+	case math.IsInf(lo, 0):
+		sec = hi
+	default:
+		sec = lo
+	}
+	if sec < 0 || math.IsInf(sec, 0) || math.IsNaN(sec) {
+		sec = 0
+	}
+	return sec * 1e9
+}
+
+// histQuantileNs estimates the q-th quantile of a runtime
+// seconds-histogram, in nanoseconds (0 when empty).
+func histQuantileNs(h *rtmetrics.Float64Histogram, q float64) float64 {
+	total := histCount(h.Counts)
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketValueNs(h, i)
+		}
+	}
+	return bucketValueNs(h, len(h.Counts)-1)
+}

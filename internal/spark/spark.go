@@ -76,6 +76,13 @@ type Context struct {
 	// Trace, when set, receives stage spans from the context and
 	// task/attempt/phase spans from every executor it creates.
 	Trace *trace.Tracer
+	// OnStage, when set, observes every stage boundary: it runs after
+	// the stage's pool drains but before its stats fold into the
+	// context, so the hook may enrich stats (the observability plane
+	// charges real GC pause time here) and the enrichment lands in the
+	// job totals. stats is the stage's own breakdown, wall its
+	// wall-clock time.
+	OnStage func(stage string, stats *metrics.Breakdown, wall time.Duration)
 	// Shuffle configures the exchange every wide operation routes
 	// through: memory budget (spill threshold), block compression,
 	// simulated transport, fetch retry/breaker policy. Partitions, Trace
@@ -191,7 +198,11 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 	// into the context either way so a failed stage's completed tasks
 	// still show up in the accounting.
 	if job != nil {
-		ctx.Wall += time.Since(start)
+		wall := time.Since(start)
+		ctx.Wall += wall
+		if ctx.OnStage != nil {
+			ctx.OnStage(name, &job.Stats, wall)
+		}
 		ctx.Stats.Add(job.Stats)
 		ctx.Stages++
 		ctx.Tasks += len(specs)

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // TestHistogramQuantile pins the bucket-quantile estimator the hedging
 // heuristic relies on: nil/empty safety, exactness when all mass sits in
@@ -49,5 +52,52 @@ func TestHistogramQuantile(t *testing.T) {
 	h3.Observe(9999)
 	if v, n := h3.Quantile(0.5); v != 9999 || n != 1 {
 		t.Fatalf("overflow-bucket Quantile = %v, %d; want 9999, 1", v, n)
+	}
+}
+
+// TestHistogramQuantileEdges is the table-driven edge-case suite: empty
+// histograms, single samples, q at and beyond both ends of (0,1], NaN q,
+// bound-less histograms (everything in the overflow bucket), and exact
+// boundary observations. Until the live /metrics plane every caller only
+// exercised the median path; these pin the rest of the domain.
+func TestHistogramQuantileEdges(t *testing.T) {
+	mk := func(bounds []float64, obs ...float64) *Histogram {
+		h := NewRegistry().Histogram("h", bounds...)
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		return h
+	}
+	cases := []struct {
+		name      string
+		h         *Histogram
+		q         float64
+		wantV     float64
+		wantCount int64
+	}{
+		{"empty/q0", mk([]float64{10, 100}), 0, 0, 0},
+		{"empty/q1", mk([]float64{10, 100}), 1, 0, 0},
+		{"single/median", mk([]float64{10, 100}, 42), 0.5, 42, 1},
+		{"single/q0", mk([]float64{10, 100}, 42), 0, 42, 1},
+		{"single/q1", mk([]float64{10, 100}, 42), 1, 42, 1},
+		{"single/overflow-bucket", mk([]float64{10}, 42), 0.5, 42, 1},
+		{"q0-returns-min", mk([]float64{10, 100, 1000}, 5, 50, 500), 0, 5, 3},
+		{"q1-returns-max", mk([]float64{10, 100, 1000}, 5, 50, 500), 1, 500, 3},
+		{"q-negative-clamps-to-min", mk([]float64{10, 100}, 20, 80), -3, 20, 2},
+		{"q-above-one-clamps-to-max", mk([]float64{10, 100}, 20, 80), 1.5, 80, 2},
+		{"q-nan-returns-min", mk([]float64{10, 100}, 20, 80), math.NaN(), 20, 2},
+		{"no-bounds-all-overflow", mk(nil, 3, 7, 11), 0.5, 11, 3},
+		{"no-bounds-q0", mk(nil, 3, 7, 11), 0, 3, 3},
+		{"boundary-observation", mk([]float64{10, 100}, 10, 10), 0.5, 10, 2},
+		{"tiny-q-first-bucket", mk([]float64{10, 100}, 5, 50, 50, 50), 0.25, 10, 4},
+		{"p99-lands-in-top-bucket", mk([]float64{10, 100}, 5, 5, 5, 99), 0.99, 99, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, n := tc.h.Quantile(tc.q)
+			if v != tc.wantV || n != tc.wantCount {
+				t.Fatalf("Quantile(%v) = %v, %d; want %v, %d", tc.q, v, n, tc.wantV, tc.wantCount)
+			}
+		})
 	}
 }

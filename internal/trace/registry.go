@@ -171,12 +171,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
-// Quantile returns an approximation of the q-th quantile (0 < q <= 1)
-// of the observed values plus the observation count. The estimate is the
-// upper bound of the bucket containing the quantile, clamped to the
-// observed min/max — with exponential buckets that is within one bucket
-// factor of the true value, which is all the hedging heuristic needs.
-// A nil or empty histogram returns (0, 0).
+// Quantile returns an approximation of the q-th quantile of the
+// observed values plus the observation count. The estimate is the upper
+// bound of the bucket containing the quantile, clamped to the observed
+// min/max — with exponential buckets that is within one bucket factor of
+// the true value, which is all the hedging heuristic needs.
+//
+// Edge cases are total: a nil or empty histogram returns (0, 0); a
+// single-sample histogram returns that sample for every q; q <= 0 (and
+// NaN) returns the observed min, q >= 1 the observed max.
 func (h *Histogram) Quantile(q float64) (float64, int64) {
 	if h == nil {
 		return 0, 0
@@ -185,6 +188,12 @@ func (h *Histogram) Quantile(q float64) (float64, int64) {
 	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0, 0
+	}
+	if q <= 0 || math.IsNaN(q) {
+		return h.min, h.count
+	}
+	if q >= 1 {
+		return h.max, h.count
 	}
 	rank := int64(math.Ceil(q * float64(h.count)))
 	if rank < 1 {

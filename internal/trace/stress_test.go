@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentScrapeStress hammers one shared registry's
+// counters, gauges and histograms from many writer goroutines — the
+// shape of concurrent task attempts instrumenting a live job — while
+// reader goroutines repeatedly Snapshot the registry, query quantiles,
+// and run the metrics JSON exporter, the way a live /metrics scrape
+// reads mid-run state. Run under -race (the CI suite always does), it
+// locks in that live scrapes are data-race-free against the hot
+// instrumentation path, and that every snapshot is internally coherent
+// (bucket counts always sum to the histogram count).
+func TestRegistryConcurrentScrapeStress(t *testing.T) {
+	tr := New()
+	r := tr.Registry()
+	const (
+		writers = 8
+		readers = 4
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds; i++ {
+				r.Counter("tasks_total").Add(1)
+				r.Counter(fmt.Sprintf("worker_%d_total", w)).Add(2)
+				r.Gauge("inflight").Set(float64(i))
+				r.Gauge("peak").SetMax(float64(w*rounds + i))
+				r.Histogram("task_latency_ns", LatencyBuckets()...).Observe(float64(i * 1000))
+				r.Histogram("bytes", ByteBuckets()...).Observe(float64(i * 64))
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < rounds/4; i++ {
+				s := r.Snapshot()
+				for name, h := range s.Histograms {
+					var sum int64
+					for _, c := range h.Counts {
+						sum += c
+					}
+					if sum != h.Count {
+						t.Errorf("snapshot %s: bucket counts sum %d != count %d", name, sum, h.Count)
+						return
+					}
+				}
+				r.Histogram("task_latency_ns").Quantile(0.99)
+				var buf bytes.Buffer
+				if err := tr.WriteMetricsJSON(&buf, nil); err != nil {
+					t.Errorf("WriteMetricsJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := r.Counter("tasks_total").Value(); got != writers*rounds {
+		t.Fatalf("tasks_total = %d, want %d", got, writers*rounds)
+	}
+	if h := r.Histogram("task_latency_ns").snapshot(); h.Count != writers*rounds {
+		t.Fatalf("task_latency_ns count = %d, want %d", h.Count, writers*rounds)
+	}
+}
+
+// TestTracerSubscribeStress drives concurrent span trees through a
+// tracer with a live subscriber — the bounded-ring/flame-aggregation
+// shape — proving span-open notifications and event emission are safe
+// against parallel workers.
+func TestTracerSubscribeStress(t *testing.T) {
+	tr := New()
+	var mu sync.Mutex
+	var opens, closes int
+	tr.Subscribe(func(e Event) {
+		mu.Lock()
+		switch e.Ph {
+		case "B":
+			opens++
+		case "X":
+			closes++
+		}
+		mu.Unlock()
+	})
+	const workers, spansPer = 6, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				task := tr.StartSpan("task", "t")
+				att := task.Child("attempt", "a")
+				ph := att.Child("phase", "p")
+				ph.End()
+				att.End()
+				task.Instant("fault", "noop")
+				task.End()
+			}
+		}()
+	}
+	wg.Wait()
+	want := workers * spansPer * 3
+	mu.Lock()
+	defer mu.Unlock()
+	if opens != want || closes != want {
+		t.Fatalf("subscriber saw %d opens, %d closes; want %d each", opens, closes, want)
+	}
+}

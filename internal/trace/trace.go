@@ -28,6 +28,7 @@ package trace
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,12 +52,20 @@ func F64(k string, v float64) Arg { return Arg{Key: k, Val: v} }
 type Event struct {
 	Name  string
 	Cat   string
-	Ph    string // "X" complete, "i" instant, "C" counter
+	Ph    string // "X" complete, "i" instant, "C" counter, "B" span-open (subscribers only)
 	TS    int64
 	Dur   int64  // complete events only
 	TID   int64  // 0 = process-scoped
 	Scope string // instant events: "t" thread, "p" process
 	Args  map[string]any
+
+	// SID identifies the span an event belongs to and PSID its parent
+	// span (0 = root). They let live subscribers reconstruct the span
+	// tree without matching by time interval — hedged attempts overlap
+	// on one thread row, so intervals alone are ambiguous. The Chrome
+	// exporter ignores both.
+	SID  int64
+	PSID int64
 }
 
 // Tracer collects events for one run. Create with New; a nil *Tracer is
@@ -69,6 +78,10 @@ type Tracer struct {
 	nextTID int64
 	metrics *Registry
 	stream  *streamWriter // non-nil: events flush to it instead of buffering
+
+	nextSID atomic.Int64
+	hasSubs atomic.Bool // fast-path gate: span opens only notify when true
+	subs    []func(Event)
 }
 
 // New returns an enabled tracer using the real clock.
@@ -113,6 +126,38 @@ func (t *Tracer) emit(e Event) {
 	} else {
 		t.events = append(t.events, e)
 	}
+	for _, fn := range t.subs {
+		fn(e)
+	}
+	t.mu.Unlock()
+}
+
+// Subscribe registers a live event sink: every future event — plus a
+// synthetic "B" (span-open) notification for each StartSpan/Child, which
+// is delivered only to subscribers and never buffered or streamed — is
+// passed to fn. Subscribers run under the tracer's mutex, so fn must be
+// fast and must not call back into the tracer or its spans. This is the
+// attachment point for the live observability plane (bounded event
+// rings, flame-graph aggregation); a tracer with no subscribers pays
+// one atomic load per span open.
+func (t *Tracer) Subscribe(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.subs = append(t.subs, fn)
+	t.hasSubs.Store(true)
+	t.mu.Unlock()
+}
+
+// notifyOpen delivers the subscriber-only span-open notification.
+func (t *Tracer) notifyOpen(s *Span) {
+	e := Event{Name: s.name, Cat: s.cat, Ph: "B", TS: s.start, TID: s.tid,
+		SID: s.sid, PSID: s.psid}
+	t.mu.Lock()
+	for _, fn := range t.subs {
+		fn(e)
+	}
 	t.mu.Unlock()
 }
 
@@ -126,7 +171,12 @@ func (t *Tracer) StartSpan(cat, name string, args ...Arg) *Span {
 	t.nextTID++
 	tid := t.nextTID
 	t.mu.Unlock()
-	return &Span{t: t, cat: cat, name: name, tid: tid, start: t.since(), args: args}
+	s := &Span{t: t, cat: cat, name: name, tid: tid, start: t.since(), args: args,
+		sid: t.nextSID.Add(1)}
+	if t.hasSubs.Load() {
+		t.notifyOpen(s)
+	}
+	return s
 }
 
 // Instant records a process-scoped instant event (a vertical line across
@@ -146,6 +196,7 @@ type Span struct {
 	tid       int64
 	start     int64
 	args      []Arg
+	sid, psid int64
 }
 
 // Tracer returns the owning tracer (nil for a nil span).
@@ -162,7 +213,12 @@ func (s *Span) Child(cat, name string, args ...Arg) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{t: s.t, cat: cat, name: name, tid: s.tid, start: s.t.since(), args: args}
+	c := &Span{t: s.t, cat: cat, name: name, tid: s.tid, start: s.t.since(), args: args,
+		sid: s.t.nextSID.Add(1), psid: s.sid}
+	if s.t.hasSubs.Load() {
+		s.t.notifyOpen(c)
+	}
+	return c
 }
 
 // End closes the span, emitting one complete ("X") event carrying the
@@ -173,7 +229,7 @@ func (s *Span) End(args ...Arg) {
 	}
 	end := s.t.since()
 	s.t.emit(Event{Name: s.name, Cat: s.cat, Ph: "X", TS: s.start, Dur: end - s.start,
-		TID: s.tid, Args: argsMap(s.args, args)})
+		TID: s.tid, Args: argsMap(s.args, args), SID: s.sid, PSID: s.psid})
 }
 
 // Instant records a thread-scoped instant event on the span's row —
@@ -183,7 +239,7 @@ func (s *Span) Instant(cat, name string, args ...Arg) {
 		return
 	}
 	s.t.emit(Event{Name: name, Cat: cat, Ph: "i", TS: s.t.since(), TID: s.tid, Scope: "t",
-		Args: argsMap(args, nil)})
+		Args: argsMap(args, nil), PSID: s.sid})
 }
 
 // Counter records a counter ("C") sample — Perfetto graphs these as a
