@@ -4,6 +4,7 @@
 // Usage:
 //
 //	gerenukbench [-scale N] [-workers N] [-partitions N] [-iters N] [-only fig6a,fig9,...] [-faults seed]
+//	             [-engine compiled|interp]
 //	             [-hedge-after 5ms] [-hedge-mult 3] [-shuffle-check]
 //	             [-shuffle-budget N] [-shuffle-compress none|flate|lz4]
 //	             [-bench-json out.json] [-apps PR,WC,...]
@@ -73,6 +74,7 @@ func main() {
 	workers := flag.Int("workers", 4, "executor pool size")
 	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions")
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
+	engineName := flag.String("engine", "compiled", "native execution backend: compiled (closure-compiled SERs) or interp (tree-walking interpreter)")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
 	shuffleCheck := flag.Bool("shuffle-check", false, "run the shuffle verification pass (spill/compressed vs in-memory, all apps)")
@@ -95,6 +97,11 @@ func main() {
 	flameOut := flag.String("flame", "", "write the span stream as collapsed-stack flame graph text to this file")
 	profilesPath := flag.String("profiles", "", "accumulate per-(app,mode,stage) profiles into this JSON store")
 	flag.Parse()
+
+	backend, err := engine.ParseBackend(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 
 	obsOn := *obsAddr != "" || *flameOut != "" || *profilesPath != ""
 	var tr *trace.Tracer
@@ -143,6 +150,7 @@ func main() {
 	}
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters, Trace: tr,
+		Backend:       backend,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
 		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
 		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW,

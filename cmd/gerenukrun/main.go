@@ -5,6 +5,7 @@
 // Usage:
 //
 //	gerenukrun -app PR|KM|LR|CS|GB|IUF|UAH|SPF|UED|CED|IMC|TFC [-scale N]
+//	           [-engine compiled|interp]
 //	           [-hedge-after 5ms] [-hedge-mult 3] [-trace out.json]
 //	           [-metrics-json out.json] [-shuffle-budget N]
 //	           [-shuffle-compress none|flate|lz4] [-shuffle-latency 1ms]
@@ -74,6 +75,7 @@ func main() {
 	partitions := flag.Int("partitions", 4, "RDD/shuffle partitions (fewer = more heap pressure per task)")
 	iters := flag.Int("iters", 3, "iterations for iterative apps")
 	heapName := flag.String("heap", "10GB", "executor heap size for Spark apps (10GB|15GB|20GB)")
+	engineName := flag.String("engine", "compiled", "native execution backend: compiled (closure-compiled SERs) or interp (tree-walking interpreter)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
 	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off; needs -trace or -metrics-json)")
 	shufBudget := flag.Int64("shuffle-budget", 0, "map-side shuffle memory budget in bytes (0 = in-memory, >0 spills sorted runs)")
@@ -91,6 +93,11 @@ func main() {
 	flameOut := flag.String("flame", "", "write the span stream as collapsed-stack flame graph text to this file")
 	profilesPath := flag.String("profiles", "", "accumulate per-(app,mode,stage) profiles into this JSON store")
 	flag.Parse()
+
+	backend, err := engine.ParseBackend(*engineName)
+	if err != nil {
+		fatal(err)
+	}
 
 	// The observability plane is strictly opt-in: with none of its flags
 	// set, no tracer subscriber exists, no runtime/metrics read happens,
@@ -144,7 +151,7 @@ func main() {
 	}
 
 	cfg := bench.Config{Scale: *scale, Workers: *workers, Partitions: *partitions, Iters: *iters,
-		Trace: tr, HeapName: *heapName,
+		Trace: tr, HeapName: *heapName, Backend: backend,
 		Hedge:         engine.HedgeConfig{After: *hedgeAfter, MedianMult: *hedgeMult},
 		ShuffleBudget: *shufBudget, ShuffleCompression: *shufCompress,
 		ShuffleLatency: *shufLatency, ShuffleBytesPerSec: *shufBW,

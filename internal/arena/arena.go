@@ -221,6 +221,13 @@ func (a *Arena) resolve(addr Addr) (*Region, int) {
 	return r, int(addr & offsetMask)
 }
 
+// RegionAt resolves the region containing addr, with the same fault
+// semantics as an access through it: a wild or freed address panics
+// with *Fault. Compiled code uses it to pre-bind a region across a run
+// of accesses instead of re-resolving per read; the returned region
+// stays valid until Free.
+func (a *Arena) RegionAt(addr Addr) *Region { r, _ := a.resolve(addr); return r }
+
 // ReadNative reads sz bytes at base+off, zero/sign-extended to int64 (4-
 // and smaller reads sign-extend like JVM int loads; 8-byte reads return
 // raw bits). It implements expr.NativeReader, so symbolic offsets resolve

@@ -34,6 +34,8 @@ func Chaos(cfg Config, seed int64) (*Result, error) {
 		ctx := spark.NewContext(comp, mode)
 		ctx.Workers = cfg.Workers
 		ctx.Partitions = cfg.Partitions
+		ctx.Backend = cfg.Backend
+		ctx.Trace = cfg.Trace
 		ctx.Injector = inj
 		ctx.Breaker = breaker
 		ctx.Hedge = hedge

@@ -86,9 +86,14 @@ func toBreakdownJSON(b metrics.Breakdown) BreakdownJSON {
 
 // BenchRunRecord is one (app, mode) measurement of the report.
 type BenchRunRecord struct {
-	App       string           `json:"app"`
-	Engine    string           `json:"engine"` // "spark" | "hadoop"
-	Mode      string           `json:"mode"`   // "baseline" | "gerenuk"
+	App    string `json:"app"`
+	Engine string `json:"engine"` // "spark" | "hadoop"
+	Mode   string `json:"mode"`   // "baseline" | "gerenuk"
+	// Backend is the native execution backend the run used ("compiled"
+	// or "interp"); baseline-mode runs carry it too, but only gerenuk
+	// runs exercise it. Per-run compile_total/deopt_total deltas land in
+	// Counters, making the backend's perf trajectory machine-readable.
+	Backend   string           `json:"backend"`
 	WallNs    int64            `json:"wall_ns"`
 	Breakdown BreakdownJSON    `json:"breakdown"`
 	Counters  map[string]int64 `json:"counters,omitempty"`
@@ -96,13 +101,15 @@ type BenchRunRecord struct {
 
 // BenchReport is the top-level -bench-json document.
 type BenchReport struct {
-	Schema      int              `json:"schema"`
-	GeneratedAt string           `json:"generated_at"`
-	Scale       int              `json:"scale"`
-	Workers     int              `json:"workers"`
-	Partitions  int              `json:"partitions"`
-	Iters       int              `json:"iters"`
-	Runs        []BenchRunRecord `json:"runs"`
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	Scale       int    `json:"scale"`
+	Workers     int    `json:"workers"`
+	Partitions  int    `json:"partitions"`
+	Iters       int    `json:"iters"`
+	// Backend is the suite-wide native execution backend (-engine flag).
+	Backend string           `json:"backend"`
+	Runs    []BenchRunRecord `json:"runs"`
 }
 
 // engineOf classifies an app name.
@@ -155,6 +162,7 @@ func BuildBenchReport(cfg Config, apps []string) (*BenchReport, error) {
 		Workers:     cfg.Workers,
 		Partitions:  cfg.Partitions,
 		Iters:       cfg.Iters,
+		Backend:     cfg.Backend.String(),
 	}
 	for _, app := range apps {
 		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
@@ -170,6 +178,7 @@ func BuildBenchReport(cfg Config, apps []string) (*BenchReport, error) {
 				App:       app,
 				Engine:    engineOf(app),
 				Mode:      mode.String(),
+				Backend:   cfg.Backend.String(),
 				WallNs:    wall.Nanoseconds(),
 				Breakdown: toBreakdownJSON(stats),
 				Counters:  counterDelta(before, after),

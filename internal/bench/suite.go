@@ -45,6 +45,10 @@ type Config struct {
 	// apps: "10GB", "15GB" or "20GB" (default "20GB", the least
 	// pressured; pick "10GB" to see GC activity in traces).
 	HeapName string
+	// Backend selects the native execution strategy every job uses:
+	// closure-compiled chains (zero value, -engine=compiled) or the
+	// tree-walking interpreter (-engine=interp).
+	Backend engine.Backend
 	// Hedge enables straggler hedging in every executor the experiments
 	// create (engine.HedgeConfig); the zero value keeps the paper's
 	// serial recovery semantics.
@@ -221,6 +225,7 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.Workers = cfg.Workers
 		ctx.Partitions = cfg.Partitions
 		ctx.HeapCfg = hc
+		ctx.Backend = cfg.Backend
 		ctx.Hedge = cfg.Hedge
 		ctx.Trace = cfg.Trace
 		ctx.Shuffle = scfg
@@ -473,6 +478,7 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	}
 	prog, conf := hadoopapps.NewProgram(app)
 	conf.Mode = mode
+	conf.Backend = cfg.Backend
 	conf.Workers = cfg.Workers
 	conf.Reducers = cfg.Partitions
 	conf.EpochPerTask = yak

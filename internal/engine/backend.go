@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/trace"
+)
+
+// Backend selects how the Gerenuk path executes a transformed driver:
+// closure-compiled func chains (the default) or the tree-walking
+// interpreter. Both run the identical record protocol over the shared
+// interp.Env operations; the backend only changes dispatch cost.
+type Backend int
+
+// Native execution backends. BackendCompiled is the zero value so an
+// unconfigured Executor/Context/JobConf gets the fast path.
+const (
+	BackendCompiled Backend = iota
+	BackendInterp
+)
+
+func (b Backend) String() string {
+	if b == BackendInterp {
+		return "interp"
+	}
+	return "compiled"
+}
+
+// ParseBackend parses the -engine flag value.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "compiled", "":
+		return BackendCompiled, nil
+	case "interp":
+		return BackendInterp, nil
+	default:
+		return 0, fmt.Errorf("unknown engine backend %q (want compiled or interp)", s)
+	}
+}
+
+// CachedClosure returns the memoized closure-compilation result for a
+// driver: (prog, true) once compiled, (nil, true) once declined, and
+// (nil, false) before the first attempt touches it.
+func (c *Compiled) CachedClosure(entry string) (*compile.Prog, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, done := c.closures[entry]
+	return p, done
+}
+
+// Closure returns the closure-compiled form of the driver's transformed
+// SER, compiling on first use. fresh reports whether this call did the
+// compilation (vs. hitting the cache, including a concurrent winner's
+// entry). A nil Prog with fresh/cached true means closure compilation
+// declined the driver — the interpreter then runs the transformed IR,
+// which is sound for any driver (partial-compilation fallback).
+func (c *Compiled) Closure(entry string) (p *compile.Prog, fresh bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, done := c.closures[entry]; done {
+		return p, false
+	}
+	if c.closures == nil {
+		c.closures = make(map[string]*compile.Prog)
+	}
+	fn := c.Natives[entry]
+	if fn != nil {
+		// A failed compile caches nil: the driver is interpreted forever
+		// after, without re-attempting compilation per task.
+		p, _ = compile.Compile(c.Prog, fn)
+	}
+	c.closures[entry] = p
+	return p, true
+}
+
+// closureFor resolves the compiled form of the driver for one native
+// attempt, emitting the compile span and compile_total/compile_declined
+// counters exactly once per driver (the compile happens once per task
+// pool, not per task). Returns nil when the interpreter should run —
+// either because the backend is interp or the driver declined.
+func (e *Executor) closureFor(driver string, att *trace.Span) *compile.Prog {
+	if e.Backend != BackendCompiled {
+		return nil
+	}
+	if p, done := e.C.CachedClosure(driver); done {
+		return p
+	}
+	t0 := time.Now()
+	sp := att.Child("compile", "closure-compile")
+	p, fresh := e.C.Closure(driver)
+	outcome := "cached"
+	if fresh {
+		if p != nil {
+			outcome = "ok"
+			e.Trace.Registry().Counter("compile_total").Add(1)
+		} else {
+			outcome = "declined"
+			e.Trace.Registry().Counter("compile_declined_total").Add(1)
+		}
+	}
+	attrs := []trace.Arg{trace.Str("outcome", outcome), trace.Str("driver", driver)}
+	if p != nil {
+		attrs = append(attrs, trace.I64("funcs", int64(p.Funcs)), trace.I64("steps", int64(p.Steps)))
+	}
+	sp.End(attrs...)
+	e.Trace.Registry().Histogram("compile_ns", trace.LatencyBuckets()...).
+		Observe(float64(time.Since(t0)))
+	return p
+}
+
+// recordDeopt counts an abort as a deoptimization when the aborted
+// attempt actually ran compiled code (compiled backend, driver has a
+// live closure). An abort of an interpreted attempt is not a deopt.
+func (e *Executor) recordDeopt(driver string) {
+	if e.Backend != BackendCompiled {
+		return
+	}
+	if p, done := e.C.CachedClosure(driver); done && p != nil {
+		e.Trace.Registry().Counter("deopt_total").Add(1)
+	}
+}

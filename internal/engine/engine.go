@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/arena"
+	"repro/internal/compile"
 	"repro/internal/dsa"
 	"repro/internal/faults"
 	"repro/internal/heap"
@@ -58,6 +60,13 @@ type Compiled struct {
 	SERs    map[string]*analysis.SER
 	Natives map[string]*ir.Func
 	XStats  map[string]transform.Stats
+
+	// closures memoizes closure compilation per driver (nil value =
+	// declined, interpret forever). Guarded by mu: unlike the maps above
+	// — populated single-threaded before the pool starts — closures fill
+	// lazily from concurrent task attempts.
+	mu       sync.Mutex
+	closures map[string]*compile.Prog
 }
 
 // Compile runs the data structure analyzer over the program's top types
@@ -169,6 +178,10 @@ type Executor struct {
 	C       *Compiled
 	Mode    Mode
 	HeapCfg heap.Config
+	// Backend selects the native execution strategy: closure-compiled
+	// func chains (zero value, the default) or the tree-walking
+	// interpreter. See backend.go.
+	Backend Backend
 	// Breaker, when set, adaptively de-speculates drivers that keep
 	// aborting (shared across the pool; nil = always speculate).
 	Breaker *Breaker
@@ -275,6 +288,7 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 					trace.Str("class", Classify(err).String()),
 					trace.Str("reason", err.Error()))
 				e.Trace.Registry().Counter("aborts_total").Add(1)
+				e.recordDeopt(spec.Driver)
 				if e.VerifyInputs && checksumInputs(spec) != sum {
 					return fail(&TaskError{Task: spec.Name, Class: FaultPermanent, Err: ErrInputMutated})
 				}
@@ -439,6 +453,12 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 			return nil, bd, interp.ErrCanceled
 		}
 	}
+	// Resolve the execution backend for this driver: a compiled closure
+	// chain when available (compiling it on first use), else the
+	// interpreter over the transformed IR. Resolution happens before the
+	// arena exists so a (hypothetical) compile failure can never leak
+	// attempt state.
+	cp := e.closureFor(spec.Driver, att)
 	a := arena.New()
 	a.SetTrace(att)
 	// A Gerenuk executor keeps a small control heap; data never touches it.
@@ -499,7 +519,12 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 			Trace:             ph,
 			Cancel:            cancel.cancelFlag(),
 		}
-		_, err := interp.New(env).Run(fn, spec.Args...)
+		var err error
+		if cp != nil {
+			_, err = cp.Run(env, spec.Args...)
+		} else {
+			_, err = interp.New(env).Run(fn, spec.Args...)
+		}
 		bd.Ser += env.SerTime
 		bd.Deser += env.DeserTime
 		ph.End()

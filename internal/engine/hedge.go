@@ -153,6 +153,7 @@ func (e *Executor) runTaskHedged(spec TaskSpec, task *trace.Span, start time.Tim
 		task.Instant("abort", "speculation-abort",
 			trace.Str("class", Classify(err).String()), trace.Str("reason", err.Error()))
 		reg.Counter("aborts_total").Add(1)
+		e.recordDeopt(spec.Driver)
 	}
 	// verify re-runs the mutate-input canary. Every caller settles both
 	// attempts first, so a hedged race can never mask a corrupted input:

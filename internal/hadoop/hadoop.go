@@ -47,6 +47,9 @@ type JobConf struct {
 	Reducers int
 	Workers  int
 	Mode     engine.Mode
+	// Backend selects the native execution strategy (closure-compiled
+	// chains by default) for every executor the job creates.
+	Backend engine.Backend
 	// MapHeap and ReduceHeap size the per-task heaps (the paper gives
 	// mappers and reducers different heaps).
 	MapHeap    heap.Config
@@ -182,6 +185,7 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 		Backoff: conf.RetryBackoff, Jitter: conf.Jitter}
 	mapExec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
+			Backend: conf.Backend,
 			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
 			Hedge: conf.Hedge, Trace: conf.Trace}
 	}
@@ -363,6 +367,7 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 	}
 	exec := func() *engine.Executor {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg,
+			Backend: conf.Backend,
 			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
 			Hedge: conf.Hedge, Trace: conf.Trace}
 	}

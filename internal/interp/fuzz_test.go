@@ -3,16 +3,13 @@ package interp
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"reflect"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/analysis"
-	"repro/internal/dsa"
 	"repro/internal/ir"
 	"repro/internal/model"
-	"repro/internal/serde"
 	"repro/internal/transform"
 )
 
@@ -24,110 +21,24 @@ import (
 // must never produce a *wrong* answer.
 func TestDifferentialRandomUDFs(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-
-		reg := model.NewRegistry()
-		reg.Define(model.ClassDef{Name: "In", Fields: []model.FieldDef{
-			{Name: "a", Type: model.Prim(model.KindLong)},
-			{Name: "xs", Type: model.ArrayOf(model.Prim(model.KindDouble))},
-			{Name: "b", Type: model.Prim(model.KindDouble)},
-		}})
-		reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
-			{Name: "p", Type: model.Prim(model.KindLong)},
-			{Name: "ys", Type: model.ArrayOf(model.Prim(model.KindDouble))},
-			{Name: "q", Type: model.Prim(model.KindDouble)},
-		}})
-		layouts := dsa.Analyze(reg, []string{"In", "Out"})
-		codec := serde.NewCodec(reg, layouts)
-		prog := ir.NewProgram(reg)
-		prog.TopTypes = []string{"In", "Out"}
-
-		// Random UDF: compute values from the input, then construct Out
-		// with a randomly permuted store order (p, q, ys creation, ys
-		// element writes in random positions relative to each other).
-		b := ir.NewFuncBuilder(prog, "udf", model.Type{})
-		rec := b.Param("rec", model.Object("In"))
-		a := b.Load(rec, "a")
-		bf := b.Load(rec, "b")
-		xs := b.Load(rec, "xs")
-		n := b.Len(xs)
-		af := b.Un(ir.OpI2D, a)
-		sum := b.Local("sum", model.Prim(model.KindDouble))
-		b.Emit(&ir.ConstFloat{Dst: sum, Val: 0})
-		b.For(n, func(i *ir.Var) {
-			x := b.Elem(xs, i)
-			b.BinTo(sum, ir.OpAdd, sum, x)
-		})
-		q := b.Bin(ir.OpMul, sum, bf)
-		p := b.Un(ir.OpD2I, af)
-
-		out := b.New("Out")
-		var arr *ir.Var
-		mkArr := func() {
-			arr = b.NewArr(model.Prim(model.KindDouble), n)
-			b.For(n, func(i *ir.Var) {
-				x := b.Elem(xs, i)
-				d := b.Bin(ir.OpAdd, x, q)
-				b.SetElem(arr, i, d)
-			})
+		c, err := GenFuzzUDFCase(t, seed)
+		if err != nil {
+			t.Logf("seed %d: generate: %v", seed, err)
+			return false
 		}
-		steps := []func(){
-			func() { b.Store(out, "p", p) },
-			func() { b.Store(out, "q", q) },
-			mkArr,
-		}
-		r.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
-		for _, s := range steps {
-			s()
-		}
-		b.Store(out, "ys", arr)
-		b.EmitRecord(out)
-		b.Ret(nil)
-		b.Done()
+		heapOut := c.RunHeap(t)
 
-		// Driver.
-		db := ir.NewFuncBuilder(prog, "driver", model.Type{})
-		zero := db.IConst(0)
-		drec := db.Local("rec", model.Object("In"))
-		db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
-		db.While(ir.CmpNE, drec, zero, func() {
-			db.CallV("udf", drec)
-			db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
-		})
-		db.Ret(nil)
-		db.Done()
-
-		// Random input records.
-		var input []byte
-		var err error
-		for i := 0; i < 1+r.Intn(5); i++ {
-			m := r.Intn(4)
-			xsv := make([]float64, m)
-			for j := range xsv {
-				xsv[j] = float64(r.Intn(50)) / 2
-			}
-			input, err = codec.Encode("In", serde.Obj{
-				"a": int64(r.Intn(100)), "b": float64(r.Intn(10)), "xs": xsv,
-			}, input)
-			if err != nil {
-				t.Logf("seed %d: encode: %v", seed, err)
-				return false
-			}
-		}
-
-		heapOut := runHeap(t, prog, layouts, codec, prog.Fn("driver"), input, "In")
-
-		ser, err := analysis.AnalyzeSER(prog, layouts, "driver")
+		ser, err := analysis.AnalyzeSER(c.Prog, c.Layouts, "driver")
 		if err != nil || !ser.Transformable {
 			t.Logf("seed %d: analysis: %v / %v", seed, err, ser)
 			return false
 		}
-		xf, err := transform.Transform(prog, layouts, ser)
+		xf, err := transform.Transform(c.Prog, c.Layouts, ser)
 		if err != nil {
 			t.Logf("seed %d: transform: %v", seed, err)
 			return false
 		}
-		nativeOut, err := runNative(t, prog, layouts, xf.Native, input, "In")
+		nativeOut, err := runNative(t, c.Prog, c.Layouts, xf.Native, c.Input, "In")
 		if err != nil {
 			if errors.Is(err, ErrAbort) {
 				return true // aborting is always a safe outcome

@@ -1,0 +1,150 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/dsa"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/serde"
+)
+
+// FuzzUDFCase is a randomly generated record-processing program plus a
+// matching random input. It is exported (from an in-package test file)
+// so the external interp_test package can run the same cases through
+// internal/compile — which this package's in-package tests cannot
+// import without creating a test-variant cycle.
+type FuzzUDFCase struct {
+	Prog    *ir.Program
+	Layouts *dsa.Result
+	Codec   *serde.Codec
+	Input   []byte
+}
+
+// GenFuzzUDFCase deterministically generates the seed's program: a UDF
+// that computes values from the input record and constructs an output
+// record with a randomly permuted store order (exercising the deferred-
+// offset machinery), a driver looping it over the input source, and 1-5
+// random input records.
+func GenFuzzUDFCase(tb testing.TB, seed int64) (*FuzzUDFCase, error) {
+	tb.Helper()
+	r := rand.New(rand.NewSource(seed))
+
+	reg := model.NewRegistry()
+	reg.Define(model.ClassDef{Name: "In", Fields: []model.FieldDef{
+		{Name: "a", Type: model.Prim(model.KindLong)},
+		{Name: "xs", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+		{Name: "b", Type: model.Prim(model.KindDouble)},
+	}})
+	reg.Define(model.ClassDef{Name: "Out", Fields: []model.FieldDef{
+		{Name: "p", Type: model.Prim(model.KindLong)},
+		{Name: "ys", Type: model.ArrayOf(model.Prim(model.KindDouble))},
+		{Name: "q", Type: model.Prim(model.KindDouble)},
+	}})
+	layouts := dsa.Analyze(reg, []string{"In", "Out"})
+	codec := serde.NewCodec(reg, layouts)
+	prog := ir.NewProgram(reg)
+	prog.TopTypes = []string{"In", "Out"}
+
+	// Random UDF: compute values from the input, then construct Out
+	// with a randomly permuted store order (p, q, ys creation, ys
+	// element writes in random positions relative to each other).
+	b := ir.NewFuncBuilder(prog, "udf", model.Type{})
+	rec := b.Param("rec", model.Object("In"))
+	a := b.Load(rec, "a")
+	bf := b.Load(rec, "b")
+	xs := b.Load(rec, "xs")
+	n := b.Len(xs)
+	af := b.Un(ir.OpI2D, a)
+	sum := b.Local("sum", model.Prim(model.KindDouble))
+	b.Emit(&ir.ConstFloat{Dst: sum, Val: 0})
+	b.For(n, func(i *ir.Var) {
+		x := b.Elem(xs, i)
+		b.BinTo(sum, ir.OpAdd, sum, x)
+	})
+	q := b.Bin(ir.OpMul, sum, bf)
+	p := b.Un(ir.OpD2I, af)
+
+	out := b.New("Out")
+	var arr *ir.Var
+	mkArr := func() {
+		arr = b.NewArr(model.Prim(model.KindDouble), n)
+		b.For(n, func(i *ir.Var) {
+			x := b.Elem(xs, i)
+			d := b.Bin(ir.OpAdd, x, q)
+			b.SetElem(arr, i, d)
+		})
+	}
+	steps := []func(){
+		func() { b.Store(out, "p", p) },
+		func() { b.Store(out, "q", q) },
+		mkArr,
+	}
+	r.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+	for _, s := range steps {
+		s()
+	}
+	b.Store(out, "ys", arr)
+	b.EmitRecord(out)
+	b.Ret(nil)
+	b.Done()
+
+	// Driver.
+	db := ir.NewFuncBuilder(prog, "driver", model.Type{})
+	zero := db.IConst(0)
+	drec := db.Local("rec", model.Object("In"))
+	db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
+	db.While(ir.CmpNE, drec, zero, func() {
+		db.CallV("udf", drec)
+		db.Emit(&ir.Deserialize{Dst: drec, Source: "in"})
+	})
+	db.Ret(nil)
+	db.Done()
+
+	// Random input records.
+	var input []byte
+	var err error
+	for i := 0; i < 1+r.Intn(5); i++ {
+		m := r.Intn(4)
+		xsv := make([]float64, m)
+		for j := range xsv {
+			xsv[j] = float64(r.Intn(50)) / 2
+		}
+		input, err = codec.Encode("In", serde.Obj{
+			"a": int64(r.Intn(100)), "b": float64(r.Intn(10)), "xs": xsv,
+		}, input)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &FuzzUDFCase{Prog: prog, Layouts: layouts, Codec: codec, Input: input}, nil
+}
+
+// RunHeap executes the case's driver on the baseline heap path and
+// returns the output wire records.
+func (c *FuzzUDFCase) RunHeap(t *testing.T) []byte {
+	t.Helper()
+	return runHeap(t, c.Prog, c.Layouts, c.Codec, c.Prog.Fn("driver"), c.Input, "In")
+}
+
+// NewNativeEnv builds a fresh native-mode environment over a fresh
+// arena holding the case's input, plus an accessor for the sink's
+// collected output bytes. Each call is independent, so the same case
+// can run under multiple backends differentially.
+func (c *FuzzUDFCase) NewNativeEnv() (*Env, func() []byte) {
+	a := arena.New()
+	in := a.AdoptBytes("input", c.Input)
+	out := a.NewRegion("output")
+	sink := &nativeCollectSink{a: a}
+	// Gerenuk executors keep a (small) heap for control-path objects.
+	h := heap.New(c.Prog.Reg, heap.Config{YoungSize: 64 << 10, OldSize: 1 << 20})
+	env := &Env{
+		Mode: ModeNative, Prog: c.Prog, Heap: h, Arena: a, Layouts: c.Layouts, Out: out,
+		NativeSources: map[string]NativeSource{"in": &regionSource{a: a, region: in, class: "In"}},
+		NativeSink:    sink,
+	}
+	return env, func() []byte { return sink.out }
+}

@@ -133,7 +133,14 @@ func (in *Interp) serialize(class string, a int64) error {
 func (in *Interp) nativeCall(t *ir.NativeCall, f *frame) (int64, error) {
 	recv := f.get(t.Recv)
 	if in.env.Mode == ModeNative {
-		return in.nativeCallNative(t, f, recv)
+		var args []int64
+		if len(t.Args) > 0 {
+			args = make([]int64, len(t.Args))
+			for i, a := range t.Args {
+				args[i] = f.get(a)
+			}
+		}
+		return in.env.NativeCallNative(t.Name, t.RecvClass, recv, args)
 	}
 	switch t.Name {
 	case "clone":

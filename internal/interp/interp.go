@@ -153,8 +153,11 @@ type Env struct {
 	// engine's recovery layer).
 	RecordHook func(n int64) error
 
-	steps   int64
-	records int64
+	steps int64
+	// nextPause is the step count at which CheckStep next enters its
+	// slow path (cancel-poll boundary or step limit); see checkStepSlow.
+	nextPause int64
+	records   int64
 	builder *openRecord
 	// scanCur caches (index, position) cursors for inlined
 	// variable-size-element arrays, making the sequential access
@@ -190,10 +193,15 @@ type frame struct {
 	isRef []bool
 }
 
+// DefaultMaxSteps is the runaway-loop budget applied when Env.MaxSteps
+// is zero; both execution backends (interpreter and closure-compiled)
+// install it so step-limit behavior is identical.
+const DefaultMaxSteps = 1e10
+
 // New creates an interpreter over the environment.
 func New(env *Env) *Interp {
 	if env.MaxSteps == 0 {
-		env.MaxSteps = 1e10
+		env.MaxSteps = DefaultMaxSteps
 	}
 	in := &Interp{env: env, strCharsOff: -1}
 	if strCls, ok := env.Prog.Reg.Lookup(model.StringClassName); ok {
@@ -260,22 +268,47 @@ func (in *Interp) call(fn *ir.Func, args []int64) (int64, error) {
 // load stays off the per-statement hot path.
 const cancelCheckInterval = 64
 
-// checkStep enforces the step budget and polls the cancellation flag.
-func (e *Env) checkStep(fn string) error {
+// CheckStep enforces the step budget and polls the cancellation flag.
+// It is the shared per-statement bookkeeping of both execution backends:
+// the interpreter calls it before every statement and once per While
+// iteration, and internal/compile emits the identical call sites into
+// its closure chains, so cancellation latency (a hedge loser dying) and
+// step-limit behavior cannot diverge between backends. The fast path is
+// a counter bump and a single compare against nextPause — the nearer of
+// the next cancel-poll boundary and the step limit, precomputed by
+// checkStepSlow — so both the mask test and the MaxSteps load stay off
+// the per-statement path. nextPause's zero value routes the first call
+// through the slow path, which arms it.
+func (e *Env) CheckStep(fn string) error {
 	e.steps++
+	if e.steps >= e.nextPause {
+		return e.checkStepSlow(fn)
+	}
+	return nil
+}
+
+func (e *Env) checkStepSlow(fn string) error {
 	if e.steps > e.MaxSteps {
 		return fmt.Errorf("interp: step limit exceeded in %s", fn)
 	}
-	if e.Cancel != nil && e.steps&(cancelCheckInterval-1) == 0 && e.Cancel.Load() {
+	if e.steps&(cancelCheckInterval-1) == 0 && e.Cancel != nil && e.Cancel.Load() {
 		return ErrCanceled
 	}
+	// Re-arm: pause again at the next poll boundary or one past the step
+	// limit, whichever comes first. Detection points are identical to
+	// checking both conditions every step.
+	next := (e.steps | (cancelCheckInterval - 1)) + 1
+	if lim := e.MaxSteps + 1; lim < next {
+		next = lim
+	}
+	e.nextPause = next
 	return nil
 }
 
 // block executes statements; a non-nil returnSignal propagates a Return.
 func (in *Interp) block(f *frame, body []ir.Stmt) (*returnSignal, error) {
 	for _, s := range body {
-		if err := in.env.checkStep(f.fn.Name); err != nil {
+		if err := in.env.CheckStep(f.fn.Name); err != nil {
 			return nil, err
 		}
 		ret, err := in.stmt(f, s)
@@ -321,7 +354,7 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 		return in.block(f, t.Else)
 	case *ir.While:
 		for in.cond(t.Cond, f) {
-			if err := in.env.checkStep(f.fn.Name); err != nil {
+			if err := in.env.CheckStep(f.fn.Name); err != nil {
 				return nil, err
 			}
 			ret, err := in.block(f, t.Body)
@@ -444,24 +477,14 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 		if !ok {
 			return nil, fmt.Errorf("interp: no native source %q", t.Source)
 		}
-		addr, more := src.NextAddr()
-		if !more {
-			f.set(t.Dst, 0)
-		} else {
-			f.set(t.Dst, addr)
-			in.env.records++
-			if in.env.AbortAfterRecords > 0 && in.env.records > in.env.AbortAfterRecords {
-				return nil, &AbortError{Reason: "forced abort (experiment)"}
-			}
-			if in.env.RecordHook != nil {
-				if err := in.env.RecordHook(in.env.records); err != nil {
-					return nil, err
-				}
-			}
+		addr, err := in.env.FetchRecord(src)
+		if err != nil {
+			return nil, err
 		}
+		f.set(t.Dst, addr)
 	case *ir.ReadNative:
 		base := f.get(t.Base)
-		off, err := in.resolveOffset(base, t.Off)
+		off, err := in.env.ResolveOffset(base, t.Off)
 		if err != nil {
 			return nil, err
 		}
@@ -470,32 +493,26 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 		base := f.get(t.Base)
 		if t.Off.IsConst() {
 			in.env.Arena.WriteNative(base, t.Off.Const, t.Size, f.get(t.Src))
-		} else if in.env.builder != nil && in.inOpenRecord(base) {
-			in.env.builder.b.WriteAt(base, t.Off, t.Size, f.get(t.Src))
-		} else {
-			off, err := in.resolveOffset(base, t.Off)
-			if err != nil {
-				return nil, err
-			}
-			in.env.Arena.WriteNative(base, off, t.Size, f.get(t.Src))
+		} else if err := in.env.WriteNativeOff(base, t.Off, t.Size, f.get(t.Src)); err != nil {
+			return nil, err
 		}
 	case *ir.ReadNativeElem:
 		base := f.get(t.Base)
 		idx := f.get(t.Idx)
-		if err := in.nativeBounds(base, idx); err != nil {
+		if err := in.env.NativeBounds(base, idx); err != nil {
 			return nil, err
 		}
 		f.set(t.Dst, in.env.Arena.ReadNative(base, 4+idx*int64(t.Kind.Size()), t.Kind.Size()))
 	case *ir.WriteNativeElem:
 		base := f.get(t.Base)
 		idx := f.get(t.Idx)
-		if err := in.nativeBounds(base, idx); err != nil {
+		if err := in.env.NativeBounds(base, idx); err != nil {
 			return nil, err
 		}
 		in.env.Arena.WriteNative(base, 4+idx*int64(t.Kind.Size()), t.Kind.Size(), f.get(t.Src))
 	case *ir.AddrOf:
 		base := f.get(t.Base)
-		off, err := in.resolveOffset(base, t.Off)
+		off, err := in.env.ResolveOffset(base, t.Off)
 		if err != nil {
 			return nil, err
 		}
@@ -503,49 +520,39 @@ func (in *Interp) stmt(f *frame, s ir.Stmt) (*returnSignal, error) {
 	case *ir.AddrElem:
 		f.set(t.Dst, f.get(t.Base)+4+f.get(t.Idx)*t.Stride)
 	case *ir.ScanElem:
-		a, err := in.scanElem(f.get(t.Base), f.get(t.Idx), t.Class)
+		a, err := in.env.ScanElem(f.get(t.Base), f.get(t.Idx), t.Class)
 		if err != nil {
 			return nil, err
 		}
 		f.set(t.Dst, a)
 	case *ir.AppendRecord:
-		a, err := in.appendRecord(t.Class)
+		a, err := in.env.AppendRecord(t.Class)
 		if err != nil {
 			return nil, err
 		}
 		f.set(t.Dst, a)
 	case *ir.AppendArray:
-		a, err := in.appendArray(t.Elem, f.get(t.Len))
+		a, err := in.env.AppendArray(t.Elem, f.get(t.Len))
 		if err != nil {
 			return nil, err
 		}
 		f.set(t.Dst, a)
 	case *ir.GConstString:
-		a, err := in.appendString(t.Val)
+		a, err := in.env.AppendString(t.Val)
 		if err != nil {
 			return nil, err
 		}
 		f.set(t.Dst, a)
 	case *ir.CheckInline:
-		base := f.get(t.Base)
-		sub := f.get(t.Sub)
-		off, err := in.resolveOffset(base, t.Off)
-		if err != nil {
-			// Unresolvable at this point: construction out of order in
-			// a way the deferred mechanism cannot express for interior
-			// records. Abort the speculation.
-			return nil, &AbortError{Reason: "inline placement unresolvable"}
-		}
-		if base+off != sub {
-			return nil, &AbortError{Reason: fmt.Sprintf(
-				"construction order mismatch: sub-record at %#x, layout expects %#x", sub, base+off)}
+		if err := in.env.CheckInlinePlacement(f.get(t.Base), f.get(t.Sub), t.Off); err != nil {
+			return nil, err
 		}
 	case *ir.GWriteObject:
-		if err := in.gWrite(t.Src.Type, f.get(t.Src)); err != nil {
+		if err := in.env.GWrite(t.Src.Type, f.get(t.Src)); err != nil {
 			return nil, err
 		}
 	case *ir.GEmit:
-		if err := in.gWrite(t.Src.Type, f.get(t.Src)); err != nil {
+		if err := in.env.GWrite(t.Src.Type, f.get(t.Src)); err != nil {
 			return nil, err
 		}
 	default:

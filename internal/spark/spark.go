@@ -73,6 +73,10 @@ type Context struct {
 	// task (chaos testing); VerifyInputs arms the mutate-input canary.
 	Injector     *faults.Injector
 	VerifyInputs bool
+	// Backend selects the native execution strategy for every executor
+	// this context creates: closure-compiled chains (zero value) or the
+	// interpreter.
+	Backend engine.Backend
 	// Trace, when set, receives stage spans from the context and
 	// task/attempt/phase spans from every executor it creates.
 	Trace *trace.Tracer
@@ -163,7 +167,7 @@ func (ctx *Context) abortKnob() int64 {
 
 func (ctx *Context) executor() *engine.Executor {
 	return &engine.Executor{
-		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg,
+		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg, Backend: ctx.Backend,
 		Breaker: ctx.Breaker, VerifyInputs: ctx.VerifyInputs,
 		Hedge: ctx.Hedge, Trace: ctx.Trace,
 	}
