@@ -122,19 +122,26 @@ func lintMetrics(path, requireCounters string) {
 }
 
 // instrumentPresent reports whether the named instrument exists with a
-// positive value: an exact counter match, or a histogram whose name is
-// exact or whose base family matches (labeled series are stored as
-// `name{label="v",...}`), with at least one observation. An empty
-// exact-name histogram does not mask a populated labeled family of the
-// same name.
+// positive value: an exact counter or histogram match, or a counter or
+// histogram whose base family matches (labeled series are stored as
+// `name{label="v",...}`), with a positive count. An empty exact-name
+// instrument does not mask a populated labeled family of the same name
+// — the multi-tenant service emits only labeled series
+// (cluster_jobs_done_total{tenant="..."}), so family matching is what
+// lets the CI smoke require them by base name.
 func instrumentPresent(mf trace.MetricsFile, name string) bool {
-	if v, ok := mf.Counters[name]; ok {
-		return v > 0
+	if v, ok := mf.Counters[name]; ok && v > 0 {
+		return true
 	}
 	if h, ok := mf.Histograms[name]; ok && h.Count > 0 {
 		return true
 	}
 	prefix := name + "{"
+	for cn, v := range mf.Counters {
+		if strings.HasPrefix(cn, prefix) && v > 0 {
+			return true
+		}
+	}
 	for hn, h := range mf.Histograms {
 		if strings.HasPrefix(hn, prefix) && h.Count > 0 {
 			return true

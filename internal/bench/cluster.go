@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps/hadoopapps"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/heap"
+)
+
+// AppMemoryEstimate returns the working-set estimate (in bytes) the
+// cluster service reserves against a tenant's quota when one of the
+// named apps is submitted: the simulated per-task heap times the
+// worker-pool size. It is intentionally coarse — admission control
+// needs a consistent ask, not an exact footprint.
+func AppMemoryEstimate(app string, cfg Config) int64 {
+	cfg = cfg.withDefaults()
+	var hc heap.Config
+	if isSparkApp(app) {
+		hc = appHeap(cfg)
+	} else {
+		kb := 1 << 10
+		// Mirror runHadoopApp's reduce heap, the larger of its two.
+		hc = heap.Config{YoungSize: cfg.Scale * 24 * kb, OldSize: cfg.Scale * 288 * kb}
+	}
+	return int64(hc.YoungSize+hc.OldSize) * int64(cfg.Workers)
+}
+
+func isSparkApp(app string) bool {
+	for _, s := range SparkAppNames {
+		if s == app {
+			return true
+		}
+	}
+	return false
+}
+
+func isHadoopApp(app string) bool {
+	for _, h := range hadoopapps.AllApps {
+		if h == app {
+			return true
+		}
+	}
+	return false
+}
+
+// ClusterJob adapts one named application (Spark or Hadoop) to a
+// cluster.JobSpec: when the service dispatches the job, the job's
+// tenant/job identity and scoped shared-state views flow from the
+// JobContext into the run Config, and the job's canonical output bytes
+// come back through the handle — so byte-equality against a standalone
+// AppOutput run is directly assertable.
+func ClusterJob(app string, cfg Config, mode engine.Mode) (cluster.JobSpec, error) {
+	if !isSparkApp(app) && !isHadoopApp(app) {
+		return cluster.JobSpec{}, fmt.Errorf("bench: unknown app %q", app)
+	}
+	cfg = cfg.withDefaults()
+	return cluster.JobSpec{
+		Name:        fmt.Sprintf("%s/%s", app, mode),
+		MemoryBytes: AppMemoryEstimate(app, cfg),
+		Run: func(jc *cluster.JobContext) ([]byte, error) {
+			run := cfg
+			run.Tenant = jc.Tenant
+			run.JobID = jc.JobID
+			run.Breaker = jc.Breaker
+			run.Checkpoints = jc.Checkpoints
+			run.Lineage = jc.Lineage
+			if run.Trace == nil {
+				run.Trace = jc.Trace
+			}
+			return AppOutput(app, run, mode)
+		},
+	}, nil
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/hadoop"
 	"repro/internal/heap"
 	"repro/internal/metrics"
+	"repro/internal/recovery"
 	"repro/internal/serde"
 	"repro/internal/shuffle"
 	"repro/internal/spark"
@@ -85,6 +86,22 @@ type Config struct {
 	// The observability plane uses it to charge real GC pause time to
 	// the active (app, mode) and to feed the persistent profile store.
 	StageHook func(app string, mode engine.Mode, stage string, stats *metrics.Breakdown, wall time.Duration)
+	// Tenant and JobID label the run for multi-tenant attribution: the
+	// tenant flows into per-tenant task-latency series and the JobID
+	// scopes checkpoint/lineage keys so concurrent jobs sharing one
+	// store cannot collide. The cluster service sets both; standalone
+	// runs leave them empty.
+	Tenant string
+	JobID  string
+	// Breaker, when set, is the de-speculation breaker the run's driver
+	// uses (the cluster service passes each tenant's scoped view); nil
+	// lets each job construct its own.
+	Breaker *engine.Breaker
+	// Checkpoints and Lineage, when set, are the shared recovery stores
+	// the run uses (scoped by JobID inside the drivers); nil lets each
+	// job construct private ones.
+	Checkpoints *recovery.CheckpointStore
+	Lineage     *recovery.Lineage
 }
 
 // shuffleConfig resolves the Config's shuffle knobs into the exchange
@@ -231,6 +248,13 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.Shuffle = scfg
 		ctx.CheckpointEvery = cfg.CheckpointEvery
 		ctx.StageDeadline = cfg.StageDeadline
+		ctx.Tenant = cfg.Tenant
+		ctx.JobID = cfg.JobID
+		if cfg.Breaker != nil {
+			ctx.Breaker = cfg.Breaker
+		}
+		ctx.Checkpoints = cfg.Checkpoints
+		ctx.Lineage = cfg.Lineage
 		if cfg.StageHook != nil {
 			ctx.OnStage = func(stage string, stats *metrics.Breakdown, wall time.Duration) {
 				cfg.StageHook(app, mode, stage, stats, wall)
@@ -489,6 +513,13 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.Shuffle = scfg
 	conf.CheckpointEvery = cfg.CheckpointEvery
 	conf.StageDeadline = cfg.StageDeadline
+	conf.Tenant = cfg.Tenant
+	conf.JobID = cfg.JobID
+	if cfg.Breaker != nil {
+		conf.Breaker = cfg.Breaker
+	}
+	conf.Checkpoints = cfg.Checkpoints
+	conf.Lineage = cfg.Lineage
 	if cfg.StageHook != nil {
 		conf.OnStage = func(stage string, stats *metrics.Breakdown, wall time.Duration) {
 			cfg.StageHook(app, mode, stage, stats, wall)

@@ -31,6 +31,13 @@ import (
 // every task attempts the native path, preserving the paper's
 // Figure 10(a)/(b) abort-cost semantics.
 //
+// Breaker state is keyed per driver, which is correct within one job
+// but aliases across tenants: driver names repeat (every PageRank job
+// runs "contribStage"), so a breaker shared service-wide would let one
+// tenant's fault-injected aborts de-speculate an innocent tenant's
+// jobs. Scoped returns a per-tenant view over the same underlying
+// state, making the effective key (scope, driver).
+//
 // Safe for concurrent use by all executors of a pool.
 type Breaker struct {
 	// Threshold is the number of consecutive aborts that opens the
@@ -54,6 +61,56 @@ type Breaker struct {
 
 	mu      sync.Mutex
 	drivers map[string]*breakerEntry
+
+	// root points at the breaker actually holding entries when this
+	// value is a scoped view; nil means this breaker is the root. prefix
+	// namespaces the entry keys; scope is the display name for trace
+	// instants.
+	root   *Breaker
+	prefix string
+	scope  string
+}
+
+// base resolves the breaker holding the shared state (the receiver,
+// unless it is a scoped view). Configuration (Threshold, CoolDown, …)
+// is always read from the root so views stay consistent with it.
+func (b *Breaker) base() *Breaker {
+	if b.root != nil {
+		return b.root
+	}
+	return b
+}
+
+// Scoped returns a view of the breaker whose per-driver state lives in
+// a private namespace — typically one tenant — so the effective key
+// becomes (scope, driver). Views share the root's configuration, lock
+// and tracer; scoping composes. A nil breaker scopes to nil (still a
+// valid always-allow breaker).
+func (b *Breaker) Scoped(scope string) *Breaker {
+	if b == nil {
+		return nil
+	}
+	name := scope
+	if b.scope != "" {
+		name = b.scope + "/" + scope
+	}
+	return &Breaker{root: b.base(), prefix: b.prefix + scope + "\x00", scope: name}
+}
+
+// EnsureTrace attaches tr as the breaker's tracer if none is set yet.
+// Contexts sharing one breaker may call this concurrently (each wiring
+// its own tracer); the first one wins. Direct writes to the Trace field
+// remain fine before the breaker is shared.
+func (b *Breaker) EnsureTrace(tr *trace.Tracer) {
+	if b == nil || tr == nil {
+		return
+	}
+	r := b.base()
+	r.mu.Lock()
+	if r.Trace == nil {
+		r.Trace = tr
+	}
+	r.mu.Unlock()
 }
 
 type breakerEntry struct {
@@ -82,26 +139,31 @@ func NewBreaker(threshold int) *Breaker {
 // Allow reports whether the next task for driver should attempt the
 // native path. While open it admits periodic half-open probes.
 func (b *Breaker) Allow(driver string) bool {
-	if b == nil || b.Threshold <= 0 {
+	if b == nil {
 		return true
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	e := b.entry(driver)
+	r := b.base()
+	if r.Threshold <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entry(b.prefix + driver)
 	if !e.open {
 		return true
 	}
 	e.seen++
-	if b.CoolDown > 0 && !b.now().Before(e.probeAt) {
+	if r.CoolDown > 0 && !r.now().Before(e.probeAt) {
 		// Time-based decay: the cool-down elapsed, so probe now and
 		// re-arm (one probe per cool-down period until an outcome moves
 		// the state).
-		e.probeAt = b.now().Add(b.CoolDown)
-		b.Trace.Instant("breaker", "breaker-cooldown-probe",
-			trace.Str("driver", driver), trace.I64("cooldown_ns", int64(b.CoolDown)))
+		e.probeAt = r.now().Add(r.CoolDown)
+		r.Trace.Instant("breaker", "breaker-cooldown-probe",
+			trace.Str("driver", driver), trace.Str("scope", b.scope),
+			trace.I64("cooldown_ns", int64(r.CoolDown)))
 		return true
 	}
-	probeEvery := b.ProbeEvery
+	probeEvery := r.ProbeEvery
 	if probeEvery <= 0 {
 		probeEvery = 8
 	}
@@ -113,45 +175,56 @@ func (b *Breaker) Allow(driver string) bool {
 // success resets the abort streak and closes the breaker (successful
 // half-open probe).
 func (b *Breaker) Record(driver string, aborted bool) {
-	if b == nil || b.Threshold <= 0 {
+	if b == nil {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	e := b.entry(driver)
+	r := b.base()
+	if r.Threshold <= 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entry(b.prefix + driver)
 	if aborted {
 		if e.open {
 			// Failed probe: stay open and re-arm the cool-down so the
 			// next time-based probe waits a full period again.
-			e.probeAt = b.now().Add(b.CoolDown)
+			e.probeAt = r.now().Add(r.CoolDown)
 			return
 		}
 		e.aborts++
-		if e.aborts >= b.Threshold {
+		if e.aborts >= r.Threshold {
 			e.open = true
 			e.seen = 0
-			e.probeAt = b.now().Add(b.CoolDown)
-			b.Trace.Instant("breaker", "breaker-open",
-				trace.Str("driver", driver), trace.I64("aborts", int64(e.aborts)))
+			e.probeAt = r.now().Add(r.CoolDown)
+			r.Trace.Instant("breaker", "breaker-open",
+				trace.Str("driver", driver), trace.Str("scope", b.scope),
+				trace.I64("aborts", int64(e.aborts)))
 		}
 		return
 	}
 	if e.open {
-		b.Trace.Instant("breaker", "breaker-close", trace.Str("driver", driver))
+		r.Trace.Instant("breaker", "breaker-close",
+			trace.Str("driver", driver), trace.Str("scope", b.scope))
 	}
 	e.aborts = 0
 	e.open = false
 	e.seen = 0
 }
 
-// Open reports whether the breaker is currently open for driver.
+// Open reports whether the breaker is currently open for driver (in the
+// receiver's scope, for a scoped view).
 func (b *Breaker) Open(driver string) bool {
-	if b == nil || b.Threshold <= 0 {
+	if b == nil {
 		return false
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.entry(driver).open
+	r := b.base()
+	if r.Threshold <= 0 {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entry(b.prefix + driver).open
 }
 
 func (b *Breaker) entry(driver string) *breakerEntry {

@@ -52,6 +52,19 @@ func (m Mode) String() string {
 // Compiled is a program plus everything the Gerenuk compiler derived from
 // it: inline layouts, the codec, and per-driver SER analyses and
 // transformed functions.
+//
+// Concurrency contract: CompileDriver calls serialize under mu and are
+// idempotent, so concurrent jobs may compile the same drivers freely.
+// The SERs/Natives/XStats maps stay exported for the offline consumers
+// (cmd/gerenukc, the figure drivers) that read them after compilation
+// finishes single-threaded; concurrent executors must go through the
+// locked accessors (CanRunNative, Native) instead. Compiling a driver
+// nobody has compiled yet mutates the shared IR program (resolution
+// caches, transformed-function registration), so callers sharing one
+// Compiled across concurrently running jobs must Precompile every
+// driver before the first task launches — the per-job programs built by
+// the bench/cluster layers do this implicitly by compiling at job start,
+// before their pools spin up.
 type Compiled struct {
 	Prog    *ir.Program
 	Layouts *dsa.Result
@@ -61,10 +74,10 @@ type Compiled struct {
 	Natives map[string]*ir.Func
 	XStats  map[string]transform.Stats
 
-	// closures memoizes closure compilation per driver (nil value =
-	// declined, interpret forever). Guarded by mu: unlike the maps above
-	// — populated single-threaded before the pool starts — closures fill
-	// lazily from concurrent task attempts.
+	// mu guards the compilation maps above plus the closure cache below;
+	// both fill lazily, possibly from concurrent jobs sharing this
+	// Compiled. closures memoizes closure compilation per driver (nil
+	// value = declined, interpret forever).
 	mu       sync.Mutex
 	closures map[string]*compile.Prog
 }
@@ -86,8 +99,12 @@ func Compile(prog *ir.Program) *Compiled {
 
 // CompileDriver runs the SER analyzer and Algorithm 1 on one driver
 // function, caching the result. Untransformable SERs are recorded (the
-// job then stays on the heap path) rather than failing.
+// job then stays on the heap path) rather than failing. Concurrent
+// calls — jobs sharing one Compiled each compile their drivers at job
+// start — serialize under the cache lock and are idempotent.
 func (c *Compiled) CompileDriver(entry string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, done := c.SERs[entry]; done {
 		return nil
 	}
@@ -109,8 +126,35 @@ func (c *Compiled) CompileDriver(entry string) error {
 	return nil
 }
 
-// CanRunNative reports whether a compiled native version exists.
-func (c *Compiled) CanRunNative(entry string) bool { return c.Natives[entry] != nil }
+// Precompile compiles every listed driver, stopping at the first error.
+// Call it before sharing this Compiled across concurrently running
+// jobs: compilation mutates the shared IR program, so all of it must
+// happen before the first concurrent task executes.
+func (c *Compiled) Precompile(entries ...string) error {
+	for _, e := range entries {
+		if e == "" {
+			continue
+		}
+		if err := c.CompileDriver(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CanRunNative reports whether a compiled native version exists. Safe
+// against concurrent CompileDriver calls.
+func (c *Compiled) CanRunNative(entry string) bool { return c.Native(entry) != nil }
+
+// Native returns the transformed form of the driver, or nil if the
+// driver was not compiled or declined transformation. Safe against
+// concurrent CompileDriver calls (executors resolve their driver per
+// attempt while another job may still be compiling its own).
+func (c *Compiled) Native(entry string) *ir.Func {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Natives[entry]
+}
 
 // Input is one bound source of a task invocation: wire records in Buf.
 // If Offs is non-nil it lists the record start offsets to read (e.g. one
@@ -200,6 +244,10 @@ type Executor struct {
 	// (the default) disables tracing; the hot path then pays only nil
 	// checks.
 	Trace *trace.Tracer
+	// Tenant, when set, labels this executor's task-latency series in
+	// the registry ({tenant="…"}), so a multi-tenant service can tell
+	// whose tasks are slow. "" keeps the unlabeled series.
+	Tenant string
 }
 
 // RunTask executes the task, speculatively when the executor is in
@@ -219,7 +267,11 @@ func (e *Executor) RunTask(spec TaskSpec) (TaskResult, error) {
 	finish := func(outcome string) {
 		task.End(trace.Str("outcome", outcome),
 			trace.I64("attempts", bd.Attempts), trace.I64("aborts", bd.Aborts))
-		e.Trace.Registry().Histogram("task_latency_ns", trace.LatencyBuckets()...).
+		latency := "task_latency_ns"
+		if e.Tenant != "" {
+			latency = trace.Name(latency, "tenant", e.Tenant)
+		}
+		e.Trace.Registry().Histogram(latency, trace.LatencyBuckets()...).
 			Observe(float64(time.Since(start)))
 	}
 	fail := func(err error) (TaskResult, error) {
@@ -468,7 +520,7 @@ func (e *Executor) runNativeAttempt(spec TaskSpec, att *trace.Span, cancel *canc
 	})
 	outRegion := a.NewRegion("task-out")
 	sink := &nativeSink{a: a}
-	fn := e.C.Natives[spec.Driver]
+	fn := e.C.Native(spec.Driver)
 	hook := recordHook(spec, a)
 
 	// Adopt each distinct input buffer once. Owned buffers (a shuffle

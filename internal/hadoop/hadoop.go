@@ -28,6 +28,19 @@ import (
 // JobConf configures one MapReduce job.
 type JobConf struct {
 	Name string
+	// JobID, when set, namespaces the job's durable recovery state
+	// (checkpoints, lineage) so concurrent jobs — which reuse app names
+	// and hence exchange names like "IUF-shuffle" — can never serve each
+	// other's bytes. The cluster service sets it to the submission ID.
+	JobID string
+	// Tenant, when set, labels the per-task latency series this job's
+	// executors emit into the trace registry.
+	Tenant string
+	// Checkpoints and Lineage, when set, are the shared stores recovery
+	// state persists to (scoped by JobID). nil keeps private per-job
+	// stores.
+	Checkpoints *recovery.CheckpointStore
+	Lineage     *recovery.Lineage
 	// MapDriver reads records of InClass from source "in" and emits
 	// MapOutClass records.
 	MapDriver string
@@ -144,14 +157,22 @@ type Result struct {
 func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 	conf = conf.withDefaults()
 	if conf.CheckpointEvery > 0 {
-		conf.ckpts = recovery.NewCheckpointStore()
+		store := conf.Checkpoints
+		if store == nil {
+			store = recovery.NewCheckpointStore()
+		}
+		if conf.JobID != "" {
+			store = store.Scope(conf.JobID)
+		}
+		conf.ckpts = store
 	}
 	res := &Result{}
 	start := time.Now()
 
-	if conf.Breaker != nil && conf.Breaker.Trace == nil {
-		conf.Breaker.Trace = conf.Trace
-	}
+	// EnsureTrace is mutex-guarded: jobs sharing one breaker may reach
+	// this line concurrently (a bare check-then-set here was a data race
+	// under multi-tenant load).
+	conf.Breaker.EnsureTrace(conf.Trace)
 	job := conf.Trace.StartSpan("job", conf.Name, trace.Str("mode", conf.Mode.String()))
 	jobOutcome := "error"
 	defer func() { job.End(trace.Str("outcome", jobOutcome)) }()
@@ -187,7 +208,7 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: conf.MapHeap,
 			Backend: conf.Backend,
 			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
-			Hedge: conf.Hedge, Trace: conf.Trace}
+			Hedge: conf.Hedge, Trace: conf.Trace, Tenant: conf.Tenant}
 	}
 	mapStage := job.Child("stage", "map", trace.I64("tasks", int64(len(mapSpecs))))
 	mapStart := time.Now()
@@ -250,7 +271,18 @@ func Run(c *engine.Compiled, conf JobConf, splits [][]byte) (*Result, error) {
 		scfg.Jitter = conf.Jitter
 	}
 	if scfg.Lineage == nil {
-		scfg.Lineage = recovery.NewLineage()
+		// The shared registry scoped by JobID when both were provided,
+		// else a private one. Exchange names repeat across jobs running
+		// the same app ("IUF-shuffle"), so an unscoped shared registry
+		// would alias their producers.
+		base := conf.Lineage
+		if base == nil {
+			base = recovery.NewLineage()
+		}
+		if conf.JobID != "" {
+			base = base.Scope(conf.JobID)
+		}
+		scfg.Lineage = base
 	}
 	var codec *serde.Codec
 	if conf.Mode == engine.Baseline {
@@ -369,7 +401,7 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 		return &engine.Executor{C: c, Mode: conf.Mode, HeapCfg: heapCfg,
 			Backend: conf.Backend,
 			Breaker: conf.Breaker, VerifyInputs: conf.VerifyInputs,
-			Hedge: conf.Hedge, Trace: conf.Trace}
+			Hedge: conf.Hedge, Trace: conf.Trace, Tenant: conf.Tenant}
 	}
 	stage := job.Child("stage", phase, trace.I64("tasks", int64(len(specs))))
 	result, err := runPhase(conf, pool, exec, conf.Name+"/"+phase, specs)

@@ -51,26 +51,35 @@ func NewGCAttributor(tr *trace.Tracer) *GCAttributor {
 // given (job, mode) pair, returning the total attributed pause time.
 // Call it at each stage boundary, after the stage's work completes.
 func (a *GCAttributor) StageEnd(job, mode, stage string) time.Duration {
+	return a.StageEndTenant("", job, mode, stage)
+}
+
+// StageEndTenant is StageEnd with a tenant dimension: the pause
+// histogram series gains a tenant label (gc_pause_ns{tenant,job,mode}),
+// so a multi-tenant service can answer "whose jobs are eating GC pause
+// budget". tenant "" degenerates to the unlabeled-by-tenant StageEnd
+// behavior.
+func (a *GCAttributor) StageEndTenant(tenant, job, mode, stage string) time.Duration {
 	if a == nil {
 		return 0
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 
-	total := a.attribute(job, mode, stage)
+	total := a.attribute(tenant, job, mode, stage)
 	if total == 0 {
-		key := job + "\x00" + mode
+		key := tenant + "\x00" + job + "\x00" + mode
 		if !a.forced[key] {
 			a.forced[key] = true
 			runtime.GC()
-			total = a.attribute(job, mode, stage)
+			total = a.attribute(tenant, job, mode, stage)
 		}
 	}
 	return total
 }
 
 // attribute performs one read-diff-observe cycle under the lock.
-func (a *GCAttributor) attribute(job, mode, stage string) time.Duration {
+func (a *GCAttributor) attribute(tenant, job, mode, stage string) time.Duration {
 	s := ReadRuntime()
 	if s.Pauses == nil {
 		return 0
@@ -79,8 +88,11 @@ func (a *GCAttributor) attribute(job, mode, stage string) time.Duration {
 	var totalNs float64
 	var pauses int64
 	reg := a.tr.Registry()
-	hist := reg.Histogram(MetricName("gc_pause_ns", "job", job, "mode", mode),
-		trace.LatencyBuckets()...)
+	name := MetricName("gc_pause_ns", "job", job, "mode", mode)
+	if tenant != "" {
+		name = MetricName("gc_pause_ns", "tenant", tenant, "job", job, "mode", mode)
+	}
+	hist := reg.Histogram(name, trace.LatencyBuckets()...)
 	for i, c := range cur {
 		var prev uint64
 		if i < len(a.last) {
@@ -102,7 +114,8 @@ func (a *GCAttributor) attribute(job, mode, stage string) time.Duration {
 	}
 	reg.Counter("gc_pauses_attributed_total").Add(pauses)
 	a.tr.Instant("gc", "gc-attributed",
-		trace.Str("job", job), trace.Str("mode", mode), trace.Str("stage", stage),
+		trace.Str("tenant", tenant), trace.Str("job", job),
+		trace.Str("mode", mode), trace.Str("stage", stage),
 		trace.I64("pauses", pauses), trace.F64("pause_ns", totalNs))
 	return time.Duration(totalNs)
 }

@@ -42,6 +42,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	status   map[string]func() any
+	extra    map[string]http.Handler
 	srv      *http.Server
 	ln       net.Listener
 	scrapes  atomic.Int64
@@ -86,9 +87,30 @@ func (s *Server) AddStatus(name string, fn func() any) {
 	s.mu.Unlock()
 }
 
+// Handle registers an extra handler on the observability mux — the job
+// service mounts its submission API here so one address serves both
+// planes. Call before Handler/Start; later registrations are ignored by
+// already-built muxes.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s == nil || h == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
+	s.mu.Unlock()
+}
+
 // Handler returns the observability mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)

@@ -23,47 +23,16 @@ func splitName(name string) (base, labels string) {
 
 // MetricName builds a registry metric name carrying an inline label
 // block, e.g. MetricName("gc_pause_ns", "job", "PR", "mode", "gerenuk")
-// → `gc_pause_ns{job="PR",mode="gerenuk"}`. kv is key/value pairs;
-// values are quoted with backslash escaping so arbitrary app names stay
-// inside one label.
+// → `gc_pause_ns{job="PR",mode="gerenuk"}`. It is trace.Name re-exported
+// for the plane's own callers; the builder lives in the trace package so
+// the execution layers can emit labeled series without importing obs.
 func MetricName(base string, kv ...string) string {
-	if len(kv) == 0 {
-		return base
-	}
-	var sb strings.Builder
-	sb.WriteString(base)
-	sb.WriteByte('{')
-	for i := 0; i+1 < len(kv); i += 2 {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		// %q's Go escaping matches Prometheus label escaping for the
-		// characters that matter here (backslash, quote)
-		fmt.Fprintf(&sb, "%s=%q", sanitizeName(kv[i]), kv[i+1])
-	}
-	sb.WriteByte('}')
-	return sb.String()
+	return trace.Name(base, kv...)
 }
 
 // sanitizeName maps an arbitrary instrument name onto the Prometheus
 // metric-name alphabet [a-zA-Z0-9_:].
-func sanitizeName(s string) string {
-	var sb strings.Builder
-	for i, r := range s {
-		ok := r == '_' || r == ':' ||
-			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
-			(r >= '0' && r <= '9' && i > 0)
-		if ok {
-			sb.WriteRune(r)
-		} else {
-			sb.WriteByte('_')
-		}
-	}
-	if sb.Len() == 0 {
-		return "_"
-	}
-	return sb.String()
-}
+func sanitizeName(s string) string { return trace.SanitizeMetricName(s) }
 
 // seriesName renders one exposition line's name part: base family plus
 // the series' label block with any extra labels merged in.

@@ -168,3 +168,86 @@ func TestWatchdogTimesOutHungStage(t *testing.T) {
 		t.Fatalf("watchdog counter = %d", got)
 	}
 }
+
+// Two concurrent jobs registering producers for the same-named exchange
+// used to collide on lineageKey(exchange, mapTask): the later Register
+// silently replaced the earlier job's rebuild closure, so a fetch-miss
+// in job A could replay job B's producer. Job-scoped views must keep
+// the registrations separate.
+func TestLineageScopeIsolatesSameNamedExchanges(t *testing.T) {
+	root := NewLineage()
+	jobA := root.Scope("jobA")
+	jobB := root.Scope("jobB")
+
+	var rebuilt []string
+	jobA.Register("shuffle-0", 0, func() error { rebuilt = append(rebuilt, "A"); return nil })
+	jobB.Register("shuffle-0", 0, func() error { rebuilt = append(rebuilt, "B"); return nil })
+
+	if err := jobA.Rebuild("shuffle-0", 0); err != nil {
+		t.Fatalf("jobA Rebuild: %v", err)
+	}
+	if err := jobB.Rebuild("shuffle-0", 0); err != nil {
+		t.Fatalf("jobB Rebuild: %v", err)
+	}
+	if len(rebuilt) != 2 || rebuilt[0] != "A" || rebuilt[1] != "B" {
+		t.Fatalf("rebuilds = %v, want [A B] (scoped closures must not alias)", rebuilt)
+	}
+	// A scope only sees its own registrations.
+	if err := jobA.Rebuild("shuffle-0", 1); !errors.Is(err, ErrNoLineage) {
+		t.Fatalf("jobA unregistered map task: %v", err)
+	}
+	if n := root.Scope("jobC").Len(); n != 0 {
+		t.Fatalf("fresh scope Len = %d", n)
+	}
+	if jobA.Len() != 1 || jobB.Len() != 1 {
+		t.Fatalf("scoped Len = %d/%d, want 1/1", jobA.Len(), jobB.Len())
+	}
+	var nilL *Lineage
+	if nilL.Scope("job") != nil {
+		t.Fatal("nil lineage Scope must stay nil")
+	}
+}
+
+// Checkpoint keys are task names like "reduce-3", which repeat across
+// every job; job-scoped views must not let one job resume from another
+// job's fold state.
+func TestCheckpointScopeIsolatesTaskKeys(t *testing.T) {
+	root := NewCheckpointStore()
+	jobA := root.Scope("jobA")
+	jobB := root.Scope("jobB")
+
+	jobA.Save("reduce-3", 1, []byte("A state"))
+	jobB.Save("reduce-3", 7, []byte("B state"))
+
+	ck, ok, corrupt := jobA.Load("reduce-3")
+	if !ok || corrupt || ck.Seq != 1 || string(ck.Data) != "A state" {
+		t.Fatalf("jobA Load = %+v ok=%v corrupt=%v", ck, ok, corrupt)
+	}
+	if ck, _, _ := jobB.Load("reduce-3"); ck.Seq != 7 || string(ck.Data) != "B state" {
+		t.Fatalf("jobB Load = %+v", ck)
+	}
+	if jobA.Len() != 1 || jobB.Len() != 1 || root.Len() != 2 {
+		t.Fatalf("Len scoped=%d/%d root=%d", jobA.Len(), jobB.Len(), root.Len())
+	}
+	// Corruption and Drop stay inside their scope.
+	if !jobA.Corrupt("reduce-3") {
+		t.Fatal("jobA Corrupt found nothing")
+	}
+	if _, ok, _ := jobB.Load("reduce-3"); !ok {
+		t.Fatal("jobA corruption leaked into jobB")
+	}
+	// Loading the corrupted entry discards it (the recovery layer falls
+	// back to from-scratch execution); the scoped load must discard only
+	// jobA's entry.
+	if _, ok, corrupt := jobA.Load("reduce-3"); ok || !corrupt {
+		t.Fatalf("jobA corrupted Load: ok=%v corrupt=%v", ok, corrupt)
+	}
+	jobB.Drop("reduce-3")
+	if root.Len() != 0 {
+		t.Fatalf("root Len after scoped drops = %d", root.Len())
+	}
+	var nilS *CheckpointStore
+	if nilS.Scope("job") != nil {
+		t.Fatal("nil store Scope must stay nil")
+	}
+}

@@ -45,6 +45,23 @@ type Context struct {
 	// task) and then stops — the Figure 10(b) "k forced aborts" knob.
 	ForcedAbortBudget int
 
+	// JobID, when set, namespaces this context's durable recovery state
+	// (checkpoints, lineage): all keys derived from task and exchange
+	// names are scoped by it, so concurrent jobs sharing the stores
+	// below — or merely same-named exchanges in one service process —
+	// can never serve each other's bytes. The cluster service sets it to
+	// the submission ID; standalone contexts may leave it empty (their
+	// stores are private anyway).
+	JobID string
+	// Tenant, when set, labels the per-task latency series this
+	// context's executors emit into the trace registry.
+	Tenant string
+	// Checkpoints and Lineage, when set, are the shared stores recovery
+	// state persists to (scoped by JobID). nil keeps private per-context
+	// stores, created lazily.
+	Checkpoints *recovery.CheckpointStore
+	Lineage     *recovery.Lineage
+
 	// MaxAttempts and RetryBackoff configure the pool's task retry
 	// policy (0 = engine defaults: 3 attempts, no backoff).
 	MaxAttempts  int
@@ -104,11 +121,19 @@ type Context struct {
 	lineage      *recovery.Lineage
 }
 
-// ckpts lazily creates the context's checkpoint store; nil when
-// checkpointing is off.
+// ckpts lazily resolves the context's checkpoint store — the shared
+// store scoped by JobID when one was provided, else a private one; nil
+// when checkpointing is off.
 func (ctx *Context) ckpts() *recovery.CheckpointStore {
 	if ctx.CheckpointEvery > 0 && ctx.checkpoints == nil {
-		ctx.checkpoints = recovery.NewCheckpointStore()
+		store := ctx.Checkpoints
+		if store == nil {
+			store = recovery.NewCheckpointStore()
+		}
+		if ctx.JobID != "" {
+			store = store.Scope(ctx.JobID)
+		}
+		ctx.checkpoints = store
 	}
 	return ctx.checkpoints
 }
@@ -169,7 +194,7 @@ func (ctx *Context) executor() *engine.Executor {
 	return &engine.Executor{
 		C: ctx.C, Mode: ctx.Mode, HeapCfg: ctx.HeapCfg, Backend: ctx.Backend,
 		Breaker: ctx.Breaker, VerifyInputs: ctx.VerifyInputs,
-		Hedge: ctx.Hedge, Trace: ctx.Trace,
+		Hedge: ctx.Hedge, Trace: ctx.Trace, Tenant: ctx.Tenant,
 	}
 }
 
@@ -189,9 +214,10 @@ func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, er
 			specs[i].Checkpoints = store
 		}
 	}
-	if ctx.Breaker != nil && ctx.Breaker.Trace == nil {
-		ctx.Breaker.Trace = ctx.Trace
-	}
+	// EnsureTrace is mutex-guarded: contexts sharing one breaker may
+	// reach this line concurrently (a bare check-then-set here was a
+	// data race under multi-tenant load).
+	ctx.Breaker.EnsureTrace(ctx.Trace)
 	stage := ctx.Trace.StartSpan("stage", name,
 		trace.Str("mode", ctx.Mode.String()), trace.I64("tasks", int64(len(specs))))
 	start := time.Now()
@@ -284,7 +310,18 @@ func (r *RDD) shuffle(keyField string) ([][]byte, error) {
 	}
 	if cfg.Lineage == nil {
 		if ctx.lineage == nil {
-			ctx.lineage = recovery.NewLineage()
+			// The shared registry scoped by JobID when both were
+			// provided, else a private one. Exchange names are
+			// context-local ("shuffle-1-…"), so sharing an unscoped
+			// registry across jobs would alias their producers.
+			base := ctx.Lineage
+			if base == nil {
+				base = recovery.NewLineage()
+			}
+			if ctx.JobID != "" {
+				base = base.Scope(ctx.JobID)
+			}
+			ctx.lineage = base
 		}
 		cfg.Lineage = ctx.lineage
 	}

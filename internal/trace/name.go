@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Name builds a registry metric name carrying an inline Prometheus label
+// block, e.g. Name("gc_pause_ns", "job", "PR", "mode", "gerenuk") →
+// `gc_pause_ns{job="PR",mode="gerenuk"}`. kv is key/value pairs; values
+// are quoted with backslash escaping so arbitrary app or tenant names
+// stay inside one label. The obs package's Prometheus exporter splits
+// the block back out into per-series labels; the plain JSON exporter
+// keeps the name verbatim, which is unambiguous either way.
+//
+// Living here (rather than in obs) lets the execution layers — engine,
+// spark, hadoop, cluster — emit labeled series into the registry they
+// already hold without importing the observability plane.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		// %q's Go escaping matches Prometheus label escaping for the
+		// characters that matter here (backslash, quote)
+		fmt.Fprintf(&sb, "%s=%q", SanitizeMetricName(kv[i]), kv[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// SanitizeMetricName maps an arbitrary instrument name onto the
+// Prometheus metric-name alphabet [a-zA-Z0-9_:].
+func SanitizeMetricName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "_"
+	}
+	return sb.String()
+}
