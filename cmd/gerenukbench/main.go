@@ -33,6 +33,19 @@
 // bypass. The -replicas, -checkpoint-every, and -stage-deadline knobs
 // arm the same machinery in the regular experiments.
 //
+// -stream-check runs the streaming verification pass instead: both
+// streaming apps in both modes through the micro-batch engine,
+// asserting every window's output byte-equal to a one-shot batch run
+// over the same records — clean, under recovery chaos, and across a
+// kill-mid-window crash resumed from checkpoints — and that the two
+// modes agree window-for-window.
+//
+// -stream runs the streaming throughput pass: both apps in both modes,
+// reporting records/sec and batch-latency p50/p99. Combined with
+// -bench-json it writes the machine-readable streaming report (one
+// record per (app, mode) with throughput, latency quantiles, the cost
+// breakdown, and that run's stream/shuffle counters) instead.
+//
 // -bench-json runs every app (or the -apps subset) in both modes and
 // writes one machine-readable JSON report — schema-versioned, one
 // record per (app, mode) with wall time, the full cost breakdown, and
@@ -79,6 +92,8 @@ func main() {
 	faultSeed := flag.Int64("faults", 0, "run chaos mode with this fault-injection seed (0 = off)")
 	shuffleCheck := flag.Bool("shuffle-check", false, "run the shuffle verification pass (spill/compressed vs in-memory, all apps)")
 	recoveryCheck := flag.Bool("recovery-check", false, "run the recovery verification pass (replica loss, reduce kills, checkpoint corruption vs fault-free, all apps)")
+	streamCheck := flag.Bool("stream-check", false, "run the streaming verification pass (micro-batched windows vs one-shot batch, chaos + kill/resume)")
+	streamRun := flag.Bool("stream", false, "run the streaming throughput pass (with -bench-json: write the streaming report instead)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge straggling native attempts with the heap path after this delay (0 = off)")
 	hedgeMult := flag.Float64("hedge-mult", 0, "hedge after this multiple of the observed median task latency (0 = off)")
 	shufBudget := flag.Int64("shuffle-budget", 0, "map-side shuffle memory budget in bytes (0 = in-memory, >0 spills sorted runs)")
@@ -207,6 +222,18 @@ func main() {
 	}()
 
 	if *benchJSON != "" {
+		if *streamRun {
+			rep, err := bench.BuildStreamReport(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := bench.WriteStreamReportFile(*benchJSON, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("bench-json: wrote %s (%d streaming runs, schema %d)\n",
+				*benchJSON, len(rep.Runs), rep.Schema)
+			return
+		}
 		var apps []string
 		for _, a := range strings.Split(*benchApps, ",") {
 			if a = strings.TrimSpace(a); a != "" {
@@ -249,6 +276,28 @@ func main() {
 	}
 	if *recoveryCheck {
 		r, err := bench.RecoveryCheck(cfg)
+		if r != nil {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamCheck {
+		r, err := bench.StreamCheck(cfg)
+		if r != nil {
+			fmt.Println(r.Render())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gerenukbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *streamRun {
+		r, err := bench.StreamBench(cfg)
 		if r != nil {
 			fmt.Println(r.Render())
 		}

@@ -9,7 +9,11 @@
 //
 //	gerenukd -addr 127.0.0.1:9478 [-workers 4] [-queue-depth 64]
 //	         [-quota N] [-scale N] [-engine compiled|interp]
-//	         [-trace out.json] [-metrics-json out.json]
+//	         [-checkpoint-dir dir] [-trace out.json] [-metrics-json out.json]
+//
+// -checkpoint-dir persists job checkpoints (atomic write, checksummed
+// on load) so a restarted service resumes tasks instead of recomputing
+// them; without it checkpoints live in process memory only.
 //
 // Endpoints (on top of the obs plane's /metrics /healthz /statusz
 // /flamez /debug/pprof):
@@ -57,6 +61,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/recovery"
 	"repro/internal/trace"
 )
 
@@ -245,6 +250,7 @@ func main() {
 	heapName := flag.String("heap", "10GB", "executor heap size for Spark apps (10GB|15GB|20GB)")
 	engineName := flag.String("engine", "compiled", "native execution backend: compiled or interp")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "de-speculate a (tenant,driver) after this many aborts (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist job checkpoints to this directory so a restarted service resumes them (\"\" = in-memory only)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON on shutdown")
 	flag.Parse()
@@ -271,12 +277,21 @@ func main() {
 	if *breakerThreshold > 0 {
 		breaker = engine.NewBreaker(*breakerThreshold)
 	}
+	var ckpts *recovery.CheckpointStore
+	if *ckptDir != "" {
+		ckpts, err = recovery.OpenDiskCheckpointStore(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gerenukd: checkpoints persist to %s (%d recovered)\n", *ckptDir, ckpts.Len())
+	}
 	svc := cluster.New(cluster.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		QuotaBytes: *quota,
-		Breaker:    breaker,
-		Trace:      tr,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		QuotaBytes:  *quota,
+		Breaker:     breaker,
+		Trace:       tr,
+		Checkpoints: ckpts,
 	})
 
 	d := &daemon{

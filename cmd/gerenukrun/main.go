@@ -13,6 +13,10 @@
 //	           [-stage-deadline 5s] [-recovery-faults seed]
 //	           [-obs-addr 127.0.0.1:9477] [-obs-hold 30s]
 //	           [-flame out.folded] [-profiles profiles.json]
+//	gerenukrun -stream -app wordcount|streamrank [-stream-windows N]
+//	           [-stream-rate 1ms] [-stream-window 8ms] [-stream-slide 4ms]
+//	           [-stream-cut N] [-stream-cut-slice 3ms]
+//	           [-checkpoint-dir DIR] [-stream-resume]
 //
 // -trace streams a Chrome trace_event JSON file incrementally (load it
 // in Perfetto or chrome://tracing) with job/stage/task/attempt/phase
@@ -34,6 +38,18 @@
 // corruption) so the recovery spans and counters show up in the trace
 // and metrics output; output must stay byte-equal regardless.
 //
+// -stream switches to the micro-batch streaming engine: an unbounded
+// source is cut into micro-batches (-stream-cut records or
+// -stream-cut-slice of simulated arrival time), mapped through the
+// same SER pipelines, synced incrementally into open shuffle blocks,
+// and folded per tumbling or sliding window (-stream-window /
+// -stream-slide on the -stream-rate arrival clock) until
+// -stream-windows windows have closed. Both modes run the identical
+// record stream and the per-window outputs must stay byte-equal
+// across modes. With -checkpoint-dir, window state checkpoints to
+// disk and a killed run restarted with -stream-resume picks up
+// mid-window instead of replaying from record zero.
+//
 // The observability plane is opt-in: -obs-addr serves /metrics
 // (Prometheus text exposition), /healthz, /statusz, /flamez and
 // /debug/pprof/ for the duration of the run; -obs-hold keeps the
@@ -50,9 +66,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bench"
@@ -60,6 +78,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/recovery"
+	"repro/internal/stream"
 	"repro/internal/trace"
 )
 
@@ -86,6 +106,15 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint task fold state every N invocations (0 = off)")
 	stageDeadline := flag.Duration("stage-deadline", 0, "watchdog deadline per stage; hangs become retryable timeouts (0 = off)")
 	recoveryFaults := flag.Int64("recovery-faults", 0, "inject recovery chaos (replica loss, kills, checkpoint corruption) with this seed (0 = off)")
+	streamMode := flag.Bool("stream", false, "run the micro-batch streaming pipeline instead of a one-shot job (-app wordcount|streamrank)")
+	streamWindows := flag.Int("stream-windows", 0, "number of aggregation windows to run to completion (0 = scale default)")
+	streamRate := flag.Duration("stream-rate", 0, "simulated record inter-arrival gap (0 = 1ms)")
+	streamWindow := flag.Duration("stream-window", 0, "aggregation window size on the arrival clock (0 = default)")
+	streamSlide := flag.Duration("stream-slide", 0, "window slide; < size makes windows overlap (0 = tumbling)")
+	streamCut := flag.Int("stream-cut", 0, "cut a micro-batch every N records (0 = default)")
+	streamCutSlice := flag.Duration("stream-cut-slice", 0, "cut a micro-batch every slice of arrival time (0 = off)")
+	streamResume := flag.Bool("stream-resume", false, "resume the stream from checkpointed window state (needs -checkpoint-dir)")
+	ckptDir := flag.String("checkpoint-dir", "", "persist checkpoints to this directory so a killed run can resume (\"\" = in-memory)")
 	traceOut := flag.String("trace", "", "stream Chrome trace_event JSON to this file")
 	metricsOut := flag.String("metrics-json", "", "write metrics-registry JSON to this file")
 	obsAddr := flag.String("obs-addr", "", "serve the observability plane (/metrics /healthz /statusz /flamez /debug/pprof) on this address")
@@ -103,6 +132,8 @@ func main() {
 	// set, no tracer subscriber exists, no runtime/metrics read happens,
 	// and no server goroutine starts.
 	obsOn := *obsAddr != "" || *flameOut != "" || *profilesPath != ""
+	var streamStatus atomic.Value
+	streamStatus.Store(map[string]any{"state": "idle"})
 	var tr *trace.Tracer
 	if *traceOut != "" || *metricsOut != "" || obsOn {
 		tr = trace.New()
@@ -130,6 +161,9 @@ func main() {
 		server.AddStatus("run", func() any {
 			return map[string]any{"app": *app, "scale": *scale}
 		})
+		if *streamMode {
+			server.AddStatus("stream", func() any { return streamStatus.Load() })
+		}
 		if err := server.Start(*obsAddr); err != nil {
 			fatal(err)
 		}
@@ -165,6 +199,14 @@ func main() {
 			cfg.CheckpointEvery = 1
 		}
 	}
+	if *ckptDir != "" {
+		ckpts, err := recovery.OpenDiskCheckpointStore(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Checkpoints = ckpts
+		fmt.Printf("checkpoints: persisting to %s (%d recovered)\n", *ckptDir, ckpts.Len())
+	}
 	if obsOn {
 		// At every stage boundary: charge the GC pauses that landed in
 		// the stage's window to the active (app, mode), fold the charge
@@ -176,36 +218,108 @@ func main() {
 		}
 	}
 
-	t := &metrics.Table{
-		Title: fmt.Sprintf("%s at scale %d", *app, *scale),
-		Header: []string{"mode", "total", "compute", "gc", "gcAttr", "ser", "deser",
-			"shufW", "shufR", "spills", "native", "onheap", "peak mem",
-			"aborts", "attempts", "retries", "panics", "skips", "hedges"},
-	}
 	rows := map[string]metrics.Breakdown{}
-	var order []metrics.Breakdown
-	for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
-		stats, err := bench.RunApp(*app, cfg, mode)
-		if err != nil {
-			fatal(err)
+	if *streamMode {
+		appName := *app
+		if _, err := stream.App(appName); err != nil {
+			appName = "wordcount"
+			fmt.Printf("gerenukrun: -app %s is not a streaming app; running %s (streaming apps: %v)\n",
+				*app, appName, stream.AppNames)
 		}
-		rows[mode.String()] = stats
-		order = append(order, stats)
-		t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
-			metrics.D(stats.GC), metrics.D(stats.GCAttributed),
-			metrics.D(stats.Ser), metrics.D(stats.Deser),
-			metrics.D(stats.ShuffleWrite), metrics.D(stats.ShuffleRead),
-			fmt.Sprint(stats.Spills),
-			metrics.D(stats.NativeTime), metrics.D(stats.HeapTime),
-			metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts),
-			fmt.Sprint(stats.Attempts), fmt.Sprint(stats.Retries),
-			fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips),
-			fmt.Sprintf("%d/%d", stats.Hedges, stats.HedgeWins))
+		t := &metrics.Table{
+			Title: fmt.Sprintf("%s streamed at scale %d", appName, *scale),
+			Header: []string{"mode", "records", "batches", "windows", "rec/s",
+				"batch p50", "batch p99", "resumed", "total", "gc", "peak mem"},
+		}
+		var order []*stream.Result
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			sc, err := bench.StreamRunConfig(cfg, appName, mode)
+			if err != nil {
+				fatal(err)
+			}
+			if *streamWindows > 0 {
+				sc.Windows = *streamWindows
+			}
+			if *streamRate > 0 {
+				sc.Interval = *streamRate
+			}
+			if *streamWindow > 0 {
+				sc.WindowBy.Size = *streamWindow
+			}
+			if *streamSlide > 0 {
+				sc.WindowBy.Slide = *streamSlide
+			}
+			if *streamCut > 0 || *streamCutSlice > 0 {
+				sc.CutBy = stream.Cut{Count: *streamCut, Slice: *streamCutSlice}
+			}
+			sc.Resume = *streamResume
+			// Scope checkpoint keys per mode so both runs can share one
+			// -checkpoint-dir store without clobbering each other.
+			sc.JobID = appName + "-" + mode.String()
+			res, err := stream.Run(sc)
+			if err != nil {
+				fatal(err)
+			}
+			rows[mode.String()] = res.Stats
+			order = append(order, res)
+			streamStatus.Store(map[string]any{
+				"state": "ran", "app": appName, "mode": mode.String(),
+				"records": res.Records, "batches": res.Batches,
+				"windows": len(res.Windows), "records_per_sec": res.RecordsPerSec,
+			})
+			t.AddRow(mode.String(), fmt.Sprint(res.Records), fmt.Sprint(res.Batches),
+				fmt.Sprint(len(res.Windows)), fmt.Sprintf("%.0f", res.RecordsPerSec),
+				res.BatchP50.String(), res.BatchP99.String(),
+				fmt.Sprint(res.Resumed),
+				metrics.D(res.Stats.Total), metrics.D(res.Stats.GC),
+				metrics.FmtBytes(res.Stats.PeakBytes()))
+		}
+		fmt.Println(t.Render())
+		same := len(order[0].Windows) == len(order[1].Windows)
+		for i := 0; same && i < len(order[0].Windows); i++ {
+			same = bytes.Equal(order[0].Windows[i], order[1].Windows[i])
+		}
+		if !same {
+			fatal(fmt.Errorf("window outputs diverged between modes — the streaming transformation is unsound"))
+		}
+		if order[0].RecordsPerSec > 0 && order[1].RecordsPerSec > 0 {
+			fmt.Printf("windows byte-equal across modes; throughput: %.2fx   memory: %.2fx\n",
+				metrics.Ratio(order[1].RecordsPerSec, order[0].RecordsPerSec),
+				metrics.Ratio(float64(order[1].Stats.PeakBytes()), float64(order[0].Stats.PeakBytes())))
+		} else {
+			fmt.Println("windows byte-equal across modes (re-emitted from checkpoints; nothing left to stream)")
+		}
+	} else {
+		t := &metrics.Table{
+			Title: fmt.Sprintf("%s at scale %d", *app, *scale),
+			Header: []string{"mode", "total", "compute", "gc", "gcAttr", "ser", "deser",
+				"shufW", "shufR", "spills", "native", "onheap", "peak mem",
+				"aborts", "attempts", "retries", "panics", "skips", "hedges"},
+		}
+		var order []metrics.Breakdown
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			stats, err := bench.RunApp(*app, cfg, mode)
+			if err != nil {
+				fatal(err)
+			}
+			rows[mode.String()] = stats
+			order = append(order, stats)
+			t.AddRow(mode.String(), metrics.D(stats.Total), metrics.D(stats.Compute()),
+				metrics.D(stats.GC), metrics.D(stats.GCAttributed),
+				metrics.D(stats.Ser), metrics.D(stats.Deser),
+				metrics.D(stats.ShuffleWrite), metrics.D(stats.ShuffleRead),
+				fmt.Sprint(stats.Spills),
+				metrics.D(stats.NativeTime), metrics.D(stats.HeapTime),
+				metrics.FmtBytes(stats.PeakBytes()), fmt.Sprint(stats.Aborts),
+				fmt.Sprint(stats.Attempts), fmt.Sprint(stats.Retries),
+				fmt.Sprint(stats.PanicsContained), fmt.Sprint(stats.NativeSkips),
+				fmt.Sprintf("%d/%d", stats.Hedges, stats.HedgeWins))
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("speedup: %.2fx   memory: %.2fx\n",
+			metrics.Ratio(float64(order[0].Total), float64(order[1].Total)),
+			metrics.Ratio(float64(order[1].PeakBytes()), float64(order[0].PeakBytes())))
 	}
-	fmt.Println(t.Render())
-	fmt.Printf("speedup: %.2fx   memory: %.2fx\n",
-		metrics.Ratio(float64(order[0].Total), float64(order[1].Total)),
-		metrics.Ratio(float64(order[1].PeakBytes()), float64(order[0].PeakBytes())))
 
 	if server != nil && *obsHold > 0 {
 		if server.Scrapes() == 0 {

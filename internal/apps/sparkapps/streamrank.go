@@ -1,0 +1,65 @@
+package sparkapps
+
+import (
+	"repro/internal/ir"
+	"repro/internal/model"
+	"repro/internal/spark"
+)
+
+// StreamRank is the PageRank-style streaming app: one rank-contribution
+// iteration folded continuously over a stream of adjacency records.
+// Each Links record spreads a unit rank share 1/deg to every
+// out-neighbor (plus a zero self-contribution keeping sink vertices
+// alive); the window fold sums contributions per vertex. It is exactly
+// the prJoin/prCombine dataflow with the rank join replaced by a
+// constant — the shape that makes windowed aggregation meaningful
+// without cross-window iteration state.
+type StreamRank struct{}
+
+// Register defines the StreamRank UDFs and stage drivers. The program
+// must carry ClsLinks and ClsContrib among its top types. Names are
+// distinct from PageRank's so both register into one program without
+// clashing.
+func (StreamRank) Register(prog *ir.Program) {
+	// srSpread(links): emit 1/deg to each out-neighbor, zero to self.
+	b := ir.NewFuncBuilder(prog, "srSpread", model.Type{})
+	l := b.Param("l", model.Object(ClsLinks))
+	src := b.Load(l, "src")
+	dsts := b.Load(l, "dsts")
+	n := b.Len(dsts)
+	zero := b.IConst(0)
+	self := b.New(ClsContrib)
+	zf := b.FConst(0)
+	b.Store(self, "v", src)
+	b.Store(self, "c", zf)
+	b.EmitRecord(self)
+	b.If(ir.CmpGT, n, zero, func() {
+		one := b.FConst(1)
+		nf := b.Un(ir.OpI2D, n)
+		share := b.Bin(ir.OpDiv, one, nf)
+		b.For(n, func(i *ir.Var) {
+			d := b.Elem(dsts, i)
+			c := b.New(ClsContrib)
+			b.Store(c, "v", d)
+			b.Store(c, "c", share)
+			b.EmitRecord(c)
+		})
+	}, nil)
+	b.Ret(nil)
+	b.Done()
+
+	// srCombine(a, b) = Contrib{a.v, a.c + b.c}.
+	cb := ir.NewFuncBuilder(prog, "srCombine", model.Object(ClsContrib))
+	ca := cb.Param("a", model.Object(ClsContrib))
+	cc := cb.Param("b", model.Object(ClsContrib))
+	v := cb.Load(ca, "v")
+	s := cb.Bin(ir.OpAdd, cb.Load(ca, "c"), cb.Load(cc, "c"))
+	acc := cb.New(ClsContrib)
+	cb.Store(acc, "v", v)
+	cb.Store(acc, "c", s)
+	cb.Ret(acc)
+	cb.Done()
+
+	spark.BuildMapDriver(prog, "srSpreadStage", "srSpread", ClsLinks)
+	spark.BuildReduceDriver(prog, "srCombineStage", "srCombine", ClsContrib)
+}

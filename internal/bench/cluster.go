@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/apps/hadoopapps"
@@ -66,10 +67,18 @@ func ClusterJob(app string, cfg Config, mode engine.Mode) (cluster.JobSpec, erro
 			run.Breaker = jc.Breaker
 			run.Checkpoints = jc.Checkpoints
 			run.Lineage = jc.Lineage
+			run.Canceled = jc.Canceled
 			if run.Trace == nil {
 				run.Trace = jc.Trace
 			}
-			return AppOutput(app, run, mode)
+			out, err := AppOutput(app, run, mode)
+			if errors.Is(err, engine.ErrCanceled) {
+				// The driver observed the cancel signal at a stage boundary
+				// and stopped; report it as the service's canceled outcome,
+				// not a job failure.
+				return out, cluster.ErrCanceled
+			}
+			return out, err
 		},
 	}, nil
 }

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -194,5 +195,59 @@ func TestMultiTenantClusterDifferential(t *testing.T) {
 	}
 	if got := strings.Join(seen, ","); got != "alice:3,bob:3,mallory:3" {
 		t.Errorf("Status = %s, want alice:3,bob:3,mallory:3", got)
+	}
+}
+
+// TestCancelRunningClusterJob proves cooperative mid-run cancellation
+// lands end to end: Cancel on a Running job closes JobContext.Canceled,
+// the stage drivers observe the signal at the next stage boundary and
+// bail with engine.ErrCanceled, the adapter maps that to
+// cluster.ErrCanceled, and the service accounts the job as Canceled.
+// The gate makes it deterministic — the cancel is issued while the job
+// is provably Running, before the drivers take their first poll.
+func TestCancelRunningClusterJob(t *testing.T) {
+	cfg := Quick()
+	svc := cluster.New(cluster.Config{Workers: 2})
+	defer svc.Close()
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	spec := cluster.JobSpec{
+		Name:        "PR/gerenuk",
+		MemoryBytes: 1,
+		Run: func(jc *cluster.JobContext) ([]byte, error) {
+			close(started)
+			<-gate
+			run := cfg
+			run.Canceled = jc.Canceled
+			out, err := AppOutput("PR", run, engine.Gerenuk)
+			if errors.Is(err, engine.ErrCanceled) {
+				return out, cluster.ErrCanceled
+			}
+			return out, err
+		},
+	}
+	j, err := svc.Submit("carol", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if j.State() != cluster.Running {
+		t.Fatalf("state = %v, want Running", j.State())
+	}
+	if j.Cancel() {
+		t.Fatal("Cancel of a running job must report false (cooperative)")
+	}
+	close(gate)
+	if _, err := j.Await(); !errors.Is(err, cluster.ErrCanceled) {
+		t.Fatalf("Await after mid-run cancel: %v, want cluster.ErrCanceled", err)
+	}
+	if j.State() != cluster.Canceled {
+		t.Fatalf("state after mid-run cancel = %v, want Canceled", j.State())
+	}
+	for _, st := range svc.Status() {
+		if st.Tenant == "carol" && st.Canceled != 1 {
+			t.Fatalf("tenant status canceled = %d, want 1", st.Canceled)
+		}
 	}
 }

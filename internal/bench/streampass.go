@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/recovery"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+// StreamRunConfig maps the bench configuration onto one streaming run
+// of the named app: pool size, shuffle knobs, resilience machinery and
+// identity flow through; the simulated clock and window policy scale
+// with cfg.Scale (more windows, same cadence).
+func StreamRunConfig(cfg Config, app string, mode engine.Mode) (stream.Config, error) {
+	cfg = cfg.withDefaults()
+	spec, err := stream.App(app)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	scfg, err := cfg.shuffleConfig()
+	if err != nil {
+		return stream.Config{}, err
+	}
+	// Injected faults make first attempts fail by design; match the
+	// batch drivers' retry budget.
+	attempts := 0
+	if cfg.Injector != nil {
+		attempts = 4
+	}
+	return stream.Config{
+		App:      spec,
+		Mode:     mode,
+		Backend:  cfg.Backend,
+		Workers:  cfg.Workers,
+		MapSlots: 2,
+		Reducers: cfg.Partitions,
+		HeapCfg:  appHeap(cfg),
+
+		Seed:     7,
+		Interval: time.Millisecond,
+		CutBy:    stream.Cut{Count: 5},
+		WindowBy: stream.Window{Size: 8 * time.Millisecond},
+		Windows:  2 + cfg.Scale,
+
+		MaxAttempts:     attempts,
+		Breaker:         cfg.Breaker,
+		Hedge:           cfg.Hedge,
+		CheckpointEvery: cfg.CheckpointEvery,
+		StageDeadline:   cfg.StageDeadline,
+		Injector:        cfg.Injector,
+		VerifyInputs:    cfg.Injector != nil,
+		Trace:           cfg.Trace,
+		Shuffle:         scfg,
+		Checkpoints:     cfg.Checkpoints,
+		Lineage:         cfg.Lineage,
+		JobID:           cfg.JobID,
+		Tenant:          cfg.Tenant,
+		Canceled:        cfg.Canceled,
+	}, nil
+}
+
+// batchReference turns a streaming config into its one-giant-batch
+// reference run: same records, same windows, a single micro-batch.
+func batchReference(sc stream.Config) stream.Config {
+	sc.CutBy = stream.Cut{Count: 1 << 30}
+	sc.Trace = nil
+	sc.Injector = nil
+	sc.Checkpoints = recovery.NewCheckpointStore()
+	sc.Lineage = recovery.NewLineage()
+	sc.Resume = false
+	sc.CrashAfterBatches = 0
+	return sc
+}
+
+func windowsEqual(a, b *stream.Result) bool {
+	if len(a.Windows) != len(b.Windows) {
+		return false
+	}
+	for i := range a.Windows {
+		if !bytes.Equal(a.Windows[i], b.Windows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StreamCheck proves the streaming subsystem's end-to-end contract for
+// every streaming app in both executor modes: micro-batched window
+// outputs are byte-identical to a one-shot batch run over the same
+// records (and across modes) — clean, under the recovery chaos plan,
+// and across a kill-mid-window crash resumed from checkpoints.
+func StreamCheck(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("StreamCheck", "micro-batched windows vs one-shot batch, chaos + kill/resume",
+		"app", "mode", "batches", "windows", "syncs", "resumes", "outcome")
+
+	allEqual := true
+	var batches, syncs, resumes int64
+	for _, app := range stream.AppNames {
+		perMode := map[engine.Mode]*stream.Result{}
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			sc, err := StreamRunConfig(cfg, app, mode)
+			if err != nil {
+				return nil, fmt.Errorf("stream-check %s/%v: %w", app, mode, err)
+			}
+			ref, err := stream.Run(batchReference(sc))
+			if err != nil {
+				return nil, fmt.Errorf("stream-check %s/%v: batch reference: %w", app, mode, err)
+			}
+
+			outcome := "ok"
+			var appBatches, appWindows, appSyncs, appResumes int64
+
+			// Clean streamed run.
+			tr := trace.New()
+			clean := sc
+			clean.Trace = tr
+			streamed, err := stream.Run(clean)
+			if err != nil {
+				return nil, fmt.Errorf("stream-check %s/%v: streamed: %w", app, mode, err)
+			}
+			if !windowsEqual(streamed, ref) {
+				allEqual = false
+				outcome = "DIVERGED (streamed)"
+			}
+			if streamed.Batches <= ref.Batches {
+				return nil, fmt.Errorf("stream-check %s/%v: streamed run cut %d batches — no micro-batching",
+					app, mode, streamed.Batches)
+			}
+			reg := tr.Registry()
+			appBatches += reg.Counter("stream_batches_total").Value()
+			appWindows += reg.Counter("stream_windows_total").Value()
+			appSyncs += reg.Counter("shuffle_incremental_syncs_total").Value()
+
+			// Chaos streamed run: kills, replica loss, checkpoint rot,
+			// flaky fetches — output must not move.
+			tr = trace.New()
+			chaos := sc
+			chaos.Trace = tr
+			chaos.Injector = faults.RecoveryChaos(11)
+			chaos.VerifyInputs = true
+			chaos.MaxAttempts = 4
+			chaos.CheckpointEvery = 2
+			chaos.StageDeadline = 5 * time.Second
+			chaos.Shuffle.Replicas = 2
+			chaosRes, err := stream.Run(chaos)
+			if err != nil {
+				return nil, fmt.Errorf("stream-check %s/%v: chaos: %w", app, mode, err)
+			}
+			if !windowsEqual(chaosRes, ref) {
+				allEqual = false
+				outcome = "DIVERGED (chaos)"
+			}
+			reg = tr.Registry()
+			appBatches += reg.Counter("stream_batches_total").Value()
+			appSyncs += reg.Counter("shuffle_incremental_syncs_total").Value()
+
+			// Kill mid-window, then resume from the checkpoint store.
+			store := recovery.NewCheckpointStore()
+			crash := sc
+			crash.Checkpoints = store
+			crash.CrashAfterBatches = 2
+			if _, err := stream.Run(crash); !errors.Is(err, stream.ErrCrashed) {
+				return nil, fmt.Errorf("stream-check %s/%v: crash hook: %v", app, mode, err)
+			}
+			tr = trace.New()
+			resume := sc
+			resume.Trace = tr
+			resume.Checkpoints = store
+			resume.Resume = true
+			resumed, err := stream.Run(resume)
+			if err != nil {
+				return nil, fmt.Errorf("stream-check %s/%v: resume: %w", app, mode, err)
+			}
+			if !windowsEqual(resumed, ref) {
+				allEqual = false
+				outcome = "DIVERGED (resume)"
+			}
+			appResumes += tr.Registry().Counter("stream_window_resumes_total").Value()
+
+			batches += appBatches
+			syncs += appSyncs
+			resumes += appResumes
+			perMode[mode] = streamed
+			r.Table.AddRow(app, mode.String(), fmt.Sprint(appBatches), fmt.Sprint(appWindows),
+				fmt.Sprint(appSyncs), fmt.Sprint(appResumes), outcome)
+		}
+		if !windowsEqual(perMode[engine.Baseline], perMode[engine.Gerenuk]) {
+			allEqual = false
+			r.Table.AddRow(app, "both", "-", "-", "-", "-", "DIVERGED (cross-mode)")
+		}
+	}
+	r.Checks["equal"] = b2f(allEqual)
+	r.Checks["batches"] = float64(batches)
+	r.Checks["incremental_syncs"] = float64(syncs)
+	r.Checks["window_resumes"] = float64(resumes)
+	if !allEqual {
+		return r, fmt.Errorf("stream-check: window outputs diverged from the batch reference")
+	}
+	if batches == 0 {
+		return r, fmt.Errorf("stream-check: no micro-batches processed")
+	}
+	if syncs == 0 {
+		return r, fmt.Errorf("stream-check: the incremental shuffle never synced a batch")
+	}
+	if resumes == 0 {
+		return r, fmt.Errorf("stream-check: no killed window ever resumed from its checkpoint")
+	}
+	r.Notes = append(r.Notes,
+		"streamed, chaos, and crash-resumed window outputs all byte-equal the one-shot batch run",
+		"both modes agree window-for-window (the S/D-elimination contract holds under streaming)",
+		fmt.Sprintf("%d micro-batches, %d incremental shuffle syncs, %d window resumes", batches, syncs, resumes))
+	return r, nil
+}
+
+// StreamBench runs every streaming app in both modes and reports
+// sustained throughput and batch latency quantiles.
+func StreamBench(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := newResult("StreamBench", "sustained micro-batch streaming throughput",
+		"app", "mode", "records", "batches", "windows", "rec/s", "batch p50", "batch p99")
+	for _, app := range stream.AppNames {
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			sc, err := StreamRunConfig(cfg, app, mode)
+			if err != nil {
+				return nil, err
+			}
+			res, err := stream.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("stream-bench %s/%v: %w", app, mode, err)
+			}
+			r.Table.AddRow(app, mode.String(), fmt.Sprint(res.Records), fmt.Sprint(res.Batches),
+				fmt.Sprint(len(res.Windows)), fmt.Sprintf("%.0f", res.RecordsPerSec),
+				res.BatchP50.String(), res.BatchP99.String())
+			r.Checks[fmt.Sprintf("%s_%s_records_per_sec", app, mode)] = res.RecordsPerSec
+		}
+	}
+	return r, nil
+}
+
+// StreamJSONSchemaVersion identifies the -stream -bench-json layout.
+const StreamJSONSchemaVersion = 1
+
+// StreamRunRecord is one (app, mode) streaming measurement.
+type StreamRunRecord struct {
+	App           string           `json:"app"`
+	Mode          string           `json:"mode"`
+	Backend       string           `json:"backend"`
+	Records       int64            `json:"records"`
+	Batches       int64            `json:"batches"`
+	Windows       int              `json:"windows"`
+	WallNs        int64            `json:"wall_ns"`
+	RecordsPerSec float64          `json:"records_per_sec"`
+	BatchP50Ns    int64            `json:"batch_p50_ns"`
+	BatchP99Ns    int64            `json:"batch_p99_ns"`
+	ShuffleBytes  int64            `json:"shuffle_bytes_fetched"`
+	Breakdown     BreakdownJSON    `json:"breakdown"`
+	Counters      map[string]int64 `json:"counters,omitempty"`
+}
+
+// StreamReport is the -stream -bench-json document.
+type StreamReport struct {
+	Schema      int               `json:"schema"`
+	GeneratedAt string            `json:"generated_at"`
+	Scale       int               `json:"scale"`
+	Workers     int               `json:"workers"`
+	Backend     string            `json:"backend"`
+	Runs        []StreamRunRecord `json:"runs"`
+}
+
+// BuildStreamReport runs every streaming app in both modes and
+// assembles the machine-readable throughput/latency report.
+func BuildStreamReport(cfg Config) (*StreamReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil {
+		cfg.Trace = trace.New()
+	}
+	rep := &StreamReport{
+		Schema:      StreamJSONSchemaVersion,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       cfg.Scale,
+		Workers:     cfg.Workers,
+		Backend:     cfg.Backend.String(),
+	}
+	for _, app := range stream.AppNames {
+		for _, mode := range []engine.Mode{engine.Baseline, engine.Gerenuk} {
+			sc, err := StreamRunConfig(cfg, app, mode)
+			if err != nil {
+				return nil, err
+			}
+			before := cfg.Trace.Registry().Snapshot().Counters
+			res, err := stream.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("stream report %s/%v: %w", app, mode, err)
+			}
+			after := cfg.Trace.Registry().Snapshot().Counters
+			rep.Runs = append(rep.Runs, StreamRunRecord{
+				App:           app,
+				Mode:          mode.String(),
+				Backend:       cfg.Backend.String(),
+				Records:       res.Records,
+				Batches:       res.Batches,
+				Windows:       len(res.Windows),
+				WallNs:        res.Wall.Nanoseconds(),
+				RecordsPerSec: res.RecordsPerSec,
+				BatchP50Ns:    res.BatchP50.Nanoseconds(),
+				BatchP99Ns:    res.BatchP99.Nanoseconds(),
+				ShuffleBytes:  res.ShuffleBytes,
+				Breakdown:     toBreakdownJSON(res.Stats),
+				Counters:      counterDelta(before, after),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// WriteStreamReportFile writes the streaming report as indented JSON.
+func WriteStreamReportFile(path string, rep *StreamReport) error {
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}

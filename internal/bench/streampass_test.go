@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestStreamCheckQuick runs the streaming verification pass at test
+// scale: both streaming apps, both modes, streamed/chaos/crash-resumed
+// window outputs byte-equal to the one-shot batch reference.
+func TestStreamCheckQuick(t *testing.T) {
+	res, err := StreamCheck(Quick())
+	if err != nil {
+		t.Fatalf("stream check failed: %v\n%s", err, res.Render())
+	}
+	if res.Checks["equal"] != 1 {
+		t.Error("stream outputs diverged")
+	}
+	for _, check := range []string{"batches", "incremental_syncs", "window_resumes"} {
+		if res.Checks[check] == 0 {
+			t.Errorf("check %q = 0", check)
+		}
+	}
+}
+
+// TestStreamReportQuick checks the machine-readable report carries
+// throughput and latency quantiles for every (app, mode).
+func TestStreamReportQuick(t *testing.T) {
+	rep, err := BuildStreamReport(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 4 {
+		t.Fatalf("report has %d runs, want 4", len(rep.Runs))
+	}
+	for _, run := range rep.Runs {
+		if run.Records == 0 || run.Batches == 0 || run.Windows == 0 {
+			t.Errorf("%s/%s: empty run in report: %+v", run.App, run.Mode, run)
+		}
+		if run.RecordsPerSec <= 0 || run.BatchP99Ns <= 0 {
+			t.Errorf("%s/%s: missing throughput/latency stats", run.App, run.Mode)
+		}
+		if run.Counters["stream_batches_total"] == 0 {
+			t.Errorf("%s/%s: stream_batches_total missing from counters", run.App, run.Mode)
+		}
+	}
+}

@@ -102,6 +102,11 @@ type Config struct {
 	// job construct private ones.
 	Checkpoints *recovery.CheckpointStore
 	Lineage     *recovery.Lineage
+	// Canceled, when set, is polled by the drivers at stage/batch
+	// boundaries: once closed, the run stops cooperatively with
+	// engine.ErrCanceled. The cluster adapter wires JobContext.Canceled
+	// here so cluster.Job.Cancel stops in-flight work.
+	Canceled <-chan struct{}
 }
 
 // shuffleConfig resolves the Config's shuffle knobs into the exchange
@@ -250,6 +255,7 @@ func runSparkApp(app string, cfg Config, hc heap.Config, mode engine.Mode) (spar
 		ctx.StageDeadline = cfg.StageDeadline
 		ctx.Tenant = cfg.Tenant
 		ctx.JobID = cfg.JobID
+		ctx.Canceled = cfg.Canceled
 		if cfg.Breaker != nil {
 			ctx.Breaker = cfg.Breaker
 		}
@@ -515,6 +521,7 @@ func runHadoopAppHeaps(app string, cfg Config, mode engine.Mode, yak bool, mapHe
 	conf.StageDeadline = cfg.StageDeadline
 	conf.Tenant = cfg.Tenant
 	conf.JobID = cfg.JobID
+	conf.Canceled = cfg.Canceled
 	if cfg.Breaker != nil {
 		conf.Breaker = cfg.Breaker
 	}

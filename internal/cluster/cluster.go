@@ -173,6 +173,11 @@ type Config struct {
 	// Trace receives cluster spans/instants and the per-tenant metric
 	// series; nil disables both (the usual nil-tracer contract).
 	Trace *trace.Tracer
+	// Checkpoints, when set, is the checkpoint store the service scopes
+	// per job instead of constructing its own — the injection point for
+	// a disk-backed store (gerenukd -checkpoint-dir), so a restarted
+	// daemon resumes checkpointed fold state.
+	Checkpoints *recovery.CheckpointStore
 }
 
 func (c Config) withDefaults() Config {
@@ -253,9 +258,13 @@ type Service struct {
 // job-scoped views of them.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	ckpts := cfg.Checkpoints
+	if ckpts == nil {
+		ckpts = recovery.NewCheckpointStore()
+	}
 	s := &Service{
 		cfg:         cfg,
-		checkpoints: recovery.NewCheckpointStore(),
+		checkpoints: ckpts,
 		lineage:     recovery.NewLineage(),
 		tenants:     make(map[string]*tenantState),
 	}

@@ -75,6 +75,25 @@ func (e *TaskError) Unwrap() error { return e.Err }
 // must fail loudly instead of recovering silently wrong.
 var ErrInputMutated = errors.New("engine: input buffer mutated during speculation (mutate-input canary)")
 
+// ErrCanceled reports that a driver observed its cancellation signal at
+// a stage or batch boundary and stopped cooperatively. It is a permanent
+// (non-retryable) outcome: the work was abandoned on purpose, not lost.
+// The cluster adapter translates it into the service's canceled state.
+var ErrCanceled = errors.New("engine: job canceled")
+
+// Canceled non-blockingly polls a cancellation channel: ErrCanceled once
+// the channel is closed, nil otherwise (including for a nil channel).
+// Drivers call it at stage and batch boundaries — the cooperative
+// cancellation points.
+func Canceled(ch <-chan struct{}) error {
+	select {
+	case <-ch:
+		return ErrCanceled
+	default:
+		return nil
+	}
+}
+
 // Classify maps an error to its fault class. TaskErrors keep their
 // class; interp aborts are speculation failures; heap allocation
 // failures are OOMs; everything unrecognized is permanent.

@@ -41,6 +41,11 @@ type JobConf struct {
 	// stores.
 	Checkpoints *recovery.CheckpointStore
 	Lineage     *recovery.Lineage
+	// Canceled, when set, is polled at every phase boundary: once it is
+	// closed (cluster.Job.Cancel) the next phase does not start and the
+	// job fails with engine.ErrCanceled. In-flight tasks drain;
+	// cancellation is cooperative, never mid-record.
+	Canceled <-chan struct{}
 	// MapDriver reads records of InClass from source "in" and emits
 	// MapOutClass records.
 	MapDriver string
@@ -421,6 +426,9 @@ func foldGroups(c *engine.Compiled, conf JobConf, pool *engine.Pool, driver, cla
 // checkpointed tasks resuming from their last persisted fold state.
 func runPhase(conf JobConf, pool *engine.Pool, exec func() *engine.Executor,
 	name string, specs []engine.TaskSpec) (*engine.JobResult, error) {
+	if err := engine.Canceled(conf.Canceled); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	if conf.StageDeadline <= 0 {
 		return pool.Run(exec, specs)
 	}
@@ -437,6 +445,9 @@ func runPhase(conf JobConf, pool *engine.Pool, exec func() *engine.Executor,
 // guardedFetch bounds the reduce-side fetch with the stage watchdog;
 // the exchange is terminal, so a timeout surfaces as the job error.
 func guardedFetch(conf JobConf, name string, ex *shuffle.Exchange) ([][]byte, error) {
+	if err := engine.Canceled(conf.Canceled); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	if conf.StageDeadline <= 0 {
 		return ex.FetchAll()
 	}

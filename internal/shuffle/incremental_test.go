@@ -1,0 +1,209 @@
+package shuffle_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/serde"
+	. "repro/internal/shuffle"
+	"repro/internal/trace"
+)
+
+// chunkRecords splits one wire partition into n record-aligned chunks —
+// the micro-batch arrival pattern.
+func chunkRecords(t *testing.T, part []byte, n int) [][]byte {
+	t.Helper()
+	var offs []int
+	for off := 0; off < len(part); off += serde.RecordSize(part, off) {
+		offs = append(offs, off)
+	}
+	offs = append(offs, len(part))
+	chunks := make([][]byte, 0, n)
+	per := (len(offs) - 1 + n - 1) / n
+	for i := 0; i+1 < len(offs); i += per {
+		end := i + per
+		if end >= len(offs) {
+			end = len(offs) - 1
+		}
+		chunks = append(chunks, part[offs[i]:offs[end]])
+	}
+	return chunks
+}
+
+// The incremental contract: a writer that Adds its records in batches
+// with a Sync after each one must produce byte-identical reducer blocks
+// to the one-shot writer, across spill budgets, compression codecs, and
+// both exchange flavors (gerenuk native bytes, baseline serde).
+func TestIncrementalSyncEqualsOneShot(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 3, 40, 17)
+
+	for _, mode := range []string{"gerenuk", "baseline"} {
+		var codec *serde.Codec
+		if mode == "baseline" {
+			codec = c.Codec
+		}
+		ref, _ := runExchange(t, c, Config{Partitions: 4}, codec, parts)
+		cases := []struct {
+			name string
+			cfg  Config
+		}{
+			{"inmem", Config{Partitions: 4}},
+			{"spill-1b", Config{Partitions: 4, MemoryBudget: 1}},
+			{"spill-lz4", Config{Partitions: 4, MemoryBudget: 128, Compression: LZ4}},
+			{"replicated", Config{Partitions: 4, Replicas: 2}},
+		}
+		for _, tc := range cases {
+			tr := trace.New()
+			tc.cfg.SpillDir = t.TempDir()
+			tc.cfg.Trace = tr
+			ex, err := NewExchange(nil, tc.cfg, "test", c.Layouts, "Pair", "key", codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range parts {
+				w := ex.Writer(i)
+				for _, chunk := range chunkRecords(t, p, 5) {
+					if err := w.Add(chunk); err != nil {
+						t.Fatal(err)
+					}
+					if err := w.Sync(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := w.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blocks, err := ex.FetchAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := range blocks {
+				if !bytes.Equal(blocks[r], ref[r]) {
+					t.Errorf("%s/%s: reducer %d diverged from one-shot reference", mode, tc.name, r)
+				}
+			}
+			if got := tr.Registry().Counter("shuffle_incremental_syncs_total").Value(); got < int64(len(parts)*5) {
+				t.Errorf("%s/%s: %d incremental syncs recorded, want >= %d", mode, tc.name, got, len(parts)*5)
+			}
+		}
+	}
+}
+
+// Satellite regression: an abandoned open writer — batches staged,
+// synced, more staged, spill runs on disk — must delete every spill run,
+// stay abandoned across double-Abandon and late Close, and leave no
+// blocks behind once the exchange is discarded.
+func TestAbandonedWriterLeaksNothing(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 1, 60, 11)
+	spillDir := t.TempDir()
+	store := NewStore()
+	cfg := Config{Partitions: 3, MemoryBudget: 64, SpillDir: spillDir}
+	ex, err := NewExchange(store, cfg, "abandoned", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunkRecords(t, parts[0], 4)
+	w := ex.Writer(0)
+	if err := w.Add(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() == 0 {
+		t.Fatal("sync published no blocks")
+	}
+	// Stage more without syncing so live spill runs exist at abandon time.
+	if err := w.Add(chunks[1]); err != nil {
+		t.Fatal(err)
+	}
+	w.Abandon()
+	w.Abandon() // idempotent
+	if err := w.Close(); err != nil {
+		t.Errorf("Close after Abandon: %v", err)
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("abandoned writer left %d spill runs on disk", len(ents))
+	}
+	if err := w.Add(chunks[2]); err != nil {
+		t.Log("Add after Abandon errored (acceptable):", err)
+	}
+	ex.Discard()
+	ex.Discard() // idempotent
+	if got := store.Len(); got != 0 {
+		t.Errorf("discarded exchange left %d blocks in the store", got)
+	}
+	if _, err := ex.FetchAll(); err == nil {
+		t.Error("FetchAll after Discard accepted")
+	}
+}
+
+// Sync on a closed writer is a loud error, not silent data loss.
+func TestSyncAfterCloseErrors(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 1, 5, 3)
+	ex, err := NewExchange(nil, Config{Partitions: 1}, "t", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ex.Writer(0)
+	if err := w.Add(parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync after Close accepted")
+	}
+}
+
+// Re-publishing a grown block restores the full replica set: replicas
+// dropped between syncs come back on the next Sync/Close, so a fetch
+// needs no failover at all.
+func TestSyncRestoresDroppedReplicas(t *testing.T) {
+	c := pairCompiled(t)
+	parts := encodeParts(t, c, 1, 20, 1) // one key → one reducer block
+	store := NewStore()
+	tr := trace.New()
+	cfg := Config{Partitions: 1, Replicas: 2, Trace: tr}
+	ex, err := NewExchange(store, cfg, "grow", c.Layouts, "Pair", "key", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunkRecords(t, parts[0], 2)
+	w := ex.Writer(0)
+	if err := w.Add(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if dropped := store.Drop("grow", 0, 0, 1); dropped != 1 {
+		t.Fatalf("dropped %d replicas, want 1", dropped)
+	}
+	if err := w.Add(chunks[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := ex.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRecords(blocks); got != 20 {
+		t.Fatalf("fetched %d records, want 20", got)
+	}
+	if got := tr.Registry().Counter("recovery_replica_failover_total").Value(); got != 0 {
+		t.Errorf("fetch needed %d replica failovers after republish, want 0", got)
+	}
+}

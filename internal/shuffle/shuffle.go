@@ -338,6 +338,24 @@ func NewExchange(store *Store, cfg Config, name string, layouts *dsa.Result,
 	return ex, nil
 }
 
+// Discard abandons the exchange without fetching: every block published
+// into the store under this exchange's name is released and the exchange
+// is closed (a later FetchAll or Discard errors/no-ops). This is the
+// cleanup path for a streaming window that is canceled mid-flight — its
+// writers Abandon, the window's exchange Discards, and the store holds
+// no orphaned blocks.
+func (ex *Exchange) Discard() {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	ex.closed = true
+	ex.mu.Unlock()
+	ex.store.release(ex.name)
+	ex.span.End(trace.Str("outcome", "discarded"))
+}
+
 // Stats returns the exchange accounting so far.
 func (ex *Exchange) Stats() Stats {
 	ex.mu.Lock()

@@ -43,10 +43,12 @@ type Writer struct {
 	buf      [][]entry // per-reducer staged entries
 	bufBytes int64
 	seq      uint64
-	runs     []string // sorted spill run files, merge order
+	runs     []string  // sorted spill run files, merge order
+	base     [][]entry // per-reducer entries already merged by Sync, in (key, seq) order
 	st       Stats
 	closed   bool
 	rebuild  bool // lineage re-execution: re-register blocks, not the map ID
+	syncs    int64
 }
 
 // Writer opens the map-side writer for one map task.
@@ -87,6 +89,9 @@ func (w *Writer) discardRuns() {
 // serialization point of a conventional runtime; in Gerenuk mode the
 // native bytes are staged untouched.
 func (w *Writer) Add(buf []byte) error {
+	if w.closed {
+		return fmt.Errorf("shuffle: add on closed writer for map task %d", w.mapTask)
+	}
 	t0 := time.Now()
 	var serT time.Duration
 	defer func() {
@@ -274,33 +279,32 @@ func mergeRuns(runs [][]entry) []entry {
 	return out
 }
 
-// Close seals the map output: spilled runs are merged with any still-
-// buffered entries, each reducer's records are concatenated in (key,
-// seq) order, compressed per the exchange config, and registered in the
-// block store with the configured replica count. The spill files are
-// deleted — on the error paths too. Closing an already-closed writer is
-// a no-op.
-func (w *Writer) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	t0 := time.Now()
+// assemble merges the entries a previous Sync retained, every spill run
+// on disk, and the still-buffered entries into one (key, seq)-ordered
+// slice per reducer. It consumes the spill runs (deleting them) and the
+// buffer; the caller decides whether the merged result becomes the new
+// retained base (Sync) or the sealed output (Close). All three sources
+// are sorted by entryLess and every seq is unique within the writer, so
+// the k-way merge yields exactly the order a one-shot in-memory close
+// would — the incremental path is byte-identical by construction.
+func (w *Writer) assemble() ([][]entry, error) {
 	ex := w.ex
-
 	perReducer := make([][][]entry, ex.cfg.Partitions)
+	for r, es := range w.base {
+		if len(es) > 0 {
+			perReducer[r] = append(perReducer[r], es)
+		}
+	}
 	if len(w.runs) > 0 && w.bufBytes > 0 {
 		// Flush the tail so the merge sees every record as a sorted run.
 		if err := w.spill(); err != nil {
-			w.discardRuns()
-			return err
+			return nil, err
 		}
 	}
 	for _, path := range w.runs {
 		groups, err := readRun(path, ex.cfg.Partitions)
 		if err != nil {
-			w.discardRuns()
-			return err
+			return nil, err
 		}
 		for r, g := range groups {
 			if len(g) > 0 {
@@ -321,9 +325,28 @@ func (w *Writer) Close() error {
 		mergeSpan = w.span.Child("shuffle", "merge",
 			trace.I64("map_task", int64(w.mapTask)), trace.I64("runs", int64(len(w.runs))))
 	}
-	var written, records int64
-	for r := 0; r < ex.cfg.Partitions; r++ {
-		es := mergeRuns(perReducer[r])
+	merged := make([][]entry, ex.cfg.Partitions)
+	var records int64
+	for r := range perReducer {
+		merged[r] = mergeRuns(perReducer[r])
+		records += int64(len(merged[r]))
+	}
+	mergeSpan.End(trace.I64("records", records))
+	w.discardRuns()
+	for r := range w.buf {
+		w.buf[r] = nil
+	}
+	w.bufBytes = 0
+	return merged, nil
+}
+
+// publish compresses each non-empty reducer's merged entries and
+// registers the block in the store with the configured replica count.
+// put replaces the whole replica slice, so re-publishing a grown block
+// also restores any replicas chaos dropped since the last publish.
+func (w *Writer) publish(merged [][]entry) (written, records int64, err error) {
+	ex := w.ex
+	for r, es := range merged {
 		if len(es) == 0 {
 			continue
 		}
@@ -333,9 +356,7 @@ func (w *Writer) Close() error {
 		}
 		payload, err := compressBlock(ex.cfg.Compression, raw.Bytes())
 		if err != nil {
-			mergeSpan.End(trace.Str("error", err.Error()))
-			w.discardRuns()
-			return err
+			return written, records, err
 		}
 		ex.store.put(blockID{ex.name, w.mapTask, r}, &Block{
 			Payload: payload, RawLen: raw.Len(), Records: len(es), Codec: ex.cfg.Compression,
@@ -343,8 +364,81 @@ func (w *Writer) Close() error {
 		written += int64(raw.Len())
 		records += int64(len(es))
 	}
-	mergeSpan.End(trace.I64("records", records))
+	return written, records, nil
+}
+
+// Sync publishes the writer's accumulated output as live reducer blocks
+// without sealing it — the micro-batch append mode. Each call merges the
+// records staged since the last Sync into the retained per-reducer order
+// and replaces the published blocks with the grown versions; the map ID
+// is not registered until Close, so fetch never observes a half-built
+// exchange. After Sync the retained entries no longer count against the
+// memory budget (they live on as published blocks); only newly staged
+// bytes can trigger spills. Sync after Close is an error.
+func (w *Writer) Sync() error {
+	if w.closed {
+		return fmt.Errorf("shuffle: sync on closed writer for map task %d", w.mapTask)
+	}
+	t0 := time.Now()
+	merged, err := w.assemble()
+	if err != nil {
+		w.discardRuns()
+		return err
+	}
+	w.base = merged
+	_, _, perr := w.publish(merged)
+	w.syncs++
+	w.st.WriteTime += time.Since(t0)
+	w.ex.reg().Counter("shuffle_incremental_syncs_total").Add(1)
+	if perr != nil {
+		return perr
+	}
+	w.span.Instant("shuffle", "sync", trace.I64("map_task", int64(w.mapTask)))
+	return nil
+}
+
+// Abandon discards the writer without publishing: spill runs are deleted
+// from disk, buffered and retained entries are dropped, and any blocks a
+// previous Sync published stay in the store but remain invisible to
+// fetch (the map ID was never registered) until the exchange itself is
+// released or discarded. Abandoning a closed or already-abandoned writer
+// is a no-op, as is closing an abandoned one.
+func (w *Writer) Abandon() {
+	if w.closed {
+		return
+	}
+	w.closed = true
 	w.discardRuns()
+	w.buf = nil
+	w.base = nil
+	w.bufBytes = 0
+	w.span.End(trace.Str("outcome", "abandoned"))
+}
+
+// Close seals the map output: entries retained by previous Syncs and
+// spilled runs are merged with any still-buffered entries, each
+// reducer's records are concatenated in (key, seq) order, compressed per
+// the exchange config, and registered in the block store with the
+// configured replica count. The spill files are deleted — on the error
+// paths too. Closing an already-closed writer is a no-op.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	t0 := time.Now()
+	ex := w.ex
+
+	merged, err := w.assemble()
+	if err != nil {
+		w.discardRuns()
+		return err
+	}
+	w.base = nil
+	written, records, err := w.publish(merged)
+	if err != nil {
+		return err
+	}
 	w.buf = nil
 	w.st.BytesWritten += written
 	ex.reg().Counter("shuffle_bytes_written_total").Add(written)
@@ -354,6 +448,6 @@ func (w *Writer) Close() error {
 		ex.addStats(w.st)
 	}
 	w.span.End(trace.I64("bytes", written), trace.I64("records", records),
-		trace.I64("spills", w.st.Spills))
+		trace.I64("spills", w.st.Spills), trace.I64("syncs", w.syncs))
 	return nil
 }

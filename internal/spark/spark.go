@@ -45,6 +45,12 @@ type Context struct {
 	// task) and then stops — the Figure 10(b) "k forced aborts" knob.
 	ForcedAbortBudget int
 
+	// Canceled, when set, is polled at every stage boundary: once it is
+	// closed (cluster.Job.Cancel, a stream shutdown) the next stage does
+	// not start and the job fails with engine.ErrCanceled. In-flight
+	// tasks drain; cancellation is cooperative, never mid-record.
+	Canceled <-chan struct{}
+
 	// JobID, when set, namespaces this context's durable recovery state
 	// (checkpoints, lineage): all keys derived from task and exchange
 	// names are scoped by it, so concurrent jobs sharing the stores
@@ -199,6 +205,9 @@ func (ctx *Context) executor() *engine.Executor {
 }
 
 func (ctx *Context) runStage(name string, specs []engine.TaskSpec) ([][]byte, error) {
+	if err := engine.Canceled(ctx.Canceled); err != nil {
+		return nil, fmt.Errorf("spark: stage %s: %w", name, err)
+	}
 	if err := ctx.C.CompileDriver(specs[0].Driver); err != nil {
 		return nil, fmt.Errorf("spark: compiling %s: %w", specs[0].Driver, err)
 	}

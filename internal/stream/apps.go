@@ -1,0 +1,78 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/apps/sparkapps"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// AppSpec names everything the streaming driver needs to run one
+// application continuously: the compiled program with its stage
+// drivers, the wire classes flowing through the map/shuffle/reduce
+// pipeline, and the unbounded record source.
+type AppSpec struct {
+	Name string
+	// InClass is the source record class; MapOutClass the map-output
+	// (and reduce-input) class; KeyField its shuffle key.
+	InClass     string
+	MapOutClass string
+	KeyField    string
+	// MapDriver/ReduceDriver are the registered stage driver names.
+	MapDriver    string
+	ReduceDriver string
+	// NewProgram compiles a fresh program with both drivers registered.
+	NewProgram func() *engine.Compiled
+	// Source derives the deterministic unbounded record source.
+	Source func(seed int64) *workload.Unbounded
+}
+
+// AppNames lists the built-in streaming applications.
+var AppNames = []string{"wordcount", "streamrank"}
+
+// App returns the named built-in streaming application.
+//
+//   - wordcount: documents stream in, each window emits per-word counts
+//     (the WC pipeline folded per window).
+//   - streamrank: adjacency records stream in, each window emits summed
+//     rank contributions per vertex (one PageRank spread iteration).
+func App(name string) (AppSpec, error) {
+	switch name {
+	case "wordcount":
+		return AppSpec{
+			Name:         "wordcount",
+			InClass:      sparkapps.ClsDoc,
+			MapOutClass:  sparkapps.ClsWordCount,
+			KeyField:     "word",
+			MapDriver:    "wcSplitStage",
+			ReduceDriver: "wcCombineStage",
+			NewProgram: func() *engine.Compiled {
+				prog := sparkapps.NewProgram(sparkapps.ClsDoc, sparkapps.ClsWordCount)
+				sparkapps.WordCount{}.Register(prog)
+				return engine.Compile(prog)
+			},
+			Source: func(seed int64) *workload.Unbounded {
+				return workload.UnboundedDocs(6, seed)
+			},
+		}, nil
+	case "streamrank":
+		return AppSpec{
+			Name:         "streamrank",
+			InClass:      sparkapps.ClsLinks,
+			MapOutClass:  sparkapps.ClsContrib,
+			KeyField:     "v",
+			MapDriver:    "srSpreadStage",
+			ReduceDriver: "srCombineStage",
+			NewProgram: func() *engine.Compiled {
+				prog := sparkapps.NewProgram(sparkapps.ClsLinks, sparkapps.ClsContrib)
+				sparkapps.StreamRank{}.Register(prog)
+				return engine.Compile(prog)
+			},
+			Source: func(seed int64) *workload.Unbounded {
+				return workload.UnboundedLinks(24, 3, seed)
+			},
+		}, nil
+	}
+	return AppSpec{}, fmt.Errorf("stream: unknown app %q", name)
+}

@@ -1,0 +1,942 @@
+// Package stream is the micro-batch streaming subsystem: it runs the
+// existing SER pipelines (map stage, shuffle, per-key reduce fold)
+// continuously over unbounded record sources instead of once over a
+// fixed input.
+//
+// Records arrive on a deterministic simulated clock; the driver cuts
+// them into micro-batches (by count or by time-slice), assigns each
+// record to its tumbling or sliding window(s), runs the map driver over
+// the batch, and appends the map output into each open window's live
+// shuffle exchange via the writers' incremental Sync — so a window's
+// exchange is built up batch by batch instead of being rebuilt per
+// batch. When the watermark passes a window's end, the window closes:
+// writers finish, lineage is registered, the reduce fold runs over the
+// fetched blocks, and the window's canonical output bytes are emitted.
+//
+// Everything is deterministic given (seed, cut policy, window policy):
+// a streamed run, a one-giant-batch run, and a resumed-after-crash run
+// all produce byte-identical window outputs, in both execution modes
+// and on both backends. That byte-equality is the paper's correctness
+// contract carried over to streaming, and what the differential tests
+// assert.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/heap"
+	"repro/internal/metrics"
+	"repro/internal/recovery"
+	"repro/internal/serde"
+	"repro/internal/shuffle"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Cut is the micro-batch cut policy: a batch closes when it holds Count
+// records or spans Slice of simulated arrival time, whichever comes
+// first (zero disables that trigger; both zero defaults to 32 records).
+type Cut struct {
+	Count int
+	Slice time.Duration
+}
+
+// Window is the aggregation window policy on the simulated arrival
+// clock. Slide == 0 (or == Size) is tumbling; Slide < Size is sliding,
+// with each record folded into every window covering its arrival.
+type Window struct {
+	Size  time.Duration
+	Slide time.Duration
+}
+
+// ErrCrashed is returned when the CrashAfterBatches test hook stops the
+// run mid-window, leaving checkpointed state behind for a Resume run.
+var ErrCrashed = errors.New("stream: crashed by test hook")
+
+// Config configures one streaming run.
+type Config struct {
+	App     AppSpec
+	Mode    engine.Mode
+	Backend engine.Backend
+	// Workers sizes the task pool; MapSlots is the number of live map
+	// writers (shuffle producers) per window; Reducers the number of
+	// shuffle partitions (= reduce tasks) per window.
+	Workers  int
+	MapSlots int
+	Reducers int
+	HeapCfg  heap.Config
+	// ClosureBytes is the simulated per-task closure shipping size.
+	ClosureBytes int
+
+	// Seed drives the record source and the arrival jitter.
+	Seed int64
+	// Interval is the simulated mean inter-arrival gap.
+	Interval time.Duration
+	CutBy    Cut
+	WindowBy Window
+	// Windows is how many windows to run to completion.
+	Windows int
+
+	// MaxAttempts and RetryBackoff configure the pool's task retry
+	// policy (0 = engine defaults).
+	MaxAttempts  int
+	RetryBackoff time.Duration
+	Breaker      *engine.Breaker
+	Hedge        engine.HedgeConfig
+	// CheckpointEvery persists each task's fold state every N completed
+	// invocations (the per-task resume knob; window-state checkpointing
+	// is always on). 0 = off.
+	CheckpointEvery int
+	// StageDeadline runs every map/reduce phase and shuffle fetch under
+	// a watchdog; a timed-out pooled phase is re-executed once.
+	StageDeadline time.Duration
+	Jitter        *engine.Jitter
+	// Injector derives a deterministic fault plan for every task and
+	// fetch (chaos testing); VerifyInputs arms the mutate-input canary.
+	Injector     *faults.Injector
+	VerifyInputs bool
+	Trace        *trace.Tracer
+	// Shuffle configures each window's exchange; Partitions, Trace,
+	// Lineage and (when unset) Injector are filled per window.
+	Shuffle shuffle.Config
+	// Checkpoints, when set, is the durable store window state persists
+	// to (scoped by JobID) — pass a disk-backed store to survive process
+	// restarts. nil keeps a private in-memory store.
+	Checkpoints *recovery.CheckpointStore
+	Lineage     *recovery.Lineage
+	JobID       string
+	Tenant      string
+	// Canceled, when set, is polled at every batch and phase boundary:
+	// once closed, open windows are abandoned (no spill or block leaks)
+	// and the run fails with engine.ErrCanceled.
+	Canceled <-chan struct{}
+
+	// CrashAfterBatches > 0 stops the run with ErrCrashed after that
+	// many batches, before closing any window the watermark has passed —
+	// the kill-mid-window test hook. Resume picks checkpointed state
+	// back up: already-closed windows are emitted from their saved
+	// outputs and open windows are rebuilt from their slot checkpoints
+	// (or recomputed from the source when a checkpoint is corrupt).
+	CrashAfterBatches int
+	Resume            bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MapSlots <= 0 {
+		c.MapSlots = 2
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = 2
+	}
+	if c.HeapCfg.YoungSize == 0 {
+		c.HeapCfg = heap.Config{YoungSize: 128 << 10, OldSize: 2 << 20}
+	}
+	if c.ClosureBytes == 0 {
+		c.ClosureBytes = 4 << 10
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.CutBy.Count <= 0 && c.CutBy.Slice <= 0 {
+		c.CutBy.Count = 32
+	}
+	if c.WindowBy.Size <= 0 {
+		c.WindowBy.Size = 16 * c.Interval
+	}
+	if c.WindowBy.Slide <= 0 || c.WindowBy.Slide > c.WindowBy.Size {
+		c.WindowBy.Slide = c.WindowBy.Size
+	}
+	if c.Windows <= 0 {
+		c.Windows = 4
+	}
+	return c
+}
+
+// Result is the outcome of a streaming run.
+type Result struct {
+	// Windows holds each closed window's canonical output bytes, in
+	// window order — the byte-equality surface.
+	Windows [][]byte
+	// Records/Batches count source records ingested and micro-batches
+	// processed by this run (a resumed run counts only its own).
+	Records int64
+	Batches int64
+	// Resumed counts windows restored from checkpointed state; Rebuilt
+	// counts windows recomputed from the source after checkpoint loss.
+	Resumed int64
+	Rebuilt int64
+	Wall    time.Duration
+	Stats   metrics.Breakdown
+	// ShuffleBytes is the total volume fetched across window exchanges.
+	ShuffleBytes int64
+	// BatchP50/BatchP99 are batch processing latency quantiles;
+	// RecordsPerSec is sustained ingest throughput over the run's wall
+	// time.
+	BatchP50      time.Duration
+	BatchP99      time.Duration
+	RecordsPerSec float64
+}
+
+// windowState is one open window's live aggregation state: its private
+// exchange, the per-slot incremental writers, and the per-slot
+// accumulated map-output bytes (the lineage/checkpoint payload).
+type windowState struct {
+	idx     int
+	ex      *shuffle.Exchange
+	writers []*shuffle.Writer
+	acc     [][]byte
+	// records counts records folded into this window (drives the
+	// round-robin slot assignment); flushes counts incremental syncs
+	// (the checkpoint sequence number).
+	records int64
+	flushes int
+}
+
+type runner struct {
+	cfg    Config
+	comp   *engine.Compiled
+	src    *workload.Unbounded
+	ckpts  *recovery.CheckpointStore
+	lin    *recovery.Lineage
+	res    *Result
+	span   *trace.Span
+	hist   *trace.Histogram
+	open   map[int]*windowState
+	cursor int64
+	// closed is the number of windows emitted so far (windows close in
+	// index order, so it is also the next window to close).
+	closed int
+	lats   []time.Duration
+}
+
+// Run executes one streaming run to completion (cfg.Windows windows).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	comp := cfg.App.NewProgram()
+	for _, d := range []string{cfg.App.MapDriver, cfg.App.ReduceDriver} {
+		if err := comp.CompileDriver(d); err != nil {
+			return nil, fmt.Errorf("stream: compiling %s: %w", d, err)
+		}
+	}
+	ckpts := cfg.Checkpoints
+	if ckpts == nil {
+		ckpts = recovery.NewCheckpointStore()
+	}
+	lin := cfg.Lineage
+	if lin == nil {
+		lin = recovery.NewLineage()
+	}
+	if cfg.JobID != "" {
+		ckpts = ckpts.Scope(cfg.JobID)
+		lin = lin.Scope(cfg.JobID)
+	}
+	cfg.Breaker.EnsureTrace(cfg.Trace)
+	r := &runner{
+		cfg: cfg, comp: comp, src: cfg.App.Source(cfg.Seed),
+		ckpts: ckpts, lin: lin, res: &Result{}, open: map[int]*windowState{},
+	}
+	r.hist = cfg.Trace.Registry().Histogram(
+		trace.Name("stream_batch_latency_ns", "app", cfg.App.Name, "mode", cfg.Mode.String()),
+		trace.LatencyBuckets()...)
+	r.span = cfg.Trace.StartSpan("stream", "run-"+cfg.App.Name,
+		trace.Str("mode", cfg.Mode.String()), trace.I64("windows", int64(cfg.Windows)))
+	outcome := "error"
+	defer func() { r.span.End(trace.Str("outcome", outcome)) }()
+
+	start := time.Now()
+	err := r.loop()
+	r.res.Wall = time.Since(start)
+	r.finishStats()
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			outcome = "crashed"
+		} else if errors.Is(err, engine.ErrCanceled) {
+			outcome = "canceled"
+		}
+		return r.res, err
+	}
+	outcome = "ok"
+	return r.res, nil
+}
+
+// loop is the streaming driver: resume, then cut/process/checkpoint/
+// close until cfg.Windows windows have been emitted.
+func (r *runner) loop() error {
+	if r.cfg.Resume {
+		if err := r.resume(); err != nil {
+			return err
+		}
+	}
+	stopT := r.windowEnd(r.cfg.Windows - 1)
+	crashed := 0
+	for r.closed < r.cfg.Windows {
+		if err := engine.Canceled(r.cfg.Canceled); err != nil {
+			r.abandonOpen()
+			return fmt.Errorf("stream: %s: %w", r.cfg.App.Name, err)
+		}
+		lo, hi := r.cutBatch(stopT)
+		if hi > lo {
+			bspan := r.span.Child("stream", "batch", trace.I64("records", hi-lo))
+			bstart := time.Now()
+			if err := r.processBatch(lo, hi); err != nil {
+				bspan.End(trace.Str("outcome", "error"))
+				return err
+			}
+			r.cursor = hi
+			r.res.Batches++
+			r.res.Records += hi - lo
+			r.checkpoint()
+			lat := time.Since(bstart)
+			r.lats = append(r.lats, lat)
+			r.hist.Observe(float64(lat.Nanoseconds()))
+			reg := r.cfg.Trace.Registry()
+			reg.Counter("stream_batches_total").Add(1)
+			reg.Counter("stream_records_total").Add(hi - lo)
+			bspan.End(trace.Str("outcome", "ok"))
+			crashed++
+			if r.cfg.CrashAfterBatches > 0 && crashed >= r.cfg.CrashAfterBatches {
+				return fmt.Errorf("stream: %s after %d batches: %w",
+					r.cfg.App.Name, crashed, ErrCrashed)
+			}
+		}
+		// Advance the watermark: the next record's arrival bounds every
+		// earlier window; once the source is past the last requested
+		// window, everything still open is complete.
+		watermark := r.arrival(r.cursor)
+		for r.closed < r.cfg.Windows &&
+			(watermark >= stopT || r.windowEnd(r.closed) <= watermark) {
+			if err := r.closeWindow(r.closed); err != nil {
+				return err
+			}
+			r.closed++
+		}
+	}
+	return nil
+}
+
+// arrival is the simulated arrival clock: record i lands at i*Interval
+// plus deterministic jitter in [0, Interval/2) — strictly monotonic, so
+// batch cuts and window assignment are total-order stable.
+func (r *runner) arrival(i int64) time.Duration {
+	base := time.Duration(i) * r.cfg.Interval
+	half := r.cfg.Interval / 2
+	if half <= 0 {
+		return base
+	}
+	h := fnv.New64a()
+	var b [16]byte
+	for k := 0; k < 8; k++ {
+		b[k] = byte(uint64(r.cfg.Seed) >> (8 * k))
+		b[8+k] = byte(uint64(i) >> (8 * k))
+	}
+	h.Write(b[:])
+	return base + time.Duration(h.Sum64()%uint64(half))
+}
+
+func (r *runner) windowEnd(w int) time.Duration {
+	return time.Duration(w)*r.cfg.WindowBy.Slide + r.cfg.WindowBy.Size
+}
+
+// windowRange returns the inclusive [lo, hi] window indices covering
+// arrival time t.
+func (r *runner) windowRange(t time.Duration) (int, int) {
+	hi := int(t / r.cfg.WindowBy.Slide)
+	lo := 0
+	if t >= r.cfg.WindowBy.Size {
+		lo = int((t-r.cfg.WindowBy.Size)/r.cfg.WindowBy.Slide) + 1
+	}
+	return lo, hi
+}
+
+// cutBatch applies the cut policy from the current cursor: the batch
+// [lo, hi) closes at Count records, at a Slice of arrival time, or when
+// the source passes the last requested window's end.
+func (r *runner) cutBatch(stopT time.Duration) (int64, int64) {
+	lo := r.cursor
+	first := r.arrival(lo)
+	hi := lo
+	for {
+		t := r.arrival(hi)
+		if t >= stopT {
+			break
+		}
+		if r.cfg.CutBy.Count > 0 && hi-lo >= int64(r.cfg.CutBy.Count) {
+			break
+		}
+		if r.cfg.CutBy.Slice > 0 && hi > lo && t-first >= r.cfg.CutBy.Slice {
+			break
+		}
+		hi++
+	}
+	return lo, hi
+}
+
+// window returns (creating on first touch) window w's live state.
+func (r *runner) window(w int) (*windowState, error) {
+	if st, ok := r.open[w]; ok {
+		return st, nil
+	}
+	scfg := r.cfg.Shuffle
+	scfg.Partitions = r.cfg.Reducers
+	scfg.Trace = r.cfg.Trace
+	scfg.Lineage = r.lin
+	if scfg.Injector == nil {
+		scfg.Injector = r.cfg.Injector
+	}
+	if scfg.Jitter == nil {
+		scfg.Jitter = r.cfg.Jitter
+	}
+	var codec *serde.Codec
+	if r.cfg.Mode == engine.Baseline {
+		codec = r.comp.Codec
+	}
+	ex, err := shuffle.NewExchange(shuffle.NewStore(), scfg, r.exName(w),
+		r.comp.Layouts, r.cfg.App.MapOutClass, r.cfg.App.KeyField, codec)
+	if err != nil {
+		return nil, fmt.Errorf("stream: window %d: %w", w, err)
+	}
+	st := &windowState{idx: w, ex: ex,
+		writers: make([]*shuffle.Writer, r.cfg.MapSlots),
+		acc:     make([][]byte, r.cfg.MapSlots)}
+	for m := 0; m < r.cfg.MapSlots; m++ {
+		st.writers[m] = ex.Writer(m)
+	}
+	r.open[w] = st
+	return st, nil
+}
+
+func (r *runner) exName(w int) string {
+	return fmt.Sprintf("stream-%s-w%d", r.cfg.App.Name, w)
+}
+
+// ---- checkpoint keys ----
+
+func (r *runner) cursorKey() string {
+	return fmt.Sprintf("stream/%s/cursor", r.cfg.App.Name)
+}
+func (r *runner) slotKey(w, m int) string {
+	return fmt.Sprintf("stream/%s/w%d/m%d", r.cfg.App.Name, w, m)
+}
+func (r *runner) metaKey(w int) string {
+	return fmt.Sprintf("stream/%s/w%d/meta", r.cfg.App.Name, w)
+}
+func (r *runner) outKey(w int) string {
+	return fmt.Sprintf("stream/%s/out/w%d", r.cfg.App.Name, w)
+}
+
+func u64le(v int64) []byte {
+	b := make([]byte, 8)
+	for k := 0; k < 8; k++ {
+		b[k] = byte(uint64(v) >> (8 * k))
+	}
+	return b
+}
+
+func leU64(b []byte) int64 {
+	var v uint64
+	for k := 0; k < 8 && k < len(b); k++ {
+		v |= uint64(b[k]) << (8 * k)
+	}
+	return int64(v)
+}
+
+// processBatch stages records [lo, hi) into their windows' per-slot
+// input buffers, runs the map driver over every staged buffer in one
+// pooled phase, and appends the outputs into each window's live
+// exchange via an incremental sync.
+func (r *runner) processBatch(lo, hi int64) error {
+	staged := map[int][][]byte{}
+	var order []int
+	for i := lo; i < hi; i++ {
+		wlo, whi := r.windowRange(r.arrival(i))
+		obj := r.src.At(i)
+		for w := wlo; w <= whi; w++ {
+			// Windows past the requested horizon never close; don't
+			// build state for them.
+			if w >= r.cfg.Windows || w < r.closed {
+				continue
+			}
+			st, err := r.window(w)
+			if err != nil {
+				return err
+			}
+			bufs, ok := staged[w]
+			if !ok {
+				bufs = make([][]byte, r.cfg.MapSlots)
+				staged[w] = bufs
+				order = append(order, w)
+			}
+			slot := int(st.records % int64(r.cfg.MapSlots))
+			bufs[slot], err = r.comp.Codec.Encode(r.cfg.App.InClass, obj, bufs[slot])
+			if err != nil {
+				return fmt.Errorf("stream: encoding record %d: %w", i, err)
+			}
+			st.records++
+		}
+	}
+	sort.Ints(order)
+
+	var specs []engine.TaskSpec
+	type target struct{ w, m int }
+	var targets []target
+	for _, w := range order {
+		st := r.open[w]
+		for m, buf := range staged[w] {
+			if len(buf) == 0 {
+				continue
+			}
+			name := fmt.Sprintf("stream-%s-w%d-b%d-m%d", r.cfg.App.Name, w, st.flushes, m)
+			specs = append(specs, engine.TaskSpec{
+				Name:   name,
+				Driver: r.cfg.App.MapDriver,
+				Invocations: []map[string]engine.Input{
+					{"in": {Class: r.cfg.App.InClass, Buf: buf}},
+				},
+				ClosureBytes:    r.cfg.ClosureBytes,
+				Faults:          r.cfg.Injector.ForTask(name),
+				CheckpointEvery: r.cfg.CheckpointEvery,
+				Checkpoints:     r.ckpts,
+			})
+			targets = append(targets, target{w, m})
+		}
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	job, err := r.phase(fmt.Sprintf("stream-%s-map", r.cfg.App.Name), specs)
+	if job != nil {
+		r.res.Stats.Add(job.Stats)
+	}
+	if err != nil {
+		return fmt.Errorf("stream: map phase: %w", err)
+	}
+	for k, out := range job.Outputs {
+		tg := targets[k]
+		st := r.open[tg.w]
+		st.acc[tg.m] = append(st.acc[tg.m], out...)
+		if err := st.writers[tg.m].Add(out); err != nil {
+			return fmt.Errorf("stream: window %d shuffle: %w", tg.w, err)
+		}
+	}
+	for _, w := range order {
+		st := r.open[w]
+		for m, buf := range staged[w] {
+			if len(buf) == 0 {
+				continue
+			}
+			if err := st.writers[m].Sync(); err != nil {
+				return fmt.Errorf("stream: window %d sync: %w", w, err)
+			}
+		}
+		st.flushes++
+	}
+	return nil
+}
+
+// checkpoint persists the cursor and every open window's slot state, so
+// a killed run resumes mid-window instead of recomputing.
+func (r *runner) checkpoint() {
+	for w, st := range r.open {
+		for m := range st.acc {
+			r.ckpts.Save(r.slotKey(w, m), st.flushes, st.acc[m])
+		}
+		r.ckpts.Save(r.metaKey(w), st.flushes, u64le(st.records))
+	}
+	r.ckpts.Save(r.cursorKey(), int(r.res.Batches), u64le(r.cursor))
+}
+
+// closeWindow finishes window w: writers close, lineage registers, the
+// reduce fold runs over the fetched (merge-sorted) blocks, and the
+// window's output is emitted and durably saved.
+func (r *runner) closeWindow(w int) error {
+	wspan := r.span.Child("stream", "window", trace.I64("idx", int64(w)))
+	st := r.open[w]
+	var out []byte
+	if st != nil {
+		var err error
+		out, err = r.foldWindow(st)
+		if err != nil {
+			wspan.End(trace.Str("outcome", "error"))
+			return fmt.Errorf("stream: window %d: %w", w, err)
+		}
+		delete(r.open, w)
+	}
+	// else: no record landed in this window — its output is empty.
+	for m := 0; m < r.cfg.MapSlots; m++ {
+		r.ckpts.Drop(r.slotKey(w, m))
+	}
+	r.ckpts.Drop(r.metaKey(w))
+	r.ckpts.Save(r.outKey(w), w, out)
+	r.res.Windows = append(r.res.Windows, out)
+	r.cfg.Trace.Registry().Counter("stream_windows_total").Add(1)
+	wspan.End(trace.Str("outcome", "ok"), trace.I64("bytes", int64(len(out))))
+	return nil
+}
+
+// foldWindow drains a window's exchange and folds each key group.
+func (r *runner) foldWindow(st *windowState) ([]byte, error) {
+	exName := r.exName(st.idx)
+	for m, wr := range st.writers {
+		if err := wr.Close(); err != nil {
+			return nil, fmt.Errorf("shuffle close: %w", err)
+		}
+		// Block lineage: losing every replica of this slot's blocks
+		// re-runs just this writer over the retained map-output bytes.
+		part := st.acc[m]
+		slot := m
+		r.lin.Register(exName, slot, func() error {
+			rw := st.ex.RecoveryWriter(slot)
+			if err := rw.Add(part); err != nil {
+				return err
+			}
+			return rw.Close()
+		})
+	}
+	blocks, err := r.guardedFetch(exName, st.ex)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle fetch: %w", err)
+	}
+	shufStats := st.ex.Stats()
+	shufStats.AddTo(&r.res.Stats)
+	r.res.ShuffleBytes += shufStats.BytesFetched
+
+	var specs []engine.TaskSpec
+	var blockOf []int
+	for i, block := range blocks {
+		if len(block) == 0 {
+			continue
+		}
+		// Canonical reduce order: merge-sort the fetched block by key
+		// (map-side blocks are each key-sorted; this is the reduce-side
+		// merge), then fold groups. Stable sort keeps same-key records
+		// in shuffle (key, seq) order, so fold order is deterministic.
+		block = r.sortByKey(block)
+		blocks[i] = block
+		_, groups, err := engine.GroupByKey(r.comp.Layouts, r.cfg.App.MapOutClass,
+			r.cfg.App.KeyField, block)
+		if err != nil {
+			return nil, fmt.Errorf("grouping: %w", err)
+		}
+		invocations := make([]map[string]engine.Input, 0, len(groups))
+		for _, offs := range groups {
+			invocations = append(invocations, map[string]engine.Input{
+				"in": {Class: r.cfg.App.MapOutClass, Buf: block, Offs: offs, Owned: true},
+			})
+		}
+		name := fmt.Sprintf("stream-%s-w%d-red%d", r.cfg.App.Name, st.idx, i)
+		specs = append(specs, engine.TaskSpec{
+			Name:            name,
+			Driver:          r.cfg.App.ReduceDriver,
+			Invocations:     invocations,
+			ClosureBytes:    r.cfg.ClosureBytes,
+			Faults:          r.cfg.Injector.ForTask(name),
+			CheckpointEvery: r.cfg.CheckpointEvery,
+			Checkpoints:     r.ckpts,
+		})
+		blockOf = append(blockOf, i)
+	}
+	outs := make([][]byte, len(blocks))
+	if len(specs) > 0 {
+		job, err := r.phase(fmt.Sprintf("stream-%s-w%d-reduce", r.cfg.App.Name, st.idx), specs)
+		if job != nil {
+			r.res.Stats.Add(job.Stats)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("reduce phase: %w", err)
+		}
+		for k, o := range job.Outputs {
+			outs[blockOf[k]] = o
+		}
+	}
+	var out []byte
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+// sortByKey rebuilds buf with records sorted by canonical key bytes
+// (stable, so same-key order is preserved) — the reduce-side merge.
+func (r *runner) sortByKey(buf []byte) []byte {
+	offs := engine.RecordOffsets(buf)
+	keys := make([]string, len(offs))
+	for i, off := range offs {
+		k, err := engine.KeyOf(r.comp.Layouts, r.cfg.App.MapOutClass,
+			r.cfg.App.KeyField, buf, off)
+		if err != nil {
+			panic(fmt.Sprintf("stream: sortByKey: %v", err))
+		}
+		keys[i] = string(k)
+	}
+	idx := make([]int, len(offs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	out := make([]byte, 0, len(buf))
+	for _, i := range idx {
+		off := offs[i]
+		out = append(out, buf[off:off+serde.RecordSize(buf, off)]...)
+	}
+	return out
+}
+
+// phase runs one pooled phase under the stage watchdog, mirroring the
+// batch engines: a timed-out phase is presumed hung and re-executed
+// once, with checkpointed tasks resuming from persisted fold state.
+func (r *runner) phase(name string, specs []engine.TaskSpec) (*engine.JobResult, error) {
+	if err := engine.Canceled(r.cfg.Canceled); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	pool := &engine.Pool{Workers: r.cfg.Workers, MaxAttempts: r.cfg.MaxAttempts,
+		Backoff: r.cfg.RetryBackoff, Jitter: r.cfg.Jitter}
+	exec := func() *engine.Executor {
+		return &engine.Executor{C: r.comp, Mode: r.cfg.Mode, HeapCfg: r.cfg.HeapCfg,
+			Backend: r.cfg.Backend,
+			Breaker: r.cfg.Breaker, VerifyInputs: r.cfg.VerifyInputs,
+			Hedge: r.cfg.Hedge, Trace: r.cfg.Trace, Tenant: r.cfg.Tenant}
+	}
+	if r.cfg.StageDeadline <= 0 {
+		return pool.Run(exec, specs)
+	}
+	wd := recovery.Watchdog{Deadline: r.cfg.StageDeadline, Trace: r.cfg.Trace}
+	run := func() (any, error) { return pool.Run(exec, specs) }
+	res, err := wd.Guard(name, run)
+	if err != nil && errors.Is(err, recovery.ErrStageTimeout) {
+		res, err = wd.Guard(name+"#retry", run)
+	}
+	job, _ := res.(*engine.JobResult)
+	return job, err
+}
+
+// guardedFetch bounds a window's terminal fetch with the watchdog.
+func (r *runner) guardedFetch(name string, ex *shuffle.Exchange) ([][]byte, error) {
+	if err := engine.Canceled(r.cfg.Canceled); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if r.cfg.StageDeadline <= 0 {
+		return ex.FetchAll()
+	}
+	wd := recovery.Watchdog{Deadline: r.cfg.StageDeadline, Trace: r.cfg.Trace}
+	res, err := wd.Guard(name+"/fetch", func() (any, error) { return ex.FetchAll() })
+	blocks, _ := res.([][]byte)
+	return blocks, err
+}
+
+// resume restores a prior run's progress from the checkpoint store:
+// the ingest cursor, every already-closed window's saved output, and
+// every open window's incremental shuffle state. A corrupt or missing
+// slot checkpoint falls back to recomputing that window from the
+// deterministic source — slower, never wrong.
+func (r *runner) resume() error {
+	ck, ok, _ := r.ckpts.Load(r.cursorKey())
+	if !ok {
+		return nil
+	}
+	r.cursor = leU64(ck.Data)
+	// Closed windows are a prefix: emit their saved outputs verbatim.
+	for r.closed < r.cfg.Windows {
+		oc, ok, _ := r.ckpts.Load(r.outKey(r.closed))
+		if !ok {
+			break
+		}
+		r.res.Windows = append(r.res.Windows, oc.Data)
+		r.closed++
+	}
+	if r.cursor == 0 {
+		return nil
+	}
+	maxW := r.cfg.Windows
+	if _, hi := r.windowRange(r.arrival(r.cursor - 1)); hi+1 < maxW {
+		maxW = hi + 1
+	}
+	reg := r.cfg.Trace.Registry()
+	for w := r.closed; w < maxW; w++ {
+		meta, ok, _ := r.ckpts.Load(r.metaKey(w))
+		if !ok {
+			// Never checkpointed: either untouched (fine — empty) or its
+			// meta rotted; a source scan below decides which.
+			if r.sourceTouches(w) {
+				if err := r.rebuildFromSource(w); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		st, err := r.window(w)
+		if err != nil {
+			return err
+		}
+		st.records = leU64(meta.Data)
+		st.flushes = meta.Seq
+		intact := true
+		for m := 0; m < r.cfg.MapSlots; m++ {
+			sc, ok, corrupt := r.ckpts.Load(r.slotKey(w, m))
+			if corrupt || (!ok && r.slotExpected(st, m)) {
+				intact = false
+				break
+			}
+			if ok && len(sc.Data) > 0 {
+				st.acc[m] = sc.Data
+			}
+		}
+		if !intact {
+			// Tear down the half-restored state and recompute.
+			for _, wr := range st.writers {
+				wr.Abandon()
+			}
+			st.ex.Discard()
+			delete(r.open, w)
+			if err := r.rebuildFromSource(w); err != nil {
+				return err
+			}
+			continue
+		}
+		// Replay the accumulated map output through fresh writers: a
+		// single Add preserves record order, so shuffle sequence numbers
+		// — and therefore block bytes — match the original run's.
+		for m := 0; m < r.cfg.MapSlots; m++ {
+			if len(st.acc[m]) == 0 {
+				continue
+			}
+			if err := st.writers[m].Add(st.acc[m]); err != nil {
+				return fmt.Errorf("stream: resume window %d: %w", w, err)
+			}
+			if err := st.writers[m].Sync(); err != nil {
+				return fmt.Errorf("stream: resume window %d: %w", w, err)
+			}
+		}
+		r.res.Resumed++
+		reg.Counter("stream_window_resumes_total").Add(1)
+		r.cfg.Trace.Instant("stream", "window-resume",
+			trace.I64("idx", int64(w)), trace.I64("records", st.records))
+	}
+	return nil
+}
+
+// slotExpected reports whether round-robin assignment has placed at
+// least one record in slot m of a window holding st.records records.
+func (r *runner) slotExpected(st *windowState, m int) bool {
+	return st.records > int64(m)
+}
+
+// sourceTouches reports whether any ingested record maps into window w.
+func (r *runner) sourceTouches(w int) bool {
+	for i := int64(0); i < r.cursor; i++ {
+		lo, hi := r.windowRange(r.arrival(i))
+		if lo <= w && w <= hi {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildFromSource recomputes window w's state by replaying the
+// deterministic source over the already-ingested prefix — the fallback
+// when a window checkpoint is lost or corrupt. The map phase re-runs
+// (with fault injection live), and the rebuilt writers see records in
+// the original order, so the recovered state stays byte-identical.
+func (r *runner) rebuildFromSource(w int) error {
+	st, err := r.window(w)
+	if err != nil {
+		return err
+	}
+	bufs := make([][]byte, r.cfg.MapSlots)
+	for i := int64(0); i < r.cursor; i++ {
+		lo, hi := r.windowRange(r.arrival(i))
+		if w < lo || hi < w {
+			continue
+		}
+		slot := int(st.records % int64(r.cfg.MapSlots))
+		bufs[slot], err = r.comp.Codec.Encode(r.cfg.App.InClass, r.src.At(i), bufs[slot])
+		if err != nil {
+			return fmt.Errorf("stream: rebuild window %d: %w", w, err)
+		}
+		st.records++
+	}
+	var specs []engine.TaskSpec
+	var slots []int
+	for m, buf := range bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("stream-%s-w%d-rb-m%d", r.cfg.App.Name, w, m)
+		specs = append(specs, engine.TaskSpec{
+			Name:   name,
+			Driver: r.cfg.App.MapDriver,
+			Invocations: []map[string]engine.Input{
+				{"in": {Class: r.cfg.App.InClass, Buf: buf}},
+			},
+			ClosureBytes:    r.cfg.ClosureBytes,
+			Faults:          r.cfg.Injector.ForTask(name),
+			CheckpointEvery: r.cfg.CheckpointEvery,
+			Checkpoints:     r.ckpts,
+		})
+		slots = append(slots, m)
+	}
+	if len(specs) > 0 {
+		job, err := r.phase(fmt.Sprintf("stream-%s-w%d-rebuild", r.cfg.App.Name, w), specs)
+		if job != nil {
+			r.res.Stats.Add(job.Stats)
+		}
+		if err != nil {
+			return fmt.Errorf("stream: rebuild window %d: %w", w, err)
+		}
+		for k, out := range job.Outputs {
+			m := slots[k]
+			st.acc[m] = out
+			if err := st.writers[m].Add(out); err != nil {
+				return fmt.Errorf("stream: rebuild window %d: %w", w, err)
+			}
+			if err := st.writers[m].Sync(); err != nil {
+				return fmt.Errorf("stream: rebuild window %d: %w", w, err)
+			}
+		}
+	}
+	st.flushes = 1
+	r.res.Rebuilt++
+	r.cfg.Trace.Registry().Counter("stream_window_rebuilds_total").Add(1)
+	r.cfg.Trace.Instant("stream", "window-rebuild",
+		trace.I64("idx", int64(w)), trace.I64("records", st.records))
+	return nil
+}
+
+// abandonOpen tears down every open window on cancellation: writers
+// abandon their spill runs, exchanges discard their published blocks —
+// nothing leaks.
+func (r *runner) abandonOpen() {
+	for _, st := range r.open {
+		for _, wr := range st.writers {
+			wr.Abandon()
+		}
+		st.ex.Discard()
+	}
+	r.open = map[int]*windowState{}
+}
+
+// finishStats computes throughput and batch latency quantiles.
+func (r *runner) finishStats() {
+	if r.res.Wall > 0 {
+		r.res.RecordsPerSec = float64(r.res.Records) / r.res.Wall.Seconds()
+	}
+	if len(r.lats) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), r.lats...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	r.res.BatchP50 = q(0.5)
+	r.res.BatchP99 = q(0.99)
+}

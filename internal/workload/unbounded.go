@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/serde"
+)
+
+// Unbounded is a deterministic unbounded record source: At(i) returns
+// record i of an infinite stream, computable in any order and any
+// number of times. Determinism is the streaming subsystem's whole
+// correctness story — the batch reference run, the streamed run, and a
+// resumed-after-crash run all regenerate byte-identical records from
+// the same indices, so window outputs stay byte-comparable.
+type Unbounded struct {
+	// Class is the serde class of the emitted records.
+	Class string
+	// At returns record i (i >= 0).
+	At func(i int64) serde.Obj
+}
+
+// Slice materializes records [lo, hi) in index order.
+func (u *Unbounded) Slice(lo, hi int64) []serde.Obj {
+	if hi <= lo {
+		return nil
+	}
+	objs := make([]serde.Obj, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		objs = append(objs, u.At(i))
+	}
+	return objs
+}
+
+// recRand returns a rand source deterministically derived from (seed,
+// record index) — per-record seeding, so records are random-access
+// without chunk bookkeeping.
+func recRand(seed, i int64) *rand.Rand {
+	h := fnv.New64a()
+	var b [16]byte
+	for k := 0; k < 8; k++ {
+		b[k] = byte(uint64(seed) >> (8 * k))
+		b[8+k] = byte(uint64(i) >> (8 * k))
+	}
+	h.Write(b[:])
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// UnboundedDocs streams documents of class "Doc" ({text String}) with
+// Zipf-weighted word frequencies — the wordcount-style source.
+func UnboundedDocs(wordsPerDoc int, seed int64) *Unbounded {
+	return &Unbounded{Class: "Doc", At: func(i int64) serde.Obj {
+		r := recRand(seed, i)
+		zipf := rand.NewZipf(r, 1.3, 1, uint64(len(vocab)-1))
+		text := ""
+		for w := 0; w < wordsPerDoc; w++ {
+			if w > 0 {
+				text += " "
+			}
+			text += vocab[zipf.Uint64()]
+		}
+		return serde.Obj{"text": text}
+	}}
+}
+
+// UnboundedLinks streams adjacency records of class "Links"
+// ({src long, dsts long[]}) over a fixed vertex universe: record i
+// describes vertex i % universe with power-law out-degree — the
+// PageRank-style source. Repeated visits to a vertex emit the same
+// edges (the stream re-describes a stable graph), so contribution sums
+// stay deterministic.
+func UnboundedLinks(universe, avgDeg int, seed int64) *Unbounded {
+	if universe <= 1 {
+		universe = 2
+	}
+	return &Unbounded{Class: "Links", At: func(i int64) serde.Obj {
+		src := i % int64(universe)
+		r := recRand(seed, src)
+		zipf := rand.NewZipf(r, 2.2, 1, uint64(4*avgDeg))
+		deg := int(zipf.Uint64()) + 1
+		dsts := make([]int64, 0, deg)
+		seen := map[int64]bool{}
+		for len(dsts) < deg {
+			d := int64(r.Intn(universe))
+			if d == src || seen[d] {
+				if len(seen) >= universe-1 {
+					break
+				}
+				continue
+			}
+			seen[d] = true
+			dsts = append(dsts, d)
+		}
+		return serde.Obj{"src": src, "dsts": dsts}
+	}}
+}
